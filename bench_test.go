@@ -1,0 +1,236 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, plus simulator-throughput and ablation benchmarks. Each benchmark
+// recomputes the corresponding experiment and reports its headline numbers
+// as custom metrics so `go test -bench=. -benchmem` doubles as a
+// reproduction run. EXPERIMENTS.md records the measured values next to the
+// paper's.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/traffic"
+	"repro/internal/wcet"
+	"repro/internal/workload"
+)
+
+// BenchmarkTableI_Weights regenerates Table I: the WaW arbitration weights of
+// router R(1,1) of a 2x2 mesh.
+func BenchmarkTableI_Weights(b *testing.B) {
+	var entries int
+	for i := 0; i < b.N; i++ {
+		rows, err := core.TableI(2, 2, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(rows)
+	}
+	b.ReportMetric(float64(entries), "weight-pairs")
+}
+
+// BenchmarkTableII_WCTTScaling regenerates Table II: the WCTT summary of
+// every mesh size from 2x2 to 8x8 for both designs.
+func BenchmarkTableII_WCTTScaling(b *testing.B) {
+	var last []float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.TableII(core.PaperTableIISizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := rows[len(rows)-1]
+		last = []float64{float64(final.Regular.Max), float64(final.WaWWaP.Max)}
+	}
+	b.ReportMetric(last[0], "regular-8x8-max-cycles")
+	b.ReportMetric(last[1], "wawwap-8x8-max-cycles")
+	b.ReportMetric(last[0]/last[1], "max-wctt-improvement")
+}
+
+// BenchmarkTableIII_EEMBC regenerates Table III: the per-core normalised
+// WCET map of the EEMBC Automotive suite on the 64-core platform.
+func BenchmarkTableIII_EEMBC(b *testing.B) {
+	var far, near float64
+	for i := 0; i < b.N; i++ {
+		table, err := core.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		near = table[0][1]
+		far = table[7][7]
+	}
+	b.ReportMetric(near, "normalized-wcet-near-core")
+	b.ReportMetric(far, "normalized-wcet-far-core")
+}
+
+// BenchmarkFigure2a_PacketSizes regenerates Figure 2(a): the 3DPP WCET under
+// placement P0 for maximum packet sizes L1, L4 and L8.
+func BenchmarkFigure2a_PacketSizes(b *testing.B) {
+	var impL1, impL8 float64
+	for i := 0; i < b.N; i++ {
+		points, err := core.Figure2a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		impL1 = points[0].Improvement()
+		impL8 = points[len(points)-1].Improvement()
+	}
+	b.ReportMetric(impL1, "improvement-L1")
+	b.ReportMetric(impL8, "improvement-L8")
+}
+
+// BenchmarkFigure2b_Placements regenerates Figure 2(b): the 3DPP WCET across
+// placements P0-P3 with one-flit packets.
+func BenchmarkFigure2b_Placements(b *testing.B) {
+	var regVar, wawVar float64
+	for i := 0; i < b.N; i++ {
+		points, err := core.Figure2b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var regs, waws []float64
+		for _, p := range points {
+			regs = append(regs, p.RegularMs)
+			waws = append(waws, p.WaWWaPMs)
+		}
+		regVar = wcet.Variability(regs)
+		wawVar = wcet.Variability(waws)
+	}
+	b.ReportMetric(regVar, "regular-placement-variability")
+	b.ReportMetric(wawVar, "wawwap-placement-variability")
+}
+
+// BenchmarkAvgPerf_Manycore reproduces the average-performance comparison of
+// Section IV on a scaled-down workload: the same EEMBC kernel on every core
+// of a 4x4 mesh, cycle-accurately simulated on both designs.
+func BenchmarkAvgPerf_Manycore(b *testing.B) {
+	var degradation float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.AveragePerformance(4, 4, "matrix", 500, 20_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		degradation = res.DegradationPct
+	}
+	b.ReportMetric(degradation, "avg-degradation-%")
+}
+
+// BenchmarkArea_Overhead reproduces the NoC area estimate: the WaW+WaP
+// additions must stay below the paper's 5% envelope.
+func BenchmarkArea_Overhead(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := core.AreaOverhead(8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = cmp.OverheadPercent()
+	}
+	b.ReportMetric(overhead, "area-overhead-%")
+}
+
+// benchmarkHotspot drives a congested all-to-one pattern through the
+// cycle-accurate simulator and reports the latency spread, the measured
+// counterpart of the analytical Table II study.
+func benchmarkHotspot(b *testing.B, design network.Design) {
+	d := mesh.MustDim(8, 8)
+	target := mesh.Node{X: 0, Y: 0}
+	var maxLatency float64
+	for i := 0; i < b.N; i++ {
+		net, err := network.New(network.DefaultConfig(d, design))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := traffic.NewHotspot(d, target, 7, 40, traffic.RequestPayloadBits, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := traffic.Drive(net, gen, 2_000_000); !done {
+			b.Fatal("hotspot simulation did not complete")
+		}
+		maxLatency = net.AggregateLatency().Max()
+	}
+	b.ReportMetric(maxLatency, "max-latency-cycles")
+}
+
+// BenchmarkSimWCTT_Hotspot_Regular measures the regular design under a
+// saturating hotspot.
+func BenchmarkSimWCTT_Hotspot_Regular(b *testing.B) { benchmarkHotspot(b, network.DesignRegular) }
+
+// BenchmarkSimWCTT_Hotspot_WaWWaP measures the WaW+WaP design under the same
+// hotspot.
+func BenchmarkSimWCTT_Hotspot_WaWWaP(b *testing.B) { benchmarkHotspot(b, network.DesignWaWWaP) }
+
+// BenchmarkSimulatorThroughput measures the raw speed of the cycle-accurate
+// simulator (simulated cycles per second of an idle-ish 8x8 mesh with
+// background uniform traffic), the metric that matters when scaling the
+// average-performance experiments up.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	d := mesh.MustDim(8, 8)
+	net := network.MustNew(network.DefaultConfig(d, network.DesignWaWWaP))
+	gen, err := traffic.NewUniformRandom(d, 3, 50, 512, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, msg := range gen.Tick(net.Cycle()) {
+			if _, err := net.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Step()
+	}
+	b.ReportMetric(float64(net.TotalInjectedFlits())/float64(b.N), "flits/cycle")
+}
+
+// BenchmarkAblation_WCTT compares the two mechanisms in isolation (WaW-only
+// and WaP-only) against the full design for the farthest flow of the 8x8
+// mesh — the design-choice ablation called out in DESIGN.md.
+func BenchmarkAblation_WCTT(b *testing.B) {
+	model, err := core.NewWCTTModel(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := mesh.Node{X: 7, Y: 7}
+	dst := mesh.Node{X: 0, Y: 0}
+	results := make(map[string]float64)
+	for i := 0; i < b.N; i++ {
+		for _, design := range []core.Design{core.DesignRegular, core.DesignWaPOnly, core.DesignWaWOnly, core.DesignWaWWaP} {
+			v, err := model.MessageWCTT(design, src, dst, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[design.String()] = float64(v)
+		}
+	}
+	b.ReportMetric(results["regular"], "regular-cycles")
+	b.ReportMetric(results["WaP-only"], "wap-only-cycles")
+	b.ReportMetric(results["WaW-only"], "waw-only-cycles")
+	b.ReportMetric(results["WaW+WaP"], "wawwap-cycles")
+}
+
+// BenchmarkPacketization measures the WaP slicing overhead accounting (the
+// 25% flit overhead of a cache-line reply reported in Section IV).
+func BenchmarkPacketization(b *testing.B) {
+	link := flit.DefaultLinkConfig()
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = link.WaPOverhead(512)
+	}
+	b.ReportMetric(overhead*100, "wap-flit-overhead-%")
+}
+
+// BenchmarkWorkloadModels exercises the synthetic workload constructors used
+// by every WCET experiment.
+func BenchmarkWorkloadModels(b *testing.B) {
+	var kernels, exchanges int
+	for i := 0; i < b.N; i++ {
+		kernels = len(workload.EEMBCAutomotive())
+		exchanges = workload.ThreeDPathPlanning().TotalMessagesPerThread()
+	}
+	b.ReportMetric(float64(kernels), "eembc-kernels")
+	b.ReportMetric(float64(exchanges), "3dpp-exchanges-per-thread")
+}

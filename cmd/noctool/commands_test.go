@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCommandRegistry(t *testing.T) {
+	for _, name := range []string{"weights", "wctt-table", "eembc", "avionics", "avgperf", "area", "simulate"} {
+		if _, ok := commands[name]; !ok {
+			t.Errorf("command %q not registered", name)
+		}
+	}
+}
+
+func TestCmdWeightsTableI(t *testing.T) {
+	var out strings.Builder
+	if err := cmdWeights([]string{"-width", "2", "-height", "2", "-x", "1", "-y", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"W(PME,X-)", "W(Y+,PME)", "0.67", "0.33"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("weights output missing %q:\n%s", want, got)
+		}
+	}
+	if err := cmdWeights([]string{"-x", "9"}, &out); err == nil {
+		t.Error("router outside mesh should fail")
+	}
+	if err := cmdWeights([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestCmdWCTTTable(t *testing.T) {
+	var out strings.Builder
+	if err := cmdWCTTTable([]string{"-max-size", "4", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2x2") || !strings.Contains(got, "4x4") {
+		t.Errorf("wctt-table output missing sizes:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 { // header + 3 sizes
+		t.Errorf("csv output has %d lines, want 4:\n%s", len(lines), got)
+	}
+	if err := cmdWCTTTable([]string{"-max-size", "1"}, &out); err == nil {
+		t.Error("max-size below 2 should fail")
+	}
+}
+
+func TestCmdArea(t *testing.T) {
+	var out strings.Builder
+	if err := cmdArea([]string{"-width", "4", "-height", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WaW+WaP") || !strings.Contains(out.String(), "%") {
+		t.Errorf("area output malformed:\n%s", out.String())
+	}
+	if err := cmdArea([]string{"-width", "0"}, &out); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+}
+
+func TestCmdAvionics(t *testing.T) {
+	var out strings.Builder
+	if err := cmdAvionics([]string{"-format", "markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 2(a)") || !strings.Contains(got, "Figure 2(b)") {
+		t.Errorf("avionics output missing figures:\n%s", got)
+	}
+	for _, placement := range []string{"P0", "P1", "P2", "P3"} {
+		if !strings.Contains(got, placement) {
+			t.Errorf("avionics output missing placement %s", placement)
+		}
+	}
+}
+
+func TestCmdAvgPerfSmall(t *testing.T) {
+	var out strings.Builder
+	err := cmdAvgPerf([]string{"-width", "3", "-height", "3", "-benchmark", "rspeed", "-scale", "500", "-max-cycles", "5000000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "degradation") && !strings.Contains(out.String(), "%") {
+		t.Errorf("avgperf output malformed:\n%s", out.String())
+	}
+	if err := cmdAvgPerf([]string{"-benchmark", "nope"}, &out); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestCmdSimulateSmall(t *testing.T) {
+	var out strings.Builder
+	err := cmdSimulate([]string{"-width", "3", "-height", "3", "-messages", "40", "-rate", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "regular") || !strings.Contains(got, "WaW+WaP") {
+		t.Errorf("simulate output missing designs:\n%s", got)
+	}
+	if err := cmdSimulate([]string{"-width", "0"}, &out); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+	if err := cmdSimulate([]string{"-rate", "0"}, &out); err == nil {
+		t.Error("invalid rate should fail")
+	}
+}
+
+func TestCmdEEMBC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table III over the full suite is slow")
+	}
+	var out strings.Builder
+	if err := cmdEEMBC(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table III") {
+		t.Errorf("eembc output malformed:\n%s", out.String())
+	}
+}

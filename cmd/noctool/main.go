@@ -1,0 +1,84 @@
+// Command noctool regenerates every table and figure of the paper
+// "Improving Performance Guarantees in Wormhole Mesh NoC Designs"
+// (Panic et al., DATE 2016) from the models and simulators of this
+// repository.
+//
+// Usage:
+//
+//	noctool <command> [flags]
+//
+// Commands:
+//
+//	weights     Table I   — WaW arbitration weights of one router
+//	wctt-table  Table II  — WCTT scalability across mesh sizes
+//	eembc       Table III — per-core normalised WCET of the EEMBC suite
+//	avionics    Figure 2  — WCET of the 3DPP avionics application
+//	avgperf     Section IV— average-performance comparison
+//	area        Section III— NoC area overhead of WaW+WaP
+//	simulate    cycle-accurate hotspot simulation of both designs
+//
+// Every command accepts -format text|csv|markdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// commands maps the sub-command name to its implementation. Every command
+// writes its output to the supplied writer so the commands are unit-testable.
+var commands = map[string]func(args []string, w io.Writer) error{
+	"weights":    cmdWeights,
+	"wctt-table": cmdWCTTTable,
+	"eembc":      cmdEEMBC,
+	"avionics":   cmdAvionics,
+	"avgperf":    cmdAvgPerf,
+	"area":       cmdArea,
+	"simulate":   cmdSimulate,
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `noctool — reproduce the DATE 2016 WaW+WaP wormhole-mesh results
+
+Usage:
+  noctool <command> [flags]
+
+Commands:
+  weights      Table I:   arbitration weights of one router (regular vs WaW)
+  wctt-table   Table II:  WCTT bounds across mesh sizes (regular vs WaW+WaP)
+  eembc        Table III: per-core normalised WCET of the EEMBC Automotive suite
+  avionics     Figure 2:  WCET of the 16-core 3DPP avionics application
+  avgperf      average-performance comparison on the cycle-accurate simulator
+  area         NoC area overhead of the WaW+WaP modifications
+  simulate     cycle-accurate hotspot simulation comparing both designs
+
+Run "noctool <command> -h" for command-specific flags.
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "-h" || name == "--help" || name == "help" {
+		usage()
+		return
+	}
+	cmd, ok := commands[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "noctool: unknown command %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+	if err := cmd(os.Args[2:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "noctool %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of the system described in
+// "Improving Performance Guarantees in Wormhole Mesh NoC Designs"
+// (Panic, Hernandez, Abella, Roca Perez, Quinones, Cazorla — DATE 2016).
+//
+// The paper proposes two low-cost mechanisms that make worst-case traversal
+// time (WCTT) bounds of wormhole-switched 2D-mesh NoCs tight, scalable and
+// time-composable:
+//
+//   - WaP (WCTT-aware Packetization): the network interface slices every
+//     request into minimum-size packets so the arbitration slot duration no
+//     longer depends on the contenders' message sizes, and
+//   - WaW (WCTT-aware Weighted round-robin arbitration): per-port arbitration
+//     weights, derived statically from the XY routing algorithm, that give
+//     every flow the same guaranteed share of every link it crosses.
+//
+// This module contains the complete stack needed to reproduce the paper's
+// evaluation: the mesh/routing/flit substrate, a cycle-accurate wormhole NoC
+// simulator with pluggable arbitration and packetization, the analytical
+// WCTT and WCET models, synthetic models of the EEMBC Automotive suite and
+// of the 3DPP avionics application, an area model, a CLI (cmd/noctool),
+// runnable examples (examples/) and a benchmark harness (bench_test.go)
+// that regenerates every table and figure of the paper. See README.md,
+// DESIGN.md and EXPERIMENTS.md for the full documentation.
+package repro

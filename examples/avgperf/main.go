@@ -1,0 +1,42 @@
+// avgperf reproduces the average-performance result of Section IV: the same
+// multiprogrammed workload (an EEMBC kernel on every core of the mesh,
+// scaled down so the cycle-accurate simulation stays fast) is run on the
+// regular design and on WaW+WaP, and the makespans are compared. The paper
+// reports a degradation below 1%; the exact figure here depends on how much
+// the scaled workload stresses the NoC, but it stays within a few percent
+// because the memory controller — not the NoC — is the shared bottleneck.
+//
+// Run with:
+//
+//	go run ./examples/avgperf [-width 8 -height 8 -benchmark matrix -scale 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	benchmark := flag.String("benchmark", "matrix", "EEMBC kernel to run on every core")
+	scale := flag.Int("scale", 200, "instruction-count scale-down factor")
+	maxCycles := flag.Int("max-cycles", 50_000_000, "cycle budget per design")
+	flag.Parse()
+
+	fmt.Printf("Running %q on every core of a %dx%d mesh (scale 1/%d) on both designs...\n",
+		*benchmark, *width, *height, *scale)
+	res, err := core.AveragePerformance(*width, *height, *benchmark, *scale, *maxCycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  cores simulated:        %d\n", res.CoresSimulated)
+	fmt.Printf("  memory transactions:    %d\n", res.MemTransactions)
+	fmt.Printf("  regular wNoC makespan:  %d cycles\n", res.RegularCycles)
+	fmt.Printf("  WaW+WaP makespan:       %d cycles\n", res.WaWWaPCycles)
+	fmt.Printf("  average degradation:    %.2f%%\n", res.DegradationPct)
+	fmt.Println("\nThe paper reports less than 1% degradation for both single-threaded and parallel applications.")
+}

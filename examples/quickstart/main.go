@@ -1,0 +1,82 @@
+// Quickstart: build both NoC designs studied in the paper (the regular
+// wormhole mesh and the proposed WaW+WaP mesh), push a small burst of
+// memory-style traffic through them with the cycle-accurate simulator, and
+// compare the analytical worst-case traversal time bounds of a near and a
+// far flow.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+func main() {
+	const width, height = 4, 4
+	memory := mesh.Node{X: 0, Y: 0}
+
+	fmt.Printf("Quickstart: %dx%d wormhole mesh, memory controller at %v\n\n", width, height, memory)
+
+	// 1. Cycle-accurate simulation: every node sends one cache-line
+	//    eviction towards the memory node, on both designs.
+	for _, design := range []core.Design{core.DesignRegular, core.DesignWaWWaP} {
+		noc, err := core.NewNoC(width, height, design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sent := 0
+		for _, src := range noc.Config().Dim.AllNodes() {
+			if src == memory {
+				continue
+			}
+			msg := &flit.Message{
+				Flow:        flit.FlowID{Src: src, Dst: memory},
+				Class:       flit.ClassEviction,
+				PayloadBits: 512, // a 64-byte cache line
+			}
+			if _, err := noc.Send(msg); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+		}
+		if !noc.RunUntilDrained(100_000) {
+			log.Fatalf("%v: network did not drain", design)
+		}
+		agg := noc.AggregateLatency()
+		fmt.Printf("%-8s delivered %2d/%2d messages in %4d cycles  (latency min=%.0f mean=%.1f max=%.0f)\n",
+			design, noc.TotalDeliveredMessages(), sent, noc.Cycle(), agg.Min(), agg.Mean(), agg.Max())
+	}
+
+	// 2. Analytical worst-case traversal time bounds for a near and a far
+	//    flow, one-flit packets (the Table II configuration).
+	model, err := core.NewWCTTModel(width, height)
+	if err != nil {
+		log.Fatal(err)
+	}
+	near := mesh.Node{X: 1, Y: 0}
+	far := mesh.Node{X: width - 1, Y: height - 1}
+	fmt.Println("\nWorst-case traversal time bounds (1-flit packets):")
+	for _, flow := range []struct {
+		name string
+		src  mesh.Node
+	}{{"near core " + near.String(), near}, {"far core  " + far.String(), far}} {
+		reg, err := model.FlowWCTTOneFlit(core.DesignRegular, flow.src, memory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		waw, err := model.FlowWCTTOneFlit(core.DesignWaWWaP, flow.src, memory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> %v:  regular %6d cycles   WaW+WaP %4d cycles\n", flow.name, memory, reg, waw)
+	}
+	fmt.Println("\nThe regular mesh wins for the adjacent core but collapses for the far core;")
+	fmt.Println("WaW+WaP keeps every core's bound in the same, scalable range.")
+}

@@ -1,0 +1,311 @@
+// Package analysis implements the worst-case traversal time (WCTT) models of
+// the paper: the chained-blocking bound that regular wormhole mesh NoCs with
+// round-robin arbitration admit, and the guaranteed-bandwidth bound that the
+// WaW + WaP design admits. These bounds are time-composable: they depend only
+// on the topology, the routing algorithm, the arbitration policy and the
+// maximum packet size — never on the actual load other tasks put on the NoC
+// (the analysis always assumes the worst possible contention, assumptions
+// (1)–(5) of Section II.A).
+//
+// # Regular wNoC (round-robin) — chained-blocking bound
+//
+// For a flow whose XY route visits routers r_1 … r_k through output ports
+// o_1 … o_k (o_k is the ejection port at the destination), let c_j be the
+// number of input ports of r_j that can legally request o_j (XY-turn rules
+// and mesh boundary taken into account). Under worst-case congestion every
+// one of those inputs always has a maximum-size (L-flit) packet to send.
+// Define the worst-case per-flit service interval seen upstream of hop j:
+//
+//	I_{k+1} = 1                      (ejection accepts one flit per cycle)
+//	I_j     = c_j * I_{j+1}          (round-robin interleaves c_j inputs, each
+//	                                  flit needing I_{j+1} cycles downstream)
+//
+// and the worst-case arbitration/blocking wait of hop j:
+//
+//	W_j = (c_j - 1) * (H + L * I_{j+1})
+//
+// (every other contender may be served first, each holding the output for a
+// full L-flit packet whose flits drain at the downstream worst-case interval;
+// H is the per-packet header/arbitration overhead). The bound is
+//
+//	WCTT = Σ_j (W_j + R) + (S - 1) * I_1 + 1
+//
+// with R the per-hop router+link latency and S the analysed packet's size in
+// flits. The I_j recursion compounds multiplicatively along the path, which
+// is exactly the scalability collapse Table II of the paper shows: the bound
+// grows by roughly an order of magnitude per mesh-size increment.
+//
+// # WaW + WaP — guaranteed-bandwidth bound
+//
+// With WaP every packet in the network has the minimum size m, so an
+// arbitration slot is m flit cycles regardless of the contenders' message
+// sizes. With WaW the weighted arbitration guarantees the input port carrying
+// a flow the fraction W(I,O) = I/O of every output port it crosses, and the
+// flows sharing the input port split it equally, so every flow owns a 1/O_j
+// share of output o_j (O_j is the per-destination-normalised number of flows
+// crossing o_j, closed forms in the flows package). The worst-case wait for
+// one slot at hop j is therefore bounded by (O_j - 1) slots of m flits each,
+// giving
+//
+//	WCTT_WaW = Σ_j ((O_j - 1) * m + R) + (P - 1) * max_j(O_j) * m + 1
+//
+// where P is the number of minimum-size packets the message is sliced into.
+// The bound is dominated by the destination ejection port (O = N*M - 1) and
+// grows linearly with the node count — the paper's scalability claim.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flit"
+	"repro/internal/flows"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+// Params gathers the platform parameters of the WCTT models.
+type Params struct {
+	// Dim is the mesh size.
+	Dim mesh.Dim
+	// Link describes the link width, control overhead, maximum packet size L
+	// and minimum packet size m.
+	Link flit.LinkConfig
+	// RouterLatency R is the per-hop router+link latency in cycles.
+	RouterLatency int
+	// HeaderOverhead H is the per-packet arbitration/header overhead in
+	// cycles charged for every contender packet in the regular model.
+	HeaderOverhead int
+}
+
+// DefaultParams returns the model parameters of the paper's platform for a
+// mesh of the given dimensions.
+func DefaultParams(d mesh.Dim) Params {
+	return Params{
+		Dim:            d,
+		Link:           flit.DefaultLinkConfig(),
+		RouterLatency:  1,
+		HeaderOverhead: 1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Dim.Validate(); err != nil {
+		return err
+	}
+	if err := p.Link.Validate(); err != nil {
+		return err
+	}
+	if p.RouterLatency < 1 {
+		return fmt.Errorf("analysis: router latency must be >= 1 cycle, got %d", p.RouterLatency)
+	}
+	if p.HeaderOverhead < 0 {
+		return fmt.Errorf("analysis: header overhead must be >= 0, got %d", p.HeaderOverhead)
+	}
+	return nil
+}
+
+// Model computes WCTT bounds for flows of one mesh instance.
+type Model struct {
+	p       Params
+	weights *flows.WeightTable
+}
+
+// NewModel builds a WCTT model for the given parameters.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p, weights: flows.ComputeWeightTable(p.Dim)}, nil
+}
+
+// MustNewModel is like NewModel but panics on error.
+func MustNewModel(p Params) *Model {
+	m, err := NewModel(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// contenders returns the number of input ports of the router at node n that
+// can legally request output out under XY routing (the worst-case contender
+// count of assumption (2)). The degenerate Local->Local pair is excluded.
+func (m *Model) contenders(n mesh.Node, out mesh.Direction) int {
+	ins := mesh.LegalInputsFor(m.p.Dim, n, out)
+	c := len(ins)
+	if out == mesh.Local {
+		c-- // a node does not send to itself
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// saturatingMul multiplies two non-negative uint64 values, saturating at
+// MaxUint64 (relevant only for unrealistically large meshes, where the
+// regular bound overflows any practical representation anyway).
+func saturatingMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+func saturatingAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// RegularPacketWCTT returns the chained-blocking WCTT bound of a packet of
+// packetFlits flits from src to dst under the regular design (round-robin
+// arbitration), assuming every contender sends packets of contenderFlits
+// flits (the network's maximum packet size L). It returns an error when the
+// endpoints are invalid.
+func (m *Model) RegularPacketWCTT(src, dst mesh.Node, packetFlits, contenderFlits int) (uint64, error) {
+	if packetFlits < 1 || contenderFlits < 1 {
+		return 0, fmt.Errorf("analysis: packet sizes must be >= 1 flit (got %d, %d)", packetFlits, contenderFlits)
+	}
+	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("analysis: WCTT of a self flow is undefined")
+	}
+	H := uint64(m.p.HeaderOverhead)
+	L := uint64(contenderFlits)
+	R := uint64(m.p.RouterLatency)
+	S := uint64(packetFlits)
+
+	// Walk the route from the destination backwards, accumulating the
+	// downstream service interval I and the per-hop waits.
+	interval := uint64(1) // I_{k+1}: ejection accepts one flit per cycle
+	var total uint64
+	for j := len(route.Hops) - 1; j >= 0; j-- {
+		hop := route.Hops[j]
+		c := uint64(m.contenders(hop.Router, hop.Out))
+		wait := saturatingMul(c-1, saturatingAdd(H, saturatingMul(L, interval)))
+		total = saturatingAdd(total, saturatingAdd(wait, R))
+		interval = saturatingMul(c, interval)
+	}
+	// Serialization of the remaining S-1 flits at the most upstream link,
+	// each needing the compounded worst-case interval, plus the final
+	// ejection cycle of the tail.
+	total = saturatingAdd(total, saturatingMul(S-1, interval))
+	total = saturatingAdd(total, 1)
+	return total, nil
+}
+
+// WaWPacketWCTT returns the guaranteed-bandwidth WCTT bound of a message
+// sliced into packets of slotFlits flits (the arbitration slot size) under
+// WaW weighted arbitration: numPackets packets of slotFlits flits each. For
+// the full WaW+WaP design slotFlits is the minimum packet size m; for the
+// WaW-only ablation slotFlits is the network's maximum packet size L.
+func (m *Model) WaWPacketWCTT(src, dst mesh.Node, numPackets, slotFlits int) (uint64, error) {
+	if numPackets < 1 || slotFlits < 1 {
+		return 0, fmt.Errorf("analysis: packet counts and sizes must be >= 1 (got %d, %d)", numPackets, slotFlits)
+	}
+	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("analysis: WCTT of a self flow is undefined")
+	}
+	R := uint64(m.p.RouterLatency)
+	slot := uint64(slotFlits)
+
+	var total uint64
+	var maxShare uint64 = 1
+	for _, hop := range route.Hops {
+		counts := m.weights.Counts(hop.Router)
+		o := uint64(counts.OutputTotal[hop.Out])
+		if o < 1 {
+			o = 1
+		}
+		if o > maxShare {
+			maxShare = o
+		}
+		// Worst-case wait for this flow's slot at this hop: every other flow
+		// crossing the output port may be served once (one slot each).
+		total = saturatingAdd(total, saturatingAdd(saturatingMul(o-1, slot), R))
+	}
+	// The remaining packets of the message are admitted one per guaranteed
+	// slot at the bottleneck port.
+	total = saturatingAdd(total, saturatingMul(uint64(numPackets-1), saturatingMul(maxShare, slot)))
+	total = saturatingAdd(total, 1)
+	return total, nil
+}
+
+// MessageWCTT returns the WCTT bound of a message with the given payload
+// under the given design point. The regular-design bound assumes contenders
+// send maximum-size packets (L = Link.MaxPacketFlits; when the configuration
+// leaves the packet size unlimited, L is taken as the analysed message's own
+// packet size, which is the most favourable assumption possible for the
+// regular design).
+func (m *Model) MessageWCTT(design network.Design, src, dst mesh.Node, payloadBits int) (uint64, error) {
+	link := m.p.Link
+	switch design {
+	case network.DesignRegular:
+		packetFlits := link.FlitsForPayload(payloadBits)
+		contender := link.MaxPacketFlits
+		if contender == 0 || contender < packetFlits {
+			contender = packetFlits
+		}
+		totalFlits := packetFlits
+		if link.MaxPacketFlits > 0 && packetFlits > link.MaxPacketFlits {
+			// The message exceeds the network maximum packet size and is
+			// split into several packets, each replicating the control
+			// information. The flits of the follow-up packets are charged
+			// at the compounded worst-case interval through the (S-1)*I_1
+			// term of the chained-blocking bound, which dominates their
+			// per-hop re-arbitration.
+			packets := (packetFlits + link.MaxPacketFlits - 1) / link.MaxPacketFlits
+			totalFlits = packets * link.MaxPacketFlits
+		}
+		return m.RegularPacketWCTT(src, dst, totalFlits, contender)
+	case network.DesignWaPOnly:
+		// Minimum-size packets but plain round-robin arbitration: the
+		// chained-blocking recursion still applies, only with L = m; the
+		// extra packets of the sliced message are charged at the compounded
+		// first-hop interval exactly as the extra flits of a long packet.
+		totalFlits, _ := link.WaPFlitsForPayload(payloadBits)
+		return m.RegularPacketWCTT(src, dst, totalFlits, link.MinPacketFlits)
+	case network.DesignWaWOnly:
+		packetFlits := link.FlitsForPayload(payloadBits)
+		contender := link.MaxPacketFlits
+		if contender == 0 || contender < packetFlits {
+			contender = packetFlits
+		}
+		return m.WaWPacketWCTT(src, dst, 1, contender)
+	case network.DesignWaWWaP:
+		_, packets := link.WaPFlitsForPayload(payloadBits)
+		return m.WaWPacketWCTT(src, dst, packets, link.MinPacketFlits)
+	default:
+		return 0, fmt.Errorf("analysis: unknown design %v", design)
+	}
+}
+
+// FlowWCTTOneFlit returns the WCTT bound of a one-flit packet (the
+// configuration of Table II) from src to dst for the given design.
+func (m *Model) FlowWCTTOneFlit(design network.Design, src, dst mesh.Node) (uint64, error) {
+	switch design {
+	case network.DesignRegular, network.DesignWaPOnly:
+		return m.RegularPacketWCTT(src, dst, 1, 1)
+	case network.DesignWaWWaP, network.DesignWaWOnly:
+		return m.WaWPacketWCTT(src, dst, 1, 1)
+	default:
+		return 0, fmt.Errorf("analysis: unknown design %v", design)
+	}
+}

@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func node(x, y int) mesh.Node { return mesh.Node{X: x, Y: y} }
+
+func model(t *testing.T, w, h int) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams(mesh.MustDim(w, h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams(mesh.MustDim(4, 4)).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	p := DefaultParams(mesh.MustDim(4, 4))
+	p.RouterLatency = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero router latency should be invalid")
+	}
+	p = DefaultParams(mesh.MustDim(4, 4))
+	p.HeaderOverhead = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative header overhead should be invalid")
+	}
+	p = DefaultParams(mesh.MustDim(4, 4))
+	p.Link.WidthBits = 0
+	if err := p.Validate(); err == nil {
+		t.Error("invalid link config should be invalid")
+	}
+	p = DefaultParams(mesh.Dim{})
+	if err := p.Validate(); err == nil {
+		t.Error("invalid dim should be invalid")
+	}
+	if _, err := NewModel(p); err == nil {
+		t.Error("NewModel should reject invalid params")
+	}
+}
+
+func TestMustNewModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewModel should panic on invalid params")
+		}
+	}()
+	MustNewModel(Params{})
+}
+
+func TestWCTTErrors(t *testing.T) {
+	m := model(t, 4, 4)
+	if _, err := m.RegularPacketWCTT(node(0, 0), node(0, 0), 1, 1); err == nil {
+		t.Error("self flow should be rejected")
+	}
+	if _, err := m.RegularPacketWCTT(node(0, 0), node(9, 9), 1, 1); err == nil {
+		t.Error("destination outside mesh should be rejected")
+	}
+	if _, err := m.RegularPacketWCTT(node(0, 0), node(1, 1), 0, 1); err == nil {
+		t.Error("zero packet size should be rejected")
+	}
+	if _, err := m.WaWPacketWCTT(node(0, 0), node(0, 0), 1, 1); err == nil {
+		t.Error("self flow should be rejected (WaW)")
+	}
+	if _, err := m.WaWPacketWCTT(node(0, 0), node(1, 1), 0, 1); err == nil {
+		t.Error("zero packet count should be rejected (WaW)")
+	}
+	if _, err := m.MessageWCTT(network.Design(9), node(0, 0), node(1, 1), 64); err == nil {
+		t.Error("unknown design should be rejected")
+	}
+	if _, err := m.FlowWCTTOneFlit(network.Design(9), node(0, 0), node(1, 1)); err == nil {
+		t.Error("unknown design should be rejected")
+	}
+}
+
+// The regular bound must grow with the distance between source and
+// destination, with the contenders' packet size L and with the analysed
+// packet's size S.
+func TestRegularWCTTMonotonicity(t *testing.T) {
+	m := model(t, 8, 8)
+	near, _ := m.RegularPacketWCTT(node(1, 0), node(0, 0), 1, 1)
+	far, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 1, 1)
+	if far <= near {
+		t.Errorf("far flow bound (%d) should exceed near flow bound (%d)", far, near)
+	}
+	l1, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 1, 1)
+	l4, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 1, 4)
+	l8, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 1, 8)
+	if !(l1 < l4 && l4 < l8) {
+		t.Errorf("bound should grow with contender packet size: L1=%d L4=%d L8=%d", l1, l4, l8)
+	}
+	s1, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 1, 4)
+	s4, _ := m.RegularPacketWCTT(node(7, 7), node(0, 0), 4, 4)
+	if s4 <= s1 {
+		t.Errorf("bound should grow with own packet size: S1=%d S4=%d", s1, s4)
+	}
+}
+
+// The WaW+WaP bound must also grow with distance and with the number of
+// minimum-size packets, but must *not* depend on the contenders' message
+// size (that is the whole point of WaP).
+func TestWaWWCTTMonotonicityAndSlotIndependence(t *testing.T) {
+	m := model(t, 8, 8)
+	near, _ := m.WaWPacketWCTT(node(1, 0), node(0, 0), 1, 1)
+	far, _ := m.WaWPacketWCTT(node(7, 7), node(0, 0), 1, 1)
+	if far <= near {
+		t.Errorf("far flow bound (%d) should exceed near flow bound (%d)", far, near)
+	}
+	p1, _ := m.WaWPacketWCTT(node(7, 7), node(0, 0), 1, 1)
+	p5, _ := m.WaWPacketWCTT(node(7, 7), node(0, 0), 5, 1)
+	if p5 <= p1 {
+		t.Errorf("bound should grow with the number of packets: %d vs %d", p1, p5)
+	}
+	// MessageWCTT under WaW+WaP must give the same value whether the
+	// network-wide maximum packet size is 4 or 8 flits: contender packet
+	// size is irrelevant once WaP slices everything to the minimum size.
+	p := DefaultParams(mesh.MustDim(8, 8))
+	p.Link.MaxPacketFlits = 4
+	m4 := MustNewModel(p)
+	p.Link.MaxPacketFlits = 8
+	m8 := MustNewModel(p)
+	w4, _ := m4.MessageWCTT(network.DesignWaWWaP, node(7, 7), node(0, 0), 512)
+	w8, _ := m8.MessageWCTT(network.DesignWaWWaP, node(7, 7), node(0, 0), 512)
+	if w4 != w8 {
+		t.Errorf("WaW+WaP bound must not depend on the network maximum packet size: %d vs %d", w4, w8)
+	}
+	// The regular design, in contrast, degrades when the maximum packet size
+	// grows.
+	r4, _ := m4.MessageWCTT(network.DesignRegular, node(7, 7), node(0, 0), 64)
+	r8, _ := m8.MessageWCTT(network.DesignRegular, node(7, 7), node(0, 0), 64)
+	if r8 <= r4 {
+		t.Errorf("regular bound should degrade with the maximum packet size: L4=%d L8=%d", r4, r8)
+	}
+}
+
+// Reproduction of the structure of Table II: for every mesh size from 3x3 to
+// 8x8 the regular design's maximum and mean WCTT must exceed the WaW+WaP
+// ones by a growing margin, while the regular minimum (nodes adjacent to
+// their destination) stays below the WaW+WaP minimum. The regular maximum
+// must grow multiplicatively (around an order of magnitude per size step),
+// the WaW+WaP maximum only polynomially.
+func TestTableIIShape(t *testing.T) {
+	rows, err := TableII([]int{2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("expected 7 rows, got %d", len(rows))
+	}
+	for i, row := range rows {
+		if row.Regular.Flows != row.Dim.Nodes()*(row.Dim.Nodes()-1) {
+			t.Errorf("%v: summarised %d flows, want %d", row.Dim, row.Regular.Flows, row.Dim.Nodes()*(row.Dim.Nodes()-1))
+		}
+		if i == 0 {
+			continue // the 2x2 mesh is too small for the asymptotic claims
+		}
+		if row.Regular.Max <= row.WaWWaP.Max {
+			t.Errorf("%v: regular max %d should exceed WaW+WaP max %d", row.Dim, row.Regular.Max, row.WaWWaP.Max)
+		}
+		if row.Regular.Mean <= row.WaWWaP.Mean {
+			t.Errorf("%v: regular mean %.1f should exceed WaW+WaP mean %.1f", row.Dim, row.Regular.Mean, row.WaWWaP.Mean)
+		}
+		if row.Regular.Min >= row.WaWWaP.Min {
+			t.Errorf("%v: regular min %d should stay below WaW+WaP min %d (nodes adjacent to the destination)",
+				row.Dim, row.Regular.Min, row.WaWWaP.Min)
+		}
+	}
+	// Growth rates across size steps.
+	for i := 2; i < len(rows); i++ {
+		regGrowth := float64(rows[i].Regular.Max) / float64(rows[i-1].Regular.Max)
+		wawGrowth := float64(rows[i].WaWWaP.Max) / float64(rows[i-1].WaWWaP.Max)
+		if regGrowth < 4 {
+			t.Errorf("regular max should explode with mesh size (%v -> %v grew only %.2fx)",
+				rows[i-1].Dim, rows[i].Dim, regGrowth)
+		}
+		if wawGrowth > 3 {
+			t.Errorf("WaW+WaP max should scale gracefully (%v -> %v grew %.2fx)",
+				rows[i-1].Dim, rows[i].Dim, wawGrowth)
+		}
+		if regGrowth <= wawGrowth {
+			t.Errorf("regular growth (%.2fx) should exceed WaW+WaP growth (%.2fx)", regGrowth, wawGrowth)
+		}
+	}
+	// Order-of-magnitude comparison with the paper's 8x8 row: regular max
+	// above one million cycles, WaW+WaP max in the low hundreds, regular
+	// minimum below ten, WaW+WaP minimum around a hundred.
+	last := rows[len(rows)-1]
+	if last.Regular.Max < 1_000_000 {
+		t.Errorf("8x8 regular max = %d, expected > 1M cycles (paper: 4.7M)", last.Regular.Max)
+	}
+	if last.WaWWaP.Max > 1000 || last.WaWWaP.Max < 100 {
+		t.Errorf("8x8 WaW+WaP max = %d, expected a few hundred cycles (paper: 310)", last.WaWWaP.Max)
+	}
+	if last.Regular.Min > 15 {
+		t.Errorf("8x8 regular min = %d, expected below ~15 cycles (paper: 9)", last.Regular.Min)
+	}
+	if last.WaWWaP.Min < 50 || last.WaWWaP.Min > 200 {
+		t.Errorf("8x8 WaW+WaP min = %d, expected around a hundred cycles (paper: 127)", last.WaWWaP.Min)
+	}
+	// The regular minimum must be essentially flat across sizes >= 3x3
+	// (the node adjacent to its destination does not care about mesh size).
+	for i := 2; i < len(rows); i++ {
+		if rows[i].Regular.Min != rows[1].Regular.Min {
+			t.Errorf("regular min should not depend on mesh size: %v has %d, 3x3 has %d",
+				rows[i].Dim, rows[i].Regular.Min, rows[1].Regular.Min)
+		}
+	}
+	if rows[0].Regular.Min >= rows[1].Regular.Min {
+		t.Errorf("2x2 regular min (%d) should be below the 3x3 one (%d)", rows[0].Regular.Min, rows[1].Regular.Min)
+	}
+	if s := last.Regular.String(); s == "" {
+		t.Error("summary String empty")
+	}
+}
+
+func TestTableIIInvalidSize(t *testing.T) {
+	if _, err := TableII([]int{0}); err == nil {
+		t.Error("invalid mesh size should be rejected")
+	}
+}
+
+// The WaW-only and WaP-only ablations must land between the regular design
+// and the full WaW+WaP design for a congested far-away flow.
+func TestAblationOrdering(t *testing.T) {
+	m := model(t, 8, 8)
+	src, dst := node(7, 7), node(0, 0)
+	reg, _ := m.MessageWCTT(network.DesignRegular, src, dst, 512)
+	wawOnly, _ := m.MessageWCTT(network.DesignWaWOnly, src, dst, 512)
+	wawWap, _ := m.MessageWCTT(network.DesignWaWWaP, src, dst, 512)
+	if !(wawWap <= wawOnly && wawOnly <= reg) {
+		t.Errorf("expected WaW+WaP (%d) <= WaW-only (%d) <= regular (%d)", wawWap, wawOnly, reg)
+	}
+	wapOnly, _ := m.MessageWCTT(network.DesignWaPOnly, src, dst, 512)
+	if wapOnly >= reg {
+		t.Errorf("WaP-only (%d) should improve on the regular design (%d) for far flows", wapOnly, reg)
+	}
+}
+
+// The round-trip UBD combines request and reply bounds and must therefore
+// exceed either direction alone, and be much smaller under WaW+WaP than
+// under the regular design for far-away cores.
+func TestRoundTripUBD(t *testing.T) {
+	m := model(t, 8, 8)
+	memory := node(0, 0)
+	core := node(7, 7)
+	const reqBits, repBits = 48, 512
+	req, _ := m.MessageWCTT(network.DesignRegular, core, memory, reqBits)
+	rep, _ := m.MessageWCTT(network.DesignRegular, memory, core, repBits)
+	rt, err := m.RoundTripUBD(network.DesignRegular, core, memory, reqBits, repBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != req+rep {
+		t.Errorf("round trip = %d, want %d", rt, req+rep)
+	}
+	rtWaw, _ := m.RoundTripUBD(network.DesignWaWWaP, core, memory, reqBits, repBits)
+	if float64(rtWaw) > 0.05*float64(rt) {
+		t.Errorf("WaW+WaP UBD (%d) should be orders of magnitude below the regular one (%d) for a far core", rtWaw, rt)
+	}
+	near := node(1, 0)
+	rtRegNear, _ := m.RoundTripUBD(network.DesignRegular, near, memory, reqBits, repBits)
+	rtWawNear, _ := m.RoundTripUBD(network.DesignWaWWaP, near, memory, reqBits, repBits)
+	if rtWawNear <= rtRegNear {
+		t.Errorf("for the node adjacent to the memory the regular design should win (regular %d, WaW+WaP %d)",
+			rtRegNear, rtWawNear)
+	}
+	if _, err := m.RoundTripUBD(network.Design(9), core, memory, reqBits, repBits); err == nil {
+		t.Error("unknown design should fail")
+	}
+}
+
+// A core co-located with the memory controller (the R(0,0) cell of
+// Table III) still pays the ejection-port contention, and because that port
+// serves N*M-1 potential flows the WaW+WaP bound for that particular core is
+// *larger* than the regular-design bound — exactly the >1 normalised values
+// the paper reports for the nodes next to the memory controller.
+func TestColocatedCoreUBD(t *testing.T) {
+	m := model(t, 8, 8)
+	memory := node(0, 0)
+	reg, err := m.RoundTripUBD(network.DesignRegular, memory, memory, 48, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waw, err := m.RoundTripUBD(network.DesignWaWWaP, memory, memory, 48, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == 0 || waw == 0 {
+		t.Fatal("co-located UBDs must be positive")
+	}
+	if waw <= reg {
+		t.Errorf("co-located core: WaW+WaP bound (%d) should exceed the regular bound (%d)", waw, reg)
+	}
+	if _, err := m.LocalAccessWCTT(network.Design(9), memory); err == nil {
+		t.Error("unknown design should fail")
+	}
+	if _, err := m.LocalAccessWCTT(network.DesignRegular, node(9, 9)); err == nil {
+		t.Error("node outside mesh should fail")
+	}
+}
+
+// Property: for random flows on an 8x8 mesh, both bounds are at least the
+// zero-load latency (hops + packet size) and the WaW+WaP bound never exceeds
+// the regular bound by more than the theoretical worst factor, while for
+// flows longer than a couple of hops the regular bound is at least as large
+// as the WaW+WaP bound.
+func TestWCTTBoundsProperty(t *testing.T) {
+	m := model(t, 8, 8)
+	d := m.Params().Dim
+	f := func(sx, sy, dx, dy uint8) bool {
+		src := node(int(sx)%d.Width, int(sy)%d.Height)
+		dst := node(int(dx)%d.Width, int(dy)%d.Height)
+		if src == dst {
+			return true
+		}
+		hops := uint64(src.ManhattanDistance(dst)) + 1
+		reg, err := m.RegularPacketWCTT(src, dst, 1, 1)
+		if err != nil {
+			return false
+		}
+		waw, err := m.WaWPacketWCTT(src, dst, 1, 1)
+		if err != nil {
+			return false
+		}
+		if reg < hops || waw < hops {
+			return false
+		}
+		// The chained-blocking recursion makes the regular bound overtake the
+		// WaW+WaP bound once the path is long enough (short paths near the
+		// middle of the mesh can favour the regular design, which is the
+		// "nodes close to the destination" effect of Tables II and III).
+		if src.ManhattanDistance(dst) >= 6 && reg < waw {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if saturatingMul(0, 5) != 0 || saturatingMul(5, 0) != 0 {
+		t.Error("zero multiply")
+	}
+	if saturatingMul(math.MaxUint64, 2) != math.MaxUint64 {
+		t.Error("multiply should saturate")
+	}
+	if saturatingAdd(math.MaxUint64, 1) != math.MaxUint64 {
+		t.Error("add should saturate")
+	}
+	if saturatingAdd(2, 3) != 5 || saturatingMul(2, 3) != 6 {
+		t.Error("basic arithmetic wrong")
+	}
+}
+
+// The simulator must never observe a latency above the analytical bound for
+// the scenario the bound models: a congested all-to-one pattern of one-flit
+// requests. The bound assumes worse contention than any actual execution, so
+// measured <= bound must hold for every flow.
+func TestSimulatedLatencyWithinBound(t *testing.T) {
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		dim := mesh.MustDim(4, 4)
+		m := MustNewModel(DefaultParams(dim))
+		net := network.MustNew(network.DefaultConfig(dim, design))
+		dst := node(0, 0)
+		const perSource = 5
+		for i := 0; i < perSource; i++ {
+			for _, src := range dim.AllNodes() {
+				if src == dst {
+					continue
+				}
+				msg := &flit.Message{Flow: flit.FlowID{Src: src, Dst: dst}, PayloadBits: 48, Class: flit.ClassRequest}
+				if _, err := net.Send(msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !net.RunUntilDrained(200000) {
+			t.Fatalf("%v: network did not drain", design)
+		}
+		for _, src := range dim.AllNodes() {
+			if src == dst {
+				continue
+			}
+			fs := net.FlowStatsFor(flit.FlowID{Src: src, Dst: dst})
+			if fs == nil || fs.Messages != perSource {
+				t.Fatalf("%v: flow %v delivered %v messages", design, src, fs)
+			}
+			bound, err := m.MessageWCTT(design, src, dst, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The bound covers a single traversal under worst-case
+			// contention; the measured latency additionally contains source
+			// queueing behind the flow's own earlier messages (up to
+			// perSource-1 of them), so compare against bound * perSource.
+			limit := float64(bound) * perSource
+			if fs.Latency.Max() > limit {
+				t.Errorf("%v: flow %v measured max latency %.0f exceeds bound budget %.0f (per-message bound %d)",
+					design, src, fs.Latency.Max(), limit, bound)
+			}
+		}
+	}
+}

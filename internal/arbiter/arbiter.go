@@ -1,0 +1,250 @@
+// Package arbiter implements the output-port arbitration policies compared in
+// the paper: the time-analyzable round-robin arbiter used by regular wormhole
+// mesh NoCs and the WCTT-aware Weighted round-robin arbiter (WaW) that
+// balances the guaranteed bandwidth of all flows.
+//
+// Arbiters are per-output-port objects. Every cycle the router presents the
+// set of input ports requesting the output; the arbiter picks at most one
+// winner and updates its internal state. Both arbiters are deterministic and
+// therefore time-analyzable.
+package arbiter
+
+import "fmt"
+
+// Arbiter selects one winner among a set of requesting input ports.
+//
+// Grant receives a request mask indexed by input-port index (true = the input
+// has a flit that wants this output this cycle and the downstream buffer can
+// accept it) and returns the granted input index, or -1 when no input is
+// requesting. Implementations update their internal state (round-robin
+// pointers, WaW flit counters) as a side effect, exactly as the corresponding
+// hardware would at the end of the cycle.
+type Arbiter interface {
+	Grant(requests []bool) int
+	// NumInputs returns the number of input ports the arbiter was built for.
+	NumInputs() int
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// RoundRobin is the conventional rotating-priority round-robin arbiter used
+// by regular wormhole mesh NoCs (assumption (3) of the paper). After a grant
+// the priority pointer moves to the input after the winner, so over any
+// window every requesting input is served once per round.
+type RoundRobin struct {
+	n    int
+	next int // index with the highest priority next cycle
+}
+
+// NewRoundRobin returns a round-robin arbiter over n input ports. It panics
+// if n is not positive.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic(fmt.Sprintf("arbiter: round-robin needs at least one input, got %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// NumInputs returns the number of input ports.
+func (a *RoundRobin) NumInputs() int { return a.n }
+
+// Reset restores the power-on priority (input 0 first).
+func (a *RoundRobin) Reset() { a.next = 0 }
+
+// Grant returns the requesting input with the highest current priority, or -1
+// when none request. The priority pointer rotates past the winner.
+func (a *RoundRobin) Grant(requests []bool) int {
+	if len(requests) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, expected %d", len(requests), a.n))
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// Weighted implements the WaW arbitration scheme of Section III of the paper.
+//
+// Each input port holds a flit counter bounded by its weight (the number of
+// per-destination flows arriving through that input for this output port,
+// see the flows package). The arbitration rule is exactly the hardware rule
+// described in the paper:
+//
+//   - When several input ports contend for the output port, the input with
+//     the largest flit count wins and decrements its count by one. Ties are
+//     broken with a conventional round-robin policy.
+//   - When no input port demands the output port, every input's flit count is
+//     incremented, saturating at its weight.
+//   - When a single input port is the unique candidate, its flit count is
+//     left unaltered (it gets the slot "for free" without consuming budget).
+//
+// Over a congested interval this allocates the output bandwidth to input i in
+// proportion weight_i / sum(weights), i.e. W(I,O) = I/O of Equation 1.
+type Weighted struct {
+	weights []int
+	counts  []int
+	rr      *RoundRobin
+}
+
+// NewWeighted returns a WaW arbiter with the given per-input weights
+// (non-negative integers). A weight of zero is clamped to one so that an
+// input that can legally request the output — even if the static flow
+// analysis expects no flows through it — still receives one slot per frame
+// and can never be starved. It panics if weights is empty or contains a
+// negative value.
+func NewWeighted(weights []int) *Weighted {
+	if len(weights) == 0 {
+		panic("arbiter: weighted arbiter needs at least one input")
+	}
+	w := &Weighted{
+		weights: make([]int, len(weights)),
+		counts:  make([]int, len(weights)),
+		rr:      NewRoundRobin(len(weights)),
+	}
+	for i, wt := range weights {
+		if wt < 0 {
+			panic(fmt.Sprintf("arbiter: negative weight %d for input %d", wt, i))
+		}
+		if wt == 0 {
+			wt = 1
+		}
+		w.weights[i] = wt
+		w.counts[i] = wt
+	}
+	return w
+}
+
+// NumInputs returns the number of input ports.
+func (a *Weighted) NumInputs() int { return len(a.weights) }
+
+// Reset restores every counter to its weight and the tie-break round-robin
+// pointer to input 0.
+func (a *Weighted) Reset() {
+	for i := range a.counts {
+		a.counts[i] = a.weights[i]
+	}
+	a.rr.Reset()
+}
+
+// Weight returns the configured weight of input i.
+func (a *Weighted) Weight(i int) int { return a.weights[i] }
+
+// Count returns the current flit counter of input i (visible for tests and
+// for the WCTT analysis of the counter phasing).
+func (a *Weighted) Count(i int) int { return a.counts[i] }
+
+// Grant applies the WaW arbitration rule described above.
+func (a *Weighted) Grant(requests []bool) int {
+	if len(requests) != len(a.weights) {
+		panic(fmt.Sprintf("arbiter: got %d requests, expected %d", len(requests), len(a.weights)))
+	}
+	var candidates []int
+	for i, r := range requests {
+		if r {
+			candidates = append(candidates, i)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		// No demand: replenish every counter up to its weight.
+		for i := range a.counts {
+			if a.counts[i] < a.weights[i] {
+				a.counts[i]++
+			}
+		}
+		return -1
+	case 1:
+		// Unique candidate: granted, counter unaltered.
+		return candidates[0]
+	}
+	// Several candidates: the largest flit count wins; ties are resolved
+	// with the conventional round-robin policy restricted to the tied inputs.
+	// When every candidate has exhausted its flit budget the arbitration
+	// frame ends and all counters are reloaded to their weights (the
+	// weighted round-robin frame boundary of Park & Choi [18]); without this
+	// reload a permanently congested port would degenerate to plain
+	// round-robin.
+	best := a.counts[candidates[0]]
+	for _, c := range candidates[1:] {
+		if a.counts[c] > best {
+			best = a.counts[c]
+		}
+	}
+	if best == 0 {
+		for i := range a.counts {
+			a.counts[i] = a.weights[i]
+		}
+		best = 0
+		for _, c := range candidates {
+			if a.counts[c] > best {
+				best = a.counts[c]
+			}
+		}
+	}
+	tied := make([]bool, len(a.weights))
+	anyTied := false
+	for _, c := range candidates {
+		if a.counts[c] == best {
+			tied[c] = true
+			anyTied = true
+		}
+	}
+	if !anyTied {
+		return -1 // unreachable; defensive
+	}
+	winner := a.rr.Grant(tied)
+	if winner >= 0 && a.counts[winner] > 0 {
+		a.counts[winner]--
+	}
+	return winner
+}
+
+// Kind identifies an arbitration policy for configuration purposes.
+type Kind int
+
+const (
+	// KindRoundRobin selects the regular round-robin arbiter.
+	KindRoundRobin Kind = iota
+	// KindWeighted selects the WaW weighted round-robin arbiter.
+	KindWeighted
+)
+
+// String names the arbitration policy.
+func (k Kind) String() string {
+	switch k {
+	case KindRoundRobin:
+		return "round-robin"
+	case KindWeighted:
+		return "WaW"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New builds an arbiter of the given kind over n inputs. For KindWeighted the
+// per-input weights must be supplied; for KindRoundRobin they are ignored.
+func New(kind Kind, n int, weights []int) (Arbiter, error) {
+	switch kind {
+	case KindRoundRobin:
+		if n <= 0 {
+			return nil, fmt.Errorf("arbiter: need at least one input, got %d", n)
+		}
+		return NewRoundRobin(n), nil
+	case KindWeighted:
+		if len(weights) != n {
+			return nil, fmt.Errorf("arbiter: weighted arbiter over %d inputs needs %d weights, got %d", n, n, len(weights))
+		}
+		for i, w := range weights {
+			if w < 0 {
+				return nil, fmt.Errorf("arbiter: negative weight %d for input %d", w, i)
+			}
+		}
+		return NewWeighted(weights), nil
+	default:
+		return nil, fmt.Errorf("arbiter: unknown kind %v", kind)
+	}
+}

@@ -1,0 +1,199 @@
+// Package area estimates the silicon cost of the NoC designs compared in the
+// paper. The paper reports, based on the NoC area decomposition of Roca's
+// floorplan-aware NoC design work [24], that the WaW + WaP modifications
+// increase NoC area by less than 5%. This package reproduces that estimate
+// with a gate-level first-order model: the area of a wormhole router is
+// decomposed into input buffers, crossbar, allocator/arbitration logic and
+// link drivers, and the WaW additions (per input/output pair flit counters,
+// comparators and the weight configuration registers) and WaP additions (a
+// programmable packet-size register in the NIC) are costed on top.
+//
+// The absolute numbers are synthetic gate-equivalent counts (the original
+// work reports square millimetres in a 65 nm library, which we cannot
+// reproduce without the library), but the *ratio* between the added logic
+// and the baseline router — which is what the < 5% claim is about — only
+// depends on the relative sizes of the blocks.
+package area
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flows"
+	"repro/internal/mesh"
+)
+
+// Gate-equivalent cost constants of the first-order model. A "gate" is a
+// NAND2-equivalent; a flip-flop/SRAM bit costs several gate equivalents.
+const (
+	// gatesPerBufferBit is the cost of one flit-buffer storage bit
+	// (register-based FIFO cell including its mux).
+	gatesPerBufferBit = 6.0
+	// gatesPerCrossbarCross is the cost of one bit-level crosspoint of the
+	// switch.
+	gatesPerCrossbarCross = 2.0
+	// gatesPerArbiterInput is the cost of one round-robin arbiter input
+	// (priority logic plus grant register), per output port.
+	gatesPerArbiterInput = 30.0
+	// gatesPerRouteComputation is the XY route-computation logic per input
+	// port.
+	gatesPerRouteComputation = 120.0
+	// gatesPerLinkBit is the driver/repeater cost of one link wire.
+	gatesPerLinkBit = 1.5
+	// gatesPerCounterBit is the cost of one counter bit (flip-flop plus
+	// increment/decrement logic) of the WaW weight counters.
+	gatesPerCounterBit = 10.0
+	// gatesPerComparatorBit is the cost of one bit of the largest-counter
+	// comparison tree of the WaW arbiter.
+	gatesPerComparatorBit = 4.0
+	// gatesPerConfigRegisterBit is the cost of one static configuration bit
+	// (weight registers, the WaP packet-size register).
+	gatesPerConfigRegisterBit = 8.0
+	// nicPacketizerGates is the baseline packetization logic of a NIC.
+	nicPacketizerGates = 2500.0
+	// wapExtraNICGates is the extra NIC logic for WaP: the programmable
+	// minimum-packet-size register and the header-replication control.
+	wapExtraNICGates = 180.0
+)
+
+// RouterArea is the per-router area decomposition, in gate equivalents.
+type RouterArea struct {
+	Buffers   float64
+	Crossbar  float64
+	Allocator float64
+	Routing   float64
+	Links     float64
+	// WaWExtra is the additional arbitration logic of the WaW design
+	// (counters, comparators, weight registers); zero for the baseline.
+	WaWExtra float64
+}
+
+// Total returns the total router area.
+func (r RouterArea) Total() float64 {
+	return r.Buffers + r.Crossbar + r.Allocator + r.Routing + r.Links + r.WaWExtra
+}
+
+// Params describes the router microarchitecture being costed.
+type Params struct {
+	Dim           mesh.Dim
+	LinkWidthBits int
+	BufferDepth   int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Dim.Validate(); err != nil {
+		return err
+	}
+	if p.LinkWidthBits <= 0 {
+		return fmt.Errorf("area: link width must be positive, got %d", p.LinkWidthBits)
+	}
+	if p.BufferDepth <= 0 {
+		return fmt.Errorf("area: buffer depth must be positive, got %d", p.BufferDepth)
+	}
+	return nil
+}
+
+// DefaultParams returns the paper's platform parameters for the given mesh.
+func DefaultParams(d mesh.Dim) Params {
+	return Params{Dim: d, LinkWidthBits: 132, BufferDepth: 4}
+}
+
+// BaselineRouter returns the area decomposition of a regular wormhole mesh
+// router at node n (boundary routers have fewer ports and are therefore
+// smaller).
+func BaselineRouter(p Params, n mesh.Node) (RouterArea, error) {
+	if err := p.Validate(); err != nil {
+		return RouterArea{}, err
+	}
+	if !p.Dim.Contains(n) {
+		return RouterArea{}, fmt.Errorf("area: node %v outside %v mesh", n, p.Dim)
+	}
+	ports := float64(p.Dim.DegreeOf(n) + 1) // mesh links plus the local port
+	w := float64(p.LinkWidthBits)
+	area := RouterArea{
+		Buffers:   ports * float64(p.BufferDepth) * w * gatesPerBufferBit,
+		Crossbar:  ports * ports * w * gatesPerCrossbarCross,
+		Allocator: ports * ports * gatesPerArbiterInput,
+		Routing:   ports * gatesPerRouteComputation,
+		Links:     ports * w * gatesPerLinkBit,
+	}
+	return area, nil
+}
+
+// WaWRouter returns the area decomposition of a WaW router at node n: the
+// baseline plus, for every (input, output) pair that can carry traffic, a
+// flit counter sized for the pair's weight, the comparison tree and the
+// static weight register.
+func WaWRouter(p Params, n mesh.Node) (RouterArea, error) {
+	base, err := BaselineRouter(p, n)
+	if err != nil {
+		return RouterArea{}, err
+	}
+	counts := flows.ClosedFormCounts(p.Dim, n)
+	extra := 0.0
+	for _, out := range mesh.Directions {
+		if !mesh.OutputExists(p.Dim, n, out) {
+			continue
+		}
+		for _, in := range mesh.Directions {
+			weight := counts.CounterMax(in, out)
+			if weight <= 0 {
+				continue
+			}
+			bits := float64(countBits(weight))
+			extra += bits * (gatesPerCounterBit + gatesPerComparatorBit + gatesPerConfigRegisterBit)
+		}
+	}
+	base.WaWExtra = extra
+	return base, nil
+}
+
+// countBits returns the number of bits needed to hold values 0..v.
+func countBits(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(v + 1))))
+}
+
+// Comparison summarises the NoC-level area comparison between the regular
+// design and WaW+WaP.
+type Comparison struct {
+	Dim mesh.Dim
+	// RegularTotal and WaWWaPTotal are the summed router + NIC areas of the
+	// whole NoC, in gate equivalents.
+	RegularTotal float64
+	WaWWaPTotal  float64
+}
+
+// OverheadPercent returns the relative area increase of WaW+WaP over the
+// regular NoC, in percent.
+func (c Comparison) OverheadPercent() float64 {
+	if c.RegularTotal == 0 {
+		return 0
+	}
+	return (c.WaWWaPTotal - c.RegularTotal) / c.RegularTotal * 100
+}
+
+// Compare computes the whole-NoC area of the regular design and of WaW+WaP
+// for the given parameters.
+func Compare(p Params) (Comparison, error) {
+	if err := p.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Dim: p.Dim}
+	for _, n := range p.Dim.AllNodes() {
+		base, err := BaselineRouter(p, n)
+		if err != nil {
+			return Comparison{}, err
+		}
+		waw, err := WaWRouter(p, n)
+		if err != nil {
+			return Comparison{}, err
+		}
+		cmp.RegularTotal += base.Total() + nicPacketizerGates
+		cmp.WaWWaPTotal += waw.Total() + nicPacketizerGates + wapExtraNICGates
+	}
+	return cmp, nil
+}

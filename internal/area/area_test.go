@@ -1,0 +1,120 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams(mesh.MustDim(8, 8)).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if err := (Params{Dim: mesh.MustDim(2, 2), LinkWidthBits: 0, BufferDepth: 4}).Validate(); err == nil {
+		t.Error("zero link width should fail")
+	}
+	if err := (Params{Dim: mesh.MustDim(2, 2), LinkWidthBits: 132, BufferDepth: 0}).Validate(); err == nil {
+		t.Error("zero buffer depth should fail")
+	}
+	if err := (Params{}).Validate(); err == nil {
+		t.Error("empty params should fail")
+	}
+}
+
+func TestBaselineRouterDecomposition(t *testing.T) {
+	p := DefaultParams(mesh.MustDim(8, 8))
+	center, err := BaselineRouter(p, mesh.Node{X: 3, Y: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if center.Total() <= 0 {
+		t.Fatal("router area must be positive")
+	}
+	// Buffers dominate a wormhole router's area.
+	if center.Buffers < center.Crossbar || center.Buffers < center.Allocator {
+		t.Errorf("buffers should dominate: %+v", center)
+	}
+	if center.WaWExtra != 0 {
+		t.Error("baseline router must not include WaW logic")
+	}
+	// A corner router has fewer ports and must be smaller.
+	corner, err := BaselineRouter(p, mesh.Node{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corner.Total() >= center.Total() {
+		t.Errorf("corner router (%.0f) should be smaller than an interior router (%.0f)", corner.Total(), center.Total())
+	}
+	if _, err := BaselineRouter(p, mesh.Node{X: 9, Y: 9}); err == nil {
+		t.Error("node outside mesh should fail")
+	}
+	if _, err := BaselineRouter(Params{}, mesh.Node{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestWaWRouterAddsLogic(t *testing.T) {
+	p := DefaultParams(mesh.MustDim(8, 8))
+	for _, n := range []mesh.Node{{X: 0, Y: 0}, {X: 3, Y: 3}, {X: 7, Y: 7}} {
+		base, err := BaselineRouter(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waw, err := WaWRouter(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if waw.WaWExtra <= 0 {
+			t.Errorf("node %v: WaW router must add counter logic", n)
+		}
+		if waw.Total() <= base.Total() {
+			t.Errorf("node %v: WaW router must be larger than the baseline", n)
+		}
+		// The added logic is a small fraction of the router.
+		if waw.WaWExtra/base.Total() > 0.10 {
+			t.Errorf("node %v: WaW logic is %.1f%% of the router, expected well below 10%%",
+				n, waw.WaWExtra/base.Total()*100)
+		}
+	}
+	if _, err := WaWRouter(p, mesh.Node{X: 9, Y: 9}); err == nil {
+		t.Error("node outside mesh should fail")
+	}
+}
+
+func TestCountBits(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 56: 6, 63: 6, 64: 7}
+	for v, want := range cases {
+		if got := countBits(v); got != want {
+			t.Errorf("countBits(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// The paper's claim: the NoC-level area increase of WaW+WaP is below 5%.
+func TestNoCAreaOverheadBelowFivePercent(t *testing.T) {
+	for _, size := range []int{4, 8} {
+		cmp, err := Compare(DefaultParams(mesh.MustDim(size, size)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.RegularTotal <= 0 || cmp.WaWWaPTotal <= cmp.RegularTotal {
+			t.Fatalf("%dx%d: implausible totals %+v", size, size, cmp)
+		}
+		overhead := cmp.OverheadPercent()
+		if overhead <= 0 {
+			t.Errorf("%dx%d: overhead should be positive, got %.2f%%", size, size, overhead)
+		}
+		if overhead >= 5 {
+			t.Errorf("%dx%d: overhead = %.2f%%, paper claims below 5%%", size, size, overhead)
+		}
+	}
+	if _, err := Compare(Params{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestOverheadPercentZeroBase(t *testing.T) {
+	if (Comparison{}).OverheadPercent() != 0 {
+		t.Error("zero baseline should report zero overhead")
+	}
+}

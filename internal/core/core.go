@@ -1,0 +1,229 @@
+// Package core is the one-stop facade over the paper's contribution and its
+// evaluation: it exposes constructors for the two NoC design points (the
+// regular wormhole mesh and the proposed WaW+WaP design), the analytical
+// WCTT/WCET machinery, and ready-to-run versions of every experiment of the
+// paper (Tables I–III, Figure 2, the average-performance comparison and the
+// area estimate). The command-line tool, the examples and the benchmark
+// harness are thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/area"
+	"repro/internal/flows"
+	"repro/internal/manycore"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/wcet"
+	"repro/internal/workload"
+)
+
+// Design aliases the NoC design points so callers only need this package.
+type Design = network.Design
+
+// The design points compared throughout the paper.
+const (
+	DesignRegular = network.DesignRegular
+	DesignWaWWaP  = network.DesignWaWWaP
+	DesignWaWOnly = network.DesignWaWOnly
+	DesignWaPOnly = network.DesignWaPOnly
+)
+
+// NewNoC builds a cycle-accurate simulation of a width x height mesh NoC
+// using the given design point and the paper's platform parameters.
+func NewNoC(width, height int, design Design) (*network.Network, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return nil, err
+	}
+	return network.New(network.DefaultConfig(d, design))
+}
+
+// NewManycore builds the full evaluation platform (cores + NoC + memory
+// controller at R(0,0)) for the given mesh size and design point.
+func NewManycore(width, height int, design Design) (*manycore.System, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return nil, err
+	}
+	return manycore.New(manycore.DefaultConfig(d, design))
+}
+
+// NewWCTTModel builds the analytical worst-case traversal time model for a
+// width x height mesh with the paper's platform parameters.
+func NewWCTTModel(width, height int) (*analysis.Model, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.NewModel(analysis.DefaultParams(d))
+}
+
+// TableI returns the arbitration-weight comparison of Table I: the bandwidth
+// share every (input port, output port) pair of router R(x,y) receives under
+// plain round-robin and under WaW, for a width x height mesh.
+func TableI(width, height, x, y int) ([]flows.WeightEntry, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return nil, err
+	}
+	n := mesh.Node{X: x, Y: y}
+	if !d.Contains(n) {
+		return nil, fmt.Errorf("core: router (%d,%d) outside %v mesh", x, y, d)
+	}
+	return flows.TableIEntries(d, n), nil
+}
+
+// TableII returns the WCTT scalability study of Table II (max/mean/min WCTT
+// of one-flit packets under worst-case contention) for the given square mesh
+// sizes.
+func TableII(sizes []int) ([]analysis.TableIIRow, error) {
+	return analysis.TableII(sizes)
+}
+
+// PaperTableIISizes are the mesh sizes evaluated in Table II of the paper.
+func PaperTableIISizes() []int { return []int{2, 3, 4, 5, 6, 7, 8} }
+
+// TableIII returns the per-core normalised WCET map of Table III (WaW+WaP
+// WCET divided by regular-design WCET, averaged over the EEMBC Automotive
+// suite) on the paper's 64-core platform. The result is indexed [y][x].
+func TableIII() ([][]float64, error) {
+	platform := wcet.DefaultPlatform()
+	return platform.TableIII(workload.EEMBCAutomotive())
+}
+
+// BenchmarkWCETs returns, for one EEMBC benchmark, the absolute WCET
+// estimate (in cycles) of every core of the platform under the given
+// design. The result is indexed [y][x].
+func BenchmarkWCETs(design Design, benchmarkName string) ([][]float64, error) {
+	platform := wcet.DefaultPlatform()
+	bench, err := workload.BenchmarkByName(benchmarkName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, platform.Dim.Height)
+	for yIdx := range out {
+		out[yIdx] = make([]float64, platform.Dim.Width)
+	}
+	for _, n := range platform.Dim.AllNodes() {
+		v, err := platform.BenchmarkWCET(design, n, bench)
+		if err != nil {
+			return nil, err
+		}
+		out[n.Y][n.X] = float64(v)
+	}
+	return out, nil
+}
+
+// Figure2a returns the 3DPP WCET estimates of Figure 2(a): regular vs
+// WaW+WaP under placement P0 for maximum packet sizes of 1, 4 and 8 flits.
+func Figure2a() ([]wcet.Figure2aPoint, error) {
+	platform := wcet.DefaultPlatform()
+	p0, err := workload.PlacementByName(platform.Dim, "P0")
+	if err != nil {
+		return nil, err
+	}
+	return platform.Figure2a(workload.ThreeDPathPlanning(), p0, []int{1, 4, 8})
+}
+
+// Figure2b returns the 3DPP placement-sensitivity study of Figure 2(b):
+// regular vs WaW+WaP under placements P0–P3 with one-flit maximum packets.
+func Figure2b() ([]wcet.Figure2bPoint, error) {
+	platform := wcet.DefaultPlatform()
+	placements, err := workload.StandardPlacements(platform.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return platform.Figure2b(workload.ThreeDPathPlanning(), placements, 1)
+}
+
+// AvgPerfResult is the outcome of the average-performance comparison of
+// Section IV: the makespan of the same multiprogrammed workload on both
+// designs and the relative degradation of WaW+WaP.
+type AvgPerfResult struct {
+	Dim             mesh.Dim
+	Benchmark       string
+	RegularCycles   uint64
+	WaWWaPCycles    uint64
+	DegradationPct  float64
+	CoresSimulated  int
+	MemTransactions uint64
+}
+
+// AveragePerformance runs the same multiprogrammed workload (the given EEMBC
+// kernel on every core, scaled down by scaleFactor to keep the cycle-accurate
+// simulation tractable) on the regular design and on WaW+WaP and compares
+// the makespans. maxCycles bounds each simulation.
+func AveragePerformance(width, height int, benchmarkName string, scaleFactor, maxCycles int) (AvgPerfResult, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return AvgPerfResult{}, err
+	}
+	bench, err := workload.BenchmarkByName(benchmarkName)
+	if err != nil {
+		return AvgPerfResult{}, err
+	}
+	scaled := manycore.ScaleBenchmark(bench, scaleFactor)
+
+	run := func(design Design) (uint64, uint64, error) {
+		sys, err := manycore.New(manycore.DefaultConfig(d, design))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := sys.AssignEverywhere(scaled); err != nil {
+			return 0, 0, err
+		}
+		if !sys.Run(maxCycles) {
+			return 0, 0, fmt.Errorf("core: %v workload did not finish within %d cycles", design, maxCycles)
+		}
+		var transactions uint64
+		for _, n := range d.AllNodes() {
+			st, err := sys.CoreStats(n)
+			if err != nil {
+				return 0, 0, err
+			}
+			transactions += st.MemoryTransactions
+		}
+		return sys.MakespanCycles(), transactions, nil
+	}
+
+	regular, _, err := run(DesignRegular)
+	if err != nil {
+		return AvgPerfResult{}, err
+	}
+	waw, transactions, err := run(DesignWaWWaP)
+	if err != nil {
+		return AvgPerfResult{}, err
+	}
+	return AvgPerfResult{
+		Dim:             d,
+		Benchmark:       scaled.Name,
+		RegularCycles:   regular,
+		WaWWaPCycles:    waw,
+		DegradationPct:  (float64(waw)/float64(regular) - 1) * 100,
+		CoresSimulated:  d.Nodes(),
+		MemTransactions: transactions,
+	}, nil
+}
+
+// AreaOverhead returns the NoC area comparison (regular vs WaW+WaP) for a
+// width x height mesh with the paper's router parameters.
+func AreaOverhead(width, height int) (area.Comparison, error) {
+	d, err := mesh.NewDim(width, height)
+	if err != nil {
+		return area.Comparison{}, err
+	}
+	return area.Compare(area.DefaultParams(d))
+}
+
+// Platform returns the paper's default WCET platform (8x8 mesh, memory at
+// R(0,0), 500 MHz) for callers that need to customise the WCET experiments.
+func Platform() wcet.Platform { return wcet.DefaultPlatform() }
+
+// EEMBCSuite returns the synthetic EEMBC Automotive profiles.
+func EEMBCSuite() []workload.Benchmark { return workload.EEMBCAutomotive() }
+
+// AvionicsApp returns the synthetic 3DPP parallel application model.
+func AvionicsApp() workload.ParallelApp { return workload.ThreeDPathPlanning() }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+func TestNewNoC(t *testing.T) {
+	n, err := NewNoC(4, 4, DesignWaWWaP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Config().Dim != mesh.MustDim(4, 4) {
+		t.Error("unexpected mesh size")
+	}
+	if _, err := NewNoC(0, 4, DesignRegular); err == nil {
+		t.Error("invalid size should fail")
+	}
+	// Smoke test: send one message end to end.
+	msg := &flit.Message{Flow: flit.FlowID{Src: mesh.Node{X: 3, Y: 3}, Dst: mesh.Node{X: 0, Y: 0}}, PayloadBits: 512}
+	if _, err := n.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !n.RunUntilDrained(1000) {
+		t.Error("message not delivered")
+	}
+}
+
+func TestNewManycore(t *testing.T) {
+	if _, err := NewManycore(3, 3, DesignRegular); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManycore(0, 3, DesignRegular); err == nil {
+		t.Error("invalid size should fail")
+	}
+}
+
+func TestNewWCTTModel(t *testing.T) {
+	m, err := NewWCTTModel(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Params().Dim != mesh.MustDim(8, 8) {
+		t.Error("unexpected model dim")
+	}
+	if _, err := NewWCTTModel(-1, 8); err == nil {
+		t.Error("invalid size should fail")
+	}
+}
+
+func TestTableIFacade(t *testing.T) {
+	entries, err := TableI(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Errorf("Table I for R(1,1) of a 2x2 mesh has %d entries, want 5", len(entries))
+	}
+	if _, err := TableI(2, 2, 5, 5); err == nil {
+		t.Error("router outside mesh should fail")
+	}
+	if _, err := TableI(0, 2, 0, 0); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+}
+
+func TestTableIIFacade(t *testing.T) {
+	rows, err := TableII([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d", len(rows))
+	}
+	if got := PaperTableIISizes(); len(got) != 7 || got[0] != 2 || got[6] != 8 {
+		t.Errorf("paper sizes = %v", got)
+	}
+}
+
+func TestTableIIIFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table III over the full suite is slow")
+	}
+	table, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 8 || len(table[0]) != 8 {
+		t.Fatalf("table size %dx%d", len(table), len(table[0]))
+	}
+}
+
+func TestBenchmarkWCETsFacade(t *testing.T) {
+	reg, err := BenchmarkWCETs(DesignRegular, "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waw, err := BenchmarkWCETs(DesignWaWWaP, "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg[7][7] <= waw[7][7] {
+		t.Error("far corner should be much worse on the regular design")
+	}
+	if _, err := BenchmarkWCETs(DesignRegular, "nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestFigureFacades(t *testing.T) {
+	a, err := Figure2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Errorf("Figure 2a points = %d, want 3", len(a))
+	}
+	b, err := Figure2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4 {
+		t.Errorf("Figure 2b points = %d, want 4", len(b))
+	}
+}
+
+func TestAveragePerformanceFacade(t *testing.T) {
+	res, err := AveragePerformance(3, 3, "rspeed", 200, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegularCycles == 0 || res.WaWWaPCycles == 0 {
+		t.Fatalf("zero makespan: %+v", res)
+	}
+	if res.CoresSimulated != 9 {
+		t.Errorf("cores = %d", res.CoresSimulated)
+	}
+	if res.DegradationPct > 15 || res.DegradationPct < -15 {
+		t.Errorf("implausible degradation %.1f%%", res.DegradationPct)
+	}
+	if _, err := AveragePerformance(0, 3, "rspeed", 1, 1000); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+	if _, err := AveragePerformance(3, 3, "nope", 1, 1000); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if _, err := AveragePerformance(3, 3, "rspeed", 200, 10); err == nil {
+		t.Error("absurdly small cycle budget should fail")
+	}
+}
+
+func TestAreaOverheadFacade(t *testing.T) {
+	cmp, err := AreaOverhead(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OverheadPercent() <= 0 || cmp.OverheadPercent() >= 5 {
+		t.Errorf("area overhead = %.2f%%, expected (0,5)", cmp.OverheadPercent())
+	}
+	if _, err := AreaOverhead(0, 8); err == nil {
+		t.Error("invalid mesh should fail")
+	}
+}
+
+func TestWorkloadFacades(t *testing.T) {
+	if len(EEMBCSuite()) != 16 {
+		t.Error("EEMBC suite should have 16 kernels")
+	}
+	if AvionicsApp().Threads != 16 {
+		t.Error("3DPP should use 16 threads")
+	}
+	if Platform().Dim != mesh.MustDim(8, 8) {
+		t.Error("default platform should be 8x8")
+	}
+}

@@ -1,0 +1,65 @@
+package flows
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestWeightTableFromSetAllToOne(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	dst := mesh.Node{X: 0, Y: 0}
+	wt, err := WeightTableFromSet(AllToOne(d, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Dim != d {
+		t.Fatalf("table dim = %v", wt.Dim)
+	}
+	// At the destination router the flows arrive only on the X- and Y-
+	// inputs: 7 from the same row, 56 from the other rows.
+	pc := wt.Counts(dst)
+	if got := pc.CounterMax(mesh.XMinus, mesh.Local); got != 7 {
+		t.Errorf("X- weight at the destination = %d, want 7", got)
+	}
+	if got := pc.CounterMax(mesh.YMinus, mesh.Local); got != 56 {
+		t.Errorf("Y- weight at the destination = %d, want 56", got)
+	}
+	if got := pc.OutputTotal[mesh.Local]; got != 63 {
+		t.Errorf("destination output total = %d, want 63", got)
+	}
+	// A router that no flow crosses towards a given output has no weights
+	// for it: e.g. the far corner's X+ output carries nothing.
+	far := wt.Counts(mesh.Node{X: 7, Y: 7})
+	if far.OutputTotal[mesh.XPlus] != 0 {
+		t.Errorf("far corner X+ output should carry no flows, got %d", far.OutputTotal[mesh.XPlus])
+	}
+}
+
+func TestWeightTableFromSetMatchesClosedFormForAllToOnePME(t *testing.T) {
+	// For the PME output of the destination the application-specific
+	// weights of the all-to-one set coincide with the closed-form
+	// per-destination weights (they describe the same flows).
+	d := mesh.MustDim(5, 4)
+	dst := mesh.Node{X: 2, Y: 1}
+	wt, err := WeightTableFromSet(AllToOne(d, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := wt.Counts(dst)
+	closed := ClosedFormCounts(d, dst)
+	for _, in := range mesh.Directions {
+		if app.CounterMax(in, mesh.Local) != closed.CounterMax(in, mesh.Local) {
+			t.Errorf("input %v: app weight %d, closed-form %d",
+				in, app.CounterMax(in, mesh.Local), closed.CounterMax(in, mesh.Local))
+		}
+	}
+}
+
+func TestWeightTableFromSetRejectsInvalidSet(t *testing.T) {
+	d := mesh.MustDim(2, 2)
+	bad := &Set{Dim: d, Flows: []Flow{{Src: mesh.Node{X: 0, Y: 0}, Dst: mesh.Node{X: 0, Y: 0}}}}
+	if _, err := WeightTableFromSet(bad); err == nil {
+		t.Error("self flow should be rejected")
+	}
+}

@@ -1,0 +1,315 @@
+package flows
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// This file derives the WaW arbitration weights.
+//
+// The key property of XY routing exploited by the paper is that, for a given
+// output port of a given router, the set of input ports through which flows
+// towards *any single* destination reachable via that output arrive — and the
+// number of such flows per input — does not depend on which destination is
+// chosen. The arbitration weights can therefore be precomputed statically
+// from the topology and the routing algorithm alone, without knowing the
+// actual application flows, which is what makes the resulting WCTT bounds
+// time-composable.
+//
+// The closed forms printed in Section III of the paper (with x the horizontal
+// and y the vertical coordinate, N the horizontal and M the vertical
+// dimension) are, in this module's port convention (ports named after the
+// travel direction of the flits that use them):
+//
+//	I_{X+} = x                O_{X+} = x + 1
+//	I_{X-} = N - x - 1        O_{X-} = N - x
+//	I_{Y+} = N * y            O_{Y+} = N * (y + 1)
+//	I_{Y-} = N * (M - y - 1)  O_{Y-} = N * (M - y)
+//	I_{PME} = 1               O_{PME} = N*M - 1
+//
+// (The paper prints I_{X-} = N-x and O_{X-} = N-x+1; the geometrically
+// consistent forms above are off by one from the printed ones and are the
+// ones that match the route-traced counts and the paper's own 2x2 worked
+// example; see the package tests.)
+
+// PortCounts holds the per-destination-normalised flow counts of one router:
+// for every output port, how many flows towards a single destination
+// reachable through that output arrive through each input port.
+type PortCounts struct {
+	Node mesh.Node
+	// InputsPerOutput[out][in] is the number of per-destination flows that
+	// reach output `out` through input `in`.
+	InputsPerOutput map[mesh.Direction]map[mesh.Direction]int
+	// OutputTotal[out] is the total number of per-destination flows crossing
+	// output `out` (the sum over inputs).
+	OutputTotal map[mesh.Direction]int
+}
+
+// Weight returns the WaW weight W(in, out) = I/O for this router, or 0 when
+// the output carries no flows.
+func (pc *PortCounts) Weight(in, out mesh.Direction) float64 {
+	total := pc.OutputTotal[out]
+	if total == 0 {
+		return 0
+	}
+	return float64(pc.InputsPerOutput[out][in]) / float64(total)
+}
+
+// CounterMax returns the integer counter ceiling used by the hardware WaW
+// implementation for the (in, out) pair: the number of flits the input port
+// may transmit towards the output port per replenishment round, i.e. the
+// per-destination flow count of that input.
+func (pc *PortCounts) CounterMax(in, out mesh.Direction) int {
+	return pc.InputsPerOutput[out][in]
+}
+
+// ClosedFormCounts returns the per-destination-normalised counts of the
+// router at node n using the closed forms above (valid for XY routing).
+// Output ports that do not exist at the mesh boundary get zero totals.
+func ClosedFormCounts(d mesh.Dim, n mesh.Node) *PortCounts {
+	if !d.Contains(n) {
+		panic(fmt.Sprintf("flows: node %v outside %v mesh", n, d))
+	}
+	x, y := n.X, n.Y
+	N, M := d.Width, d.Height
+
+	inCount := map[mesh.Direction]int{
+		mesh.XPlus:  x,
+		mesh.XMinus: N - x - 1,
+		mesh.YPlus:  N * y,
+		mesh.YMinus: N * (M - y - 1),
+		mesh.Local:  1,
+	}
+
+	pc := &PortCounts{
+		Node:            n,
+		InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
+		OutputTotal:     make(map[mesh.Direction]int),
+	}
+	for _, out := range mesh.Directions {
+		pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
+		if !mesh.OutputExists(d, n, out) {
+			continue
+		}
+		for _, in := range mesh.LegalInputsFor(d, n, out) {
+			if in == out.Opposite() {
+				continue // U-turns never occur
+			}
+			cnt := 0
+			switch {
+			case out == mesh.Local:
+				// Flows terminating here: every input contributes its own
+				// count except the local port (a node does not send to
+				// itself).
+				if in != mesh.Local {
+					cnt = inCount[in]
+				}
+			case out.IsX():
+				// Only flows already travelling in the same X direction (or
+				// injected locally) may use an X output under XY routing.
+				if in == out {
+					cnt = inCount[in]
+				} else if in == mesh.Local {
+					cnt = 1
+				}
+			case out.IsY():
+				// Flows travelling in the same Y direction continue; flows
+				// arriving on either X input turn into the column here; the
+				// local node injects one flow.
+				if in == out {
+					cnt = inCount[in]
+				} else if in.IsX() {
+					cnt = inCount[in]
+				} else if in == mesh.Local {
+					cnt = 1
+				}
+			}
+			if cnt > 0 {
+				pc.InputsPerOutput[out][in] = cnt
+				pc.OutputTotal[out] += cnt
+			}
+		}
+	}
+	return pc
+}
+
+// TracedCounts returns the per-destination-normalised counts of the router at
+// node n obtained by tracing XY routes: for each output port a canonical
+// destination reachable through it is chosen (the local node for the PME
+// port, the farthest node in that direction otherwise) and the all-to-one
+// flow set towards that destination is analysed. Used to cross-check the
+// closed forms.
+func TracedCounts(d mesh.Dim, n mesh.Node) *PortCounts {
+	if !d.Contains(n) {
+		panic(fmt.Sprintf("flows: node %v outside %v mesh", n, d))
+	}
+	pc := &PortCounts{
+		Node:            n,
+		InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
+		OutputTotal:     make(map[mesh.Direction]int),
+	}
+	for _, out := range mesh.Directions {
+		pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
+		dst, ok := canonicalDestination(d, n, out)
+		if !ok {
+			continue
+		}
+		analysis := MustAnalyze(AllToOne(d, dst))
+		rc := analysis.Counts(n)
+		for _, in := range mesh.Directions {
+			cnt := rc.PerPair[PortPair{In: in, Out: out}]
+			if cnt > 0 {
+				pc.InputsPerOutput[out][in] = cnt
+				pc.OutputTotal[out] += cnt
+			}
+		}
+	}
+	return pc
+}
+
+// canonicalDestination picks a destination whose all-to-one traffic exercises
+// the given output port of the router at n: the node itself for the Local
+// port, otherwise the farthest node in that direction (same row/column).
+func canonicalDestination(d mesh.Dim, n mesh.Node, out mesh.Direction) (mesh.Node, bool) {
+	switch out {
+	case mesh.Local:
+		return n, true
+	case mesh.XPlus:
+		if n.X == d.Width-1 {
+			return mesh.Node{}, false
+		}
+		return mesh.Node{X: d.Width - 1, Y: n.Y}, true
+	case mesh.XMinus:
+		if n.X == 0 {
+			return mesh.Node{}, false
+		}
+		return mesh.Node{X: 0, Y: n.Y}, true
+	case mesh.YPlus:
+		if n.Y == d.Height-1 {
+			return mesh.Node{}, false
+		}
+		return mesh.Node{X: n.X, Y: d.Height - 1}, true
+	case mesh.YMinus:
+		if n.Y == 0 {
+			return mesh.Node{}, false
+		}
+		return mesh.Node{X: n.X, Y: 0}, true
+	default:
+		return mesh.Node{}, false
+	}
+}
+
+// WeightTable is the full static WaW weight configuration of a mesh: one
+// PortCounts per router, derived from the closed forms.
+type WeightTable struct {
+	Dim     mesh.Dim
+	PerNode map[mesh.Node]*PortCounts
+}
+
+// ComputeWeightTable precomputes the WaW weights for every router of the
+// mesh. The weights depend only on the topology and the XY routing
+// algorithm, never on the running applications, which preserves time
+// composability.
+func ComputeWeightTable(d mesh.Dim) *WeightTable {
+	wt := &WeightTable{Dim: d, PerNode: make(map[mesh.Node]*PortCounts)}
+	for _, n := range d.AllNodes() {
+		wt.PerNode[n] = ClosedFormCounts(d, n)
+	}
+	return wt
+}
+
+// Counts returns the counts of the router at node n. It panics if the node
+// is outside the mesh.
+func (wt *WeightTable) Counts(n mesh.Node) *PortCounts {
+	pc, ok := wt.PerNode[n]
+	if !ok {
+		panic(fmt.Sprintf("flows: node %v outside weight table for %v mesh", n, wt.Dim))
+	}
+	return pc
+}
+
+// WeightTableFromSet derives per-router arbitration weights from an explicit
+// application flow set instead of the topology-only closed forms: the weight
+// of an (input, output) pair is the number of the application's flows that
+// actually cross it.
+//
+// Unlike ComputeWeightTable, the resulting weights depend on knowing every
+// communication flow of the final system, so the guarantees they provide are
+// *not* time-composable (this is the position of the bounds of Rahmati et
+// al. [21] that the paper argues against); they are provided for ablation
+// and comparison studies of closed systems.
+func WeightTableFromSet(s *Set) (*WeightTable, error) {
+	a, err := Analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	wt := &WeightTable{Dim: s.Dim, PerNode: make(map[mesh.Node]*PortCounts)}
+	for _, n := range s.Dim.AllNodes() {
+		rc := a.Counts(n)
+		pc := &PortCounts{
+			Node:            n,
+			InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
+			OutputTotal:     make(map[mesh.Direction]int),
+		}
+		for _, out := range mesh.Directions {
+			pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
+			for _, in := range mesh.Directions {
+				if in == mesh.Local && out == mesh.Local {
+					continue
+				}
+				cnt := rc.PerPair[PortPair{In: in, Out: out}]
+				if cnt > 0 {
+					pc.InputsPerOutput[out][in] = cnt
+					pc.OutputTotal[out] += cnt
+				}
+			}
+		}
+		wt.PerNode[n] = pc
+	}
+	return wt, nil
+}
+
+// WeightEntry is one row of a Table-I-style weight listing.
+type WeightEntry struct {
+	Pair    PortPair
+	Regular float64 // plain round-robin share: 1 / number of contending inputs
+	WaW     float64 // WaW share: I/O
+}
+
+// TableIEntries reproduces the structure of Table I of the paper for the
+// router at node n: for every (input, output) pair that carries at least one
+// flow, the bandwidth share allocated by a regular (unweighted) round-robin
+// arbiter and by the WaW weighted arbiter. Entries are sorted by output then
+// input direction for stable output.
+func TableIEntries(d mesh.Dim, n mesh.Node) []WeightEntry {
+	pc := ClosedFormCounts(d, n)
+	var entries []WeightEntry
+	for _, out := range mesh.Directions {
+		ins := make([]mesh.Direction, 0, mesh.NumDirections)
+		for _, in := range mesh.Directions {
+			if pc.InputsPerOutput[out][in] > 0 {
+				ins = append(ins, in)
+			}
+		}
+		if len(ins) == 0 {
+			continue
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+		for _, in := range ins {
+			entries = append(entries, WeightEntry{
+				Pair:    PortPair{In: in, Out: out},
+				Regular: 1 / float64(len(ins)),
+				WaW:     pc.Weight(in, out),
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Pair.Out != entries[j].Pair.Out {
+			return entries[i].Pair.Out < entries[j].Pair.Out
+		}
+		return entries[i].Pair.In < entries[j].Pair.In
+	})
+	return entries
+}

@@ -1,0 +1,95 @@
+package manycore
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/mesh"
+)
+
+// This file implements the WCET computation mode of the evaluation platform
+// (Paolieri et al. [17], used in Section IV of the paper): at analysis time
+// every NoC access of a core is artificially delayed by the Upper-Bound
+// Delay (UBD) of its flow instead of suffering the actual (load-dependent)
+// contention. Because the UBD is an upper bound on any actual delay, the
+// execution time observed in WCET mode is a WCET estimate that is
+// time-composable — it does not depend on what the other cores do.
+//
+// During normal operation the mode is disabled and requests experience only
+// the actual NoC delays, which are (by construction of the bounds) below the
+// UBD.
+
+// ubdEntry caches the round-trip UBD of one core.
+type ubdEntry struct {
+	load  uint64 // request + cache-line reply
+	evict uint64 // eviction + acknowledgement
+}
+
+// wcetMode holds the per-core UBDs used when the mode is enabled.
+type wcetMode struct {
+	enabled bool
+	perCore map[mesh.Node]ubdEntry
+}
+
+// EnableWCETMode switches the system into WCET computation mode: every
+// memory access of every core is charged its analytical round-trip UBD (for
+// the system's design point) plus the memory service latency, instead of
+// being simulated through the NoC. The UBDs are computed once per core from
+// the analytical model with the platform's link parameters.
+//
+// EnableWCETMode must be called before Run; it returns an error if any UBD
+// cannot be computed.
+func (s *System) EnableWCETMode() error {
+	params := analysis.Params{
+		Dim:            s.cfg.Network.Dim,
+		Link:           s.cfg.Network.Link,
+		RouterLatency:  1,
+		HeaderOverhead: 1,
+	}
+	model, err := analysis.NewModel(params)
+	if err != nil {
+		return err
+	}
+	mode := &wcetMode{enabled: true, perCore: make(map[mesh.Node]ubdEntry)}
+	design := s.cfg.Network.Design
+	for node := range s.cores {
+		mem := s.nearestMemory(node)
+		load, err := model.RoundTripUBD(design, node, mem, 48, s.cfg.MemCtrl.ReplyPayloadBits)
+		if err != nil {
+			return fmt.Errorf("manycore: WCET mode UBD for %v: %w", node, err)
+		}
+		evict, err := model.RoundTripUBD(design, node, mem, s.cfg.MemCtrl.ReplyPayloadBits, s.cfg.MemCtrl.AckPayloadBits)
+		if err != nil {
+			return fmt.Errorf("manycore: WCET mode eviction UBD for %v: %w", node, err)
+		}
+		mode.perCore[node] = ubdEntry{load: load, evict: evict}
+	}
+	s.wcet = mode
+	return nil
+}
+
+// WCETModeEnabled reports whether the system is in WCET computation mode.
+func (s *System) WCETModeEnabled() bool { return s.wcet != nil && s.wcet.enabled }
+
+// wcetDelayForMiss returns the number of cycles the core at node must stall
+// for one memory access (and, when withEviction is set, one write-back) in
+// WCET computation mode.
+//
+// Besides the NoC round-trip UBD, the bound charges the worst-case memory
+// controller interference: with a first-come-first-served single-channel
+// controller shared by every node of the mesh, a request may find one
+// request of every other node ahead of it, so the memory term is
+// Nodes() * ServiceLatency. This keeps the estimate independent of the
+// co-runners (time-composable) and above any actual execution, at the price
+// of the usual pessimism of composable bounds.
+func (s *System) wcetDelayForMiss(node mesh.Node, withEviction bool) uint64 {
+	entry := s.wcet.perCore[node]
+	memWorst := uint64(s.cfg.Network.Dim.Nodes()) * uint64(s.cfg.MemCtrl.ServiceLatency)
+	delay := entry.load + memWorst
+	if withEviction {
+		// The eviction is posted but its acknowledgement bounds when the
+		// next miss can be issued; charge it fully for a safe estimate.
+		delay += entry.evict + memWorst
+	}
+	return delay
+}

@@ -1,0 +1,172 @@
+package mesh
+
+import "fmt"
+
+// XY routing (dimension-ordered routing) is the deterministic, deadlock-free
+// routing algorithm assumed throughout the paper: a packet first travels along
+// the X dimension until it reaches the destination column and then along the
+// Y dimension until it reaches the destination row. A consequence exploited
+// by the WaW weight derivation is that flits arriving from a Y port can never
+// be forwarded to an X port.
+
+// XYOutputPort returns the output port a packet located at router `at` with
+// destination `dst` takes under XY routing. When at == dst the packet is
+// ejected through the Local port.
+func XYOutputPort(at, dst Node) Direction {
+	switch {
+	case dst.X > at.X:
+		return XPlus
+	case dst.X < at.X:
+		return XMinus
+	case dst.Y > at.Y:
+		return YPlus
+	case dst.Y < at.Y:
+		return YMinus
+	default:
+		return Local
+	}
+}
+
+// Hop describes one router traversal of a route: the router visited, the
+// input port the packet arrives through and the output port it leaves
+// through.
+type Hop struct {
+	Router Node
+	In     Direction
+	Out    Direction
+}
+
+// String renders the hop as "router[in->out]".
+func (h Hop) String() string {
+	return fmt.Sprintf("%v[%v->%v]", h.Router, h.In, h.Out)
+}
+
+// Route describes the complete XY path of a flow from source to destination.
+type Route struct {
+	Src  Node
+	Dst  Node
+	Hops []Hop // one entry per router traversed, source router first
+}
+
+// NumRouters returns the number of routers traversed (including source and
+// destination routers).
+func (r Route) NumRouters() int { return len(r.Hops) }
+
+// NumLinks returns the number of router-to-router links crossed, i.e. the
+// Manhattan distance between source and destination.
+func (r Route) NumLinks() int {
+	if len(r.Hops) == 0 {
+		return 0
+	}
+	return len(r.Hops) - 1
+}
+
+// XYRoute computes the full XY route from src to dst within mesh d. The
+// returned route always contains at least one hop (the source router), even
+// when src == dst (pure local loopback through the router). It returns an
+// error when either endpoint lies outside the mesh.
+func XYRoute(d Dim, src, dst Node) (Route, error) {
+	if !d.Contains(src) {
+		return Route{}, fmt.Errorf("mesh: route source %v outside %v mesh", src, d)
+	}
+	if !d.Contains(dst) {
+		return Route{}, fmt.Errorf("mesh: route destination %v outside %v mesh", dst, d)
+	}
+	route := Route{Src: src, Dst: dst}
+	at := src
+	in := Local
+	for {
+		out := XYOutputPort(at, dst)
+		route.Hops = append(route.Hops, Hop{Router: at, In: in, Out: out})
+		if out == Local {
+			return route, nil
+		}
+		next, ok := d.Neighbor(at, out)
+		if !ok {
+			// Unreachable for valid endpoints; defensive check.
+			return Route{}, fmt.Errorf("mesh: XY routing fell off the %v mesh at %v going %v", d, at, out)
+		}
+		in = out // the downstream router receives the flit on the port named after the travel direction
+		at = next
+	}
+}
+
+// MustXYRoute is like XYRoute but panics on error. Intended for tests and
+// code paths where the endpoints are known to be valid.
+func MustXYRoute(d Dim, src, dst Node) Route {
+	r, err := XYRoute(d, src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// LegalTurn reports whether a packet entering a router through input port
+// `in` may leave through output port `out` under XY routing. The XY
+// discipline forbids turning from the Y dimension back into the X dimension
+// and forbids U-turns. Packets injected locally (in == Local) may take any
+// output; any packet may be ejected locally.
+func LegalTurn(in, out Direction) bool {
+	if !in.Valid() || !out.Valid() {
+		return false
+	}
+	if out == Local {
+		return true
+	}
+	if in == Local {
+		return true
+	}
+	// No U-turns: a flit travelling in +X cannot leave towards -X, etc.
+	// Note input ports are named after the travel direction, so a U-turn is
+	// in == out.Opposite()... with the travel-direction naming, a flit that
+	// entered travelling X+ and leaves travelling X- reverses direction,
+	// which XY routing never does.
+	if in == out.Opposite() {
+		return false
+	}
+	// Y-to-X turns are illegal under XY routing.
+	if in.IsY() && out.IsX() {
+		return false
+	}
+	return true
+}
+
+// LegalInputsFor returns the set of input ports of a router at node n (in a
+// mesh of dimension d) that can legally feed output port out, taking into
+// account both the XY turn rules and the mesh boundary (ports facing outside
+// the mesh do not exist). The flow's own Local port is included when legal.
+//
+// This is the contender count `c` used by the chained-blocking WCTT analysis:
+// the number of input ports that may request a given output port.
+func LegalInputsFor(d Dim, n Node, out Direction) []Direction {
+	var inputs []Direction
+	for _, in := range Directions {
+		if in == Local {
+			if LegalTurn(in, out) {
+				inputs = append(inputs, in)
+			}
+			continue
+		}
+		// The input port named `in` carries flits travelling in direction
+		// `in`; such flits arrive from the neighbour in the opposite
+		// direction. The port physically exists only when that neighbour
+		// exists.
+		if !d.HasNeighbor(n, in.Opposite()) {
+			continue
+		}
+		if LegalTurn(in, out) {
+			inputs = append(inputs, in)
+		}
+	}
+	return inputs
+}
+
+// OutputExists reports whether the output port `out` of the router at node n
+// physically exists in mesh d (i.e. it leads to a neighbour, or it is the
+// Local ejection port).
+func OutputExists(d Dim, n Node, out Direction) bool {
+	if out == Local {
+		return true
+	}
+	return d.HasNeighbor(n, out)
+}

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/flows"
+	"repro/internal/mesh"
+)
+
+func TestCustomWeightsValidation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	wt, err := flows.WeightTableFromSet(flows.AllToOne(d, mesh.Node{X: 0, Y: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Custom weights with a round-robin design are rejected.
+	cfg := DefaultConfig(d, DesignRegular)
+	cfg.CustomWeights = wt
+	if err := cfg.Validate(); err == nil {
+		t.Error("custom weights on a round-robin design should be rejected")
+	}
+	// Mismatched mesh size is rejected.
+	cfg = DefaultConfig(mesh.MustDim(3, 3), DesignWaWWaP)
+	cfg.CustomWeights = wt
+	if err := cfg.Validate(); err == nil {
+		t.Error("custom weights for a different mesh should be rejected")
+	}
+	// Matching configuration is accepted and the network runs.
+	cfg = DefaultConfig(d, DesignWaWWaP)
+	cfg.CustomWeights = wt
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid custom-weight config rejected: %v", err)
+	}
+}
+
+// A WaW network configured with application-specific weights must still
+// deliver every message of that application's traffic pattern.
+func TestCustomWeightsDeliverTraffic(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	dst := mesh.Node{X: 0, Y: 0}
+	wt, err := flows.WeightTableFromSet(flows.AllToOne(d, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(d, DesignWaWWaP)
+	cfg.CustomWeights = wt
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for i := 0; i < 3; i++ {
+		for _, src := range d.AllNodes() {
+			if src == dst {
+				continue
+			}
+			msg := &flit.Message{Flow: flit.FlowID{Src: src, Dst: dst}, PayloadBits: 512, Class: flit.ClassEviction}
+			if _, err := net.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	if !net.RunUntilDrained(100_000) {
+		t.Fatal("network with custom weights did not drain")
+	}
+	if int(net.TotalDeliveredMessages()) != sent {
+		t.Errorf("delivered %d of %d messages", net.TotalDeliveredMessages(), sent)
+	}
+}

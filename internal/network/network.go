@@ -1,0 +1,409 @@
+// Package network wires routers and NICs into a cycle-accurate wormhole mesh
+// NoC simulator. It plays the role of the SoCLib + gNoCSim platform used in
+// the paper's evaluation: the same microarchitectural mechanisms (wormhole
+// output-port locking, credit-based flow control, round-robin or WaW
+// arbitration, regular or WaP packetization) drive the observable latency
+// behaviour.
+//
+// # Simulation model
+//
+// Time advances in cycles. Every cycle:
+//
+//  1. Every router decides which flit each of its output ports forwards
+//     (arbitration, wormhole locks, credit checks) and the transfers are
+//     applied: flits leave the input FIFOs, move across the link and are
+//     staged at the downstream router (or delivered to the local NIC for the
+//     ejection port). Credits consumed by a forwarded flit are returned to
+//     the upstream router at the end of the cycle in which the flit leaves
+//     the buffer.
+//  2. Every NIC with pending traffic injects at most one flit into the local
+//     router's injection buffer (when it has space).
+//  3. Staged arrivals are committed, making them visible the next cycle.
+//
+// A flit therefore advances at most one hop per cycle, giving the canonical
+// one-cycle-per-hop router+link latency of the paper's platform.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/flit"
+	"repro/internal/flows"
+	"repro/internal/mesh"
+	"repro/internal/nic"
+	"repro/internal/router"
+	"repro/internal/stats"
+)
+
+// Design selects the NoC design point evaluated in the paper.
+type Design int
+
+const (
+	// DesignRegular is the baseline: round-robin arbitration and regular
+	// packetization.
+	DesignRegular Design = iota
+	// DesignWaWWaP is the paper's proposal: WaW weighted arbitration and WaP
+	// minimum-size packetization.
+	DesignWaWWaP
+	// DesignWaWOnly applies the weighted arbitration but keeps regular
+	// packetization (ablation).
+	DesignWaWOnly
+	// DesignWaPOnly applies the minimum-size packetization but keeps
+	// round-robin arbitration (ablation).
+	DesignWaPOnly
+)
+
+// String names the design point.
+func (d Design) String() string {
+	switch d {
+	case DesignRegular:
+		return "regular"
+	case DesignWaWWaP:
+		return "WaW+WaP"
+	case DesignWaWOnly:
+		return "WaW-only"
+	case DesignWaPOnly:
+		return "WaP-only"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Arbitration returns the arbitration policy of the design.
+func (d Design) Arbitration() arbiter.Kind {
+	if d == DesignWaWWaP || d == DesignWaWOnly {
+		return arbiter.KindWeighted
+	}
+	return arbiter.KindRoundRobin
+}
+
+// Packetization returns the packetization scheme of the design.
+func (d Design) Packetization() nic.Scheme {
+	if d == DesignWaWWaP || d == DesignWaPOnly {
+		return nic.SchemeWaP
+	}
+	return nic.SchemeRegular
+}
+
+// Config describes a simulated NoC instance.
+type Config struct {
+	Dim    mesh.Dim
+	Design Design
+	Router router.Config
+	Link   flit.LinkConfig
+
+	// CustomWeights optionally overrides the topology-derived WaW weights
+	// with an application-specific weight table (see
+	// flows.WeightTableFromSet). Only meaningful for designs with weighted
+	// arbitration; nil selects the paper's time-composable closed-form
+	// weights.
+	CustomWeights *flows.WeightTable
+}
+
+// DefaultConfig returns a configuration for the given mesh dimensions and
+// design point with the paper's platform parameters.
+func DefaultConfig(d mesh.Dim, design Design) Config {
+	rc := router.DefaultConfig()
+	rc.Arbitration = design.Arbitration()
+	return Config{
+		Dim:    d,
+		Design: design,
+		Router: rc,
+		Link:   flit.DefaultLinkConfig(),
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Dim.Validate(); err != nil {
+		return err
+	}
+	if err := c.Router.Validate(); err != nil {
+		return err
+	}
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if c.Router.Arbitration != c.Design.Arbitration() {
+		return fmt.Errorf("network: design %v requires %v arbitration, config says %v",
+			c.Design, c.Design.Arbitration(), c.Router.Arbitration)
+	}
+	if c.CustomWeights != nil {
+		if c.Design.Arbitration() != arbiter.KindWeighted {
+			return fmt.Errorf("network: custom weights require a weighted-arbitration design, got %v", c.Design)
+		}
+		if c.CustomWeights.Dim != c.Dim {
+			return fmt.Errorf("network: custom weight table is for a %v mesh, network is %v", c.CustomWeights.Dim, c.Dim)
+		}
+	}
+	return nil
+}
+
+// FlowStats aggregates the delivered-message statistics of one flow.
+type FlowStats struct {
+	Flow flit.FlowID
+	// Latency aggregates total message latencies (creation at the source
+	// NIC to reassembly at the destination NIC) in cycles.
+	Latency stats.Sampler
+	// NetworkLatency aggregates injection-to-delivery latencies in cycles.
+	NetworkLatency stats.Sampler
+	// Messages is the number of delivered messages.
+	Messages uint64
+}
+
+// Network is a cycle-accurate simulation of one mesh NoC instance.
+type Network struct {
+	cfg Config
+
+	routers []*router.Router // indexed by Dim.Index
+	nics    []*nic.NIC       // indexed by Dim.Index
+
+	cycle uint64
+
+	flowStats map[flit.FlowID]*FlowStats
+
+	// DeliveryHook, when non-nil, is invoked for every reassembled message
+	// (used by the many-core model to wake up cores waiting on replies).
+	DeliveryHook func(msg *flit.Message, at uint64)
+
+	totalInjected  uint64
+	totalDelivered uint64
+}
+
+// New builds the routers and NICs of a NoC instance.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:       cfg,
+		routers:   make([]*router.Router, cfg.Dim.Nodes()),
+		nics:      make([]*nic.NIC, cfg.Dim.Nodes()),
+		flowStats: make(map[flit.FlowID]*FlowStats),
+	}
+	var weightTable *flows.WeightTable
+	if cfg.Design.Arbitration() == arbiter.KindWeighted {
+		if cfg.CustomWeights != nil {
+			weightTable = cfg.CustomWeights
+		} else {
+			weightTable = flows.ComputeWeightTable(cfg.Dim)
+		}
+	}
+	for _, node := range cfg.Dim.AllNodes() {
+		var counts *flows.PortCounts
+		if weightTable != nil {
+			counts = weightTable.Counts(node)
+		}
+		r, err := router.New(cfg.Dim, node, cfg.Router, counts, cfg.Router.BufferDepth)
+		if err != nil {
+			return nil, err
+		}
+		ni, err := nic.New(node, cfg.Design.Packetization(), cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		idx := cfg.Dim.Index(node)
+		n.routers[idx] = r
+		n.nics[idx] = ni
+	}
+	return n, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(cfg Config) *Network {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Router returns the router at node nd (panics when outside the mesh).
+func (n *Network) Router(nd mesh.Node) *router.Router { return n.routers[n.cfg.Dim.Index(nd)] }
+
+// NIC returns the NIC at node nd (panics when outside the mesh).
+func (n *Network) NIC(nd mesh.Node) *nic.NIC { return n.nics[n.cfg.Dim.Index(nd)] }
+
+// Send queues a message for transmission from its source node's NIC at the
+// current cycle and returns the assigned message identifier.
+func (n *Network) Send(msg *flit.Message) (uint64, error) {
+	if msg == nil {
+		return 0, fmt.Errorf("network: nil message")
+	}
+	if !n.cfg.Dim.Contains(msg.Flow.Src) || !n.cfg.Dim.Contains(msg.Flow.Dst) {
+		return 0, fmt.Errorf("network: flow %v outside %v mesh", msg.Flow, n.cfg.Dim)
+	}
+	return n.NIC(msg.Flow.Src).Send(msg, n.cycle)
+}
+
+// creditReturn records that the router at node owes a credit back on output
+// port dir (applied at the end of the cycle).
+type creditReturn struct {
+	node mesh.Node
+	dir  mesh.Direction
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	var creditReturns []creditReturn
+
+	// Phase 1: router transfers.
+	for idx, r := range n.routers {
+		node := n.cfg.Dim.NodeAt(idx)
+		transfers := r.ComputeTransfers()
+		for _, t := range transfers {
+			f := r.ApplyTransfer(t)
+			// Return the freed buffer slot to whoever filled it.
+			if t.In != mesh.Local {
+				// The flit travelling in direction t.In came from the
+				// neighbour on the opposite side; that neighbour's output
+				// port named t.In tracks this buffer's occupancy.
+				up, ok := n.cfg.Dim.Neighbor(node, t.In.Opposite())
+				if !ok {
+					panic(fmt.Sprintf("network: no upstream neighbour for %v input %v", node, t.In))
+				}
+				creditReturns = append(creditReturns, creditReturn{node: up, dir: t.In})
+			}
+			if t.Out == mesh.Local {
+				// Ejection: deliver to the local NIC.
+				msg, err := n.nics[idx].Receive(f, n.cycle)
+				if err != nil {
+					panic(fmt.Sprintf("network: ejection at %v: %v", node, err))
+				}
+				if msg != nil {
+					n.recordDelivery(msg)
+				}
+				continue
+			}
+			down, ok := n.cfg.Dim.Neighbor(node, t.Out)
+			if !ok {
+				panic(fmt.Sprintf("network: no downstream neighbour for %v output %v", node, t.Out))
+			}
+			if err := n.routers[n.cfg.Dim.Index(down)].StageArrival(t.Out, f); err != nil {
+				panic(fmt.Sprintf("network: %v", err))
+			}
+		}
+	}
+
+	// Phase 2: NIC injection (at most one flit per NIC per cycle).
+	for idx, ni := range n.nics {
+		if ni.PendingFlits() == 0 {
+			continue
+		}
+		r := n.routers[idx]
+		if r.InputSpace(mesh.Local) == 0 {
+			continue
+		}
+		f := ni.PopFlit(n.cycle)
+		if f == nil {
+			continue
+		}
+		if err := r.StageArrival(mesh.Local, f); err != nil {
+			panic(fmt.Sprintf("network: injection at %v: %v", n.cfg.Dim.NodeAt(idx), err))
+		}
+		n.totalInjected++
+	}
+
+	// Phase 3: commit arrivals and credit returns.
+	for _, r := range n.routers {
+		r.CommitArrivals()
+	}
+	for _, cr := range creditReturns {
+		n.routers[n.cfg.Dim.Index(cr.node)].ReturnCredit(cr.dir)
+	}
+
+	n.cycle++
+}
+
+func (n *Network) recordDelivery(msg *flit.Message) {
+	n.totalDelivered++
+	fs, ok := n.flowStats[msg.Flow]
+	if !ok {
+		fs = &FlowStats{Flow: msg.Flow}
+		n.flowStats[msg.Flow] = fs
+	}
+	fs.Messages++
+	fs.Latency.AddUint(msg.DeliveredAt - msg.CreatedAt)
+	// The destination NIC recorded the injection-relative latency in its
+	// delivered list; recompute from the message timestamps to stay
+	// self-contained.
+	fs.NetworkLatency.AddUint(msg.DeliveredAt - msg.CreatedAt)
+	if n.DeliveryHook != nil {
+		n.DeliveryHook(msg, n.cycle)
+	}
+}
+
+// Run advances the simulation by cycles steps.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// RunUntilDrained steps the simulation until no flits remain in any NIC
+// injection queue, router buffer or partial reassembly, or until maxCycles
+// additional cycles have elapsed. It returns true when the network drained.
+func (n *Network) RunUntilDrained(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if n.Drained() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Drained()
+}
+
+// Drained reports whether the network holds no traffic: no pending injection
+// flits, no occupied router buffers and no partially reassembled messages.
+func (n *Network) Drained() bool {
+	for idx, ni := range n.nics {
+		if ni.PendingFlits() > 0 || ni.PendingReassemblies() > 0 {
+			return false
+		}
+		r := n.routers[idx]
+		for _, dir := range mesh.Directions {
+			if r.InputOccupancy(dir) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FlowStatsFor returns the delivered-message statistics of a flow, or nil
+// when the flow has delivered nothing yet.
+func (n *Network) FlowStatsFor(f flit.FlowID) *FlowStats { return n.flowStats[f] }
+
+// AllFlowStats returns the statistics of every flow that delivered at least
+// one message.
+func (n *Network) AllFlowStats() []*FlowStats {
+	out := make([]*FlowStats, 0, len(n.flowStats))
+	for _, fs := range n.flowStats {
+		out = append(out, fs)
+	}
+	return out
+}
+
+// TotalInjectedFlits returns the number of flits injected into the network so
+// far.
+func (n *Network) TotalInjectedFlits() uint64 { return n.totalInjected }
+
+// TotalDeliveredMessages returns the number of messages fully delivered so
+// far.
+func (n *Network) TotalDeliveredMessages() uint64 { return n.totalDelivered }
+
+// AggregateLatency merges the message-latency samplers of every flow.
+func (n *Network) AggregateLatency() *stats.Sampler {
+	agg := &stats.Sampler{}
+	for _, fs := range n.flowStats {
+		agg.Merge(&fs.Latency)
+	}
+	return agg
+}

@@ -1,0 +1,346 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+func node(x, y int) mesh.Node { return mesh.Node{X: x, Y: y} }
+
+func newNet(t *testing.T, w, h int, design Design) *Network {
+	t.Helper()
+	n, err := New(DefaultConfig(mesh.MustDim(w, h), design))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func send(t *testing.T, n *Network, src, dst mesh.Node, payloadBits int, class flit.MessageClass) uint64 {
+	t.Helper()
+	id, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: src, Dst: dst}, PayloadBits: payloadBits, Class: class})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestDesignString(t *testing.T) {
+	names := map[Design]string{
+		DesignRegular: "regular",
+		DesignWaWWaP:  "WaW+WaP",
+		DesignWaWOnly: "WaW-only",
+		DesignWaPOnly: "WaP-only",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if Design(9).String() != "Design(9)" {
+		t.Error("unknown design string")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig(mesh.MustDim(2, 2), DesignRegular)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.Design = DesignWaWWaP // arbitration mismatch with router config
+	if err := bad.Validate(); err == nil {
+		t.Error("arbitration mismatch should be rejected")
+	}
+	bad = cfg
+	bad.Router.BufferDepth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid router config should be rejected")
+	}
+	bad = cfg
+	bad.Link.WidthBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid link config should be rejected")
+	}
+	bad = cfg
+	bad.Dim = mesh.Dim{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid dim should be rejected")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := newNet(t, 2, 2, DesignRegular)
+	if _, err := n.Send(nil); err == nil {
+		t.Error("nil message should fail")
+	}
+	if _, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: node(9, 9), Dst: node(0, 0)}}); err == nil {
+		t.Error("flow outside mesh should fail")
+	}
+}
+
+// Zero-load latency: a single one-flit packet crossing h links with no
+// contention takes (h + number of routers) cycle steps of pipeline plus the
+// injection cycle — in this model one cycle per router traversal plus one
+// injection cycle. Verify the exact latency is small, deterministic and
+// increases with distance.
+func TestZeroLoadLatency(t *testing.T) {
+	for _, design := range []Design{DesignRegular, DesignWaWWaP} {
+		n := newNet(t, 4, 4, design)
+		send(t, n, node(0, 0), node(3, 0), 48, flit.ClassRequest)
+		if !n.RunUntilDrained(200) {
+			t.Fatalf("%v: network did not drain", design)
+		}
+		fs := n.FlowStatsFor(flit.FlowID{Src: node(0, 0), Dst: node(3, 0)})
+		if fs == nil || fs.Messages != 1 {
+			t.Fatalf("%v: message not delivered", design)
+		}
+		lat3 := fs.Latency.Mean()
+
+		n2 := newNet(t, 4, 4, design)
+		send(t, n2, node(0, 0), node(1, 0), 48, flit.ClassRequest)
+		n2.RunUntilDrained(200)
+		lat1 := n2.FlowStatsFor(flit.FlowID{Src: node(0, 0), Dst: node(1, 0)}).Latency.Mean()
+
+		if lat3 <= lat1 {
+			t.Errorf("%v: latency should grow with distance (1 hop %.0f, 3 hops %.0f)", design, lat1, lat3)
+		}
+		if lat3 != lat1+2 {
+			t.Errorf("%v: expected one extra cycle per extra hop, got %.0f vs %.0f", design, lat1, lat3)
+		}
+		if lat1 > 10 {
+			t.Errorf("%v: unloaded 1-hop latency suspiciously high: %.0f", design, lat1)
+		}
+	}
+}
+
+// A multi-flit message is delivered completely and its serialization latency
+// grows with its size.
+func TestMultiFlitMessageDelivery(t *testing.T) {
+	n := newNet(t, 4, 4, DesignRegular)
+	send(t, n, node(0, 0), node(2, 2), 512, flit.ClassReply)
+	if !n.RunUntilDrained(500) {
+		t.Fatal("network did not drain")
+	}
+	fs := n.FlowStatsFor(flit.FlowID{Src: node(0, 0), Dst: node(2, 2)})
+	if fs == nil || fs.Messages != 1 {
+		t.Fatal("reply not delivered")
+	}
+	nSmall := newNet(t, 4, 4, DesignRegular)
+	send(t, nSmall, node(0, 0), node(2, 2), 48, flit.ClassRequest)
+	nSmall.RunUntilDrained(500)
+	small := nSmall.FlowStatsFor(flit.FlowID{Src: node(0, 0), Dst: node(2, 2)}).Latency.Mean()
+	if fs.Latency.Mean() <= small {
+		t.Errorf("4-flit reply (%.0f cycles) should take longer than 1-flit request (%.0f cycles)",
+			fs.Latency.Mean(), small)
+	}
+}
+
+// Under WaP the same 512-bit payload is sliced into 5 single-flit packets but
+// must still arrive as one message.
+func TestWaPSlicedMessageDelivery(t *testing.T) {
+	n := newNet(t, 4, 4, DesignWaWWaP)
+	send(t, n, node(3, 3), node(0, 0), 512, flit.ClassReply)
+	if !n.RunUntilDrained(500) {
+		t.Fatal("network did not drain")
+	}
+	if n.TotalDeliveredMessages() != 1 {
+		t.Fatalf("delivered %d messages, want 1", n.TotalDeliveredMessages())
+	}
+	if n.TotalInjectedFlits() != 5 {
+		t.Errorf("injected %d flits, want 5 (WaP slicing)", n.TotalInjectedFlits())
+	}
+}
+
+// Conservation: every message sent is eventually delivered exactly once,
+// regardless of design, for a burst of all-to-one traffic.
+func TestAllMessagesDeliveredAllToOne(t *testing.T) {
+	for _, design := range []Design{DesignRegular, DesignWaWWaP, DesignWaWOnly, DesignWaPOnly} {
+		n := newNet(t, 4, 4, design)
+		dst := node(0, 0)
+		sent := 0
+		for _, src := range n.Config().Dim.AllNodes() {
+			if src == dst {
+				continue
+			}
+			send(t, n, src, dst, 512, flit.ClassEviction)
+			sent++
+		}
+		if !n.RunUntilDrained(20000) {
+			t.Fatalf("%v: network did not drain", design)
+		}
+		if int(n.TotalDeliveredMessages()) != sent {
+			t.Errorf("%v: delivered %d of %d messages", design, n.TotalDeliveredMessages(), sent)
+		}
+	}
+}
+
+// Per-flow in-order delivery: consecutive messages of the same flow are
+// delivered in the order they were sent (wormhole networks with a single
+// path and FIFO buffers preserve per-flow ordering).
+func TestPerFlowOrdering(t *testing.T) {
+	n := newNet(t, 4, 4, DesignWaWWaP)
+	var order []uint64
+	n.DeliveryHook = func(m *flit.Message, at uint64) {
+		order = append(order, m.ID)
+	}
+	var sentIDs []uint64
+	for i := 0; i < 10; i++ {
+		id := send(t, n, node(3, 3), node(0, 0), 512, flit.ClassData)
+		sentIDs = append(sentIDs, id)
+	}
+	if !n.RunUntilDrained(5000) {
+		t.Fatal("network did not drain")
+	}
+	if len(order) != len(sentIDs) {
+		t.Fatalf("delivered %d of %d messages", len(order), len(sentIDs))
+	}
+	for i := range sentIDs {
+		if order[i] != sentIDs[i] {
+			t.Fatalf("out-of-order delivery: got %v, want %v", order, sentIDs)
+		}
+	}
+}
+
+// Contention: two sources saturating the same destination share its ejection
+// bandwidth; with plain round-robin they get equal throughput.
+func TestRoundRobinFairSharingAtHotspot(t *testing.T) {
+	n := newNet(t, 3, 3, DesignRegular)
+	dst := node(0, 0)
+	srcA, srcB := node(2, 0), node(0, 2)
+	const msgs = 30
+	for i := 0; i < msgs; i++ {
+		send(t, n, srcA, dst, 48, flit.ClassRequest)
+		send(t, n, srcB, dst, 48, flit.ClassRequest)
+	}
+	if !n.RunUntilDrained(20000) {
+		t.Fatal("network did not drain")
+	}
+	a := n.FlowStatsFor(flit.FlowID{Src: srcA, Dst: dst})
+	b := n.FlowStatsFor(flit.FlowID{Src: srcB, Dst: dst})
+	if a == nil || b == nil || a.Messages != msgs || b.Messages != msgs {
+		t.Fatal("not all messages delivered")
+	}
+	// Both flows saturate the same ejection port, so their mean latencies
+	// must be of the same order (fair round-robin sharing).
+	ratio := a.Latency.Mean() / b.Latency.Mean()
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("unfair sharing under round-robin: mean latencies %.1f vs %.1f", a.Latency.Mean(), b.Latency.Mean())
+	}
+}
+
+// The WaW design must give a far-away flow a larger share of the hotspot
+// bandwidth than the regular design does, reducing the latency gap between a
+// nearby flow and a far flow under congestion. This is the qualitative
+// behaviour behind Table II.
+func TestWaWReducesFarFlowPenalty(t *testing.T) {
+	type result struct{ near, far float64 }
+	measure := func(design Design) result {
+		n := newNet(t, 4, 1, design) // a 4-node row: (3,0) is far from (0,0), (1,0) is adjacent
+		dst := node(0, 0)
+		near, far := node(1, 0), node(3, 0)
+		const msgs = 40
+		for i := 0; i < msgs; i++ {
+			send(t, n, near, dst, 48, flit.ClassRequest)
+			send(t, n, far, dst, 48, flit.ClassRequest)
+			// The intermediate node also competes, making the chained
+			// round-robin unfairness visible.
+			send(t, n, node(2, 0), dst, 48, flit.ClassRequest)
+		}
+		if !n.RunUntilDrained(50000) {
+			t.Fatal("network did not drain")
+		}
+		return result{
+			near: n.FlowStatsFor(flit.FlowID{Src: near, Dst: dst}).Latency.Max(),
+			far:  n.FlowStatsFor(flit.FlowID{Src: far, Dst: dst}).Latency.Max(),
+		}
+	}
+	reg := measure(DesignRegular)
+	waw := measure(DesignWaWWaP)
+	regGap := reg.far / reg.near
+	wawGap := waw.far / waw.near
+	if wawGap >= regGap {
+		t.Errorf("WaW should narrow the far/near latency gap: regular %.2f, WaW %.2f (reg=%+v waw=%+v)",
+			regGap, wawGap, reg, waw)
+	}
+}
+
+func TestDrainedAndRunHelpers(t *testing.T) {
+	n := newNet(t, 2, 2, DesignRegular)
+	if !n.Drained() {
+		t.Error("fresh network should be drained")
+	}
+	send(t, n, node(0, 0), node(1, 1), 48, flit.ClassRequest)
+	if n.Drained() {
+		t.Error("network with a queued message should not be drained")
+	}
+	n.Run(3)
+	if n.Cycle() != 3 {
+		t.Errorf("cycle = %d, want 3", n.Cycle())
+	}
+	if !n.RunUntilDrained(100) {
+		t.Error("network should drain")
+	}
+	if got := n.AggregateLatency().Count(); got != 1 {
+		t.Errorf("aggregate latency count = %d", got)
+	}
+	if len(n.AllFlowStats()) != 1 {
+		t.Error("expected one flow with stats")
+	}
+}
+
+func TestRouterAndNICAccessors(t *testing.T) {
+	n := newNet(t, 3, 3, DesignRegular)
+	if n.Router(node(1, 1)) == nil || n.NIC(node(2, 2)) == nil {
+		t.Error("accessors returned nil")
+	}
+	if n.Router(node(1, 1)).Node != node(1, 1) {
+		t.Error("router node mismatch")
+	}
+	if n.NIC(node(2, 2)).Node != node(2, 2) {
+		t.Error("nic node mismatch")
+	}
+}
+
+// Property: random batches of messages on a small mesh always drain and the
+// delivered count equals the sent count, for both designs (no flit loss,
+// duplication or deadlock).
+func TestRandomTrafficConservationProperty(t *testing.T) {
+	f := func(seeds []uint16, wapDesign bool) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 40 {
+			seeds = seeds[:40]
+		}
+		design := DesignRegular
+		if wapDesign {
+			design = DesignWaWWaP
+		}
+		n := MustNew(DefaultConfig(mesh.MustDim(3, 3), design))
+		dim := n.Config().Dim
+		sent := 0
+		for _, s := range seeds {
+			src := dim.NodeAt(int(s) % dim.Nodes())
+			dst := dim.NodeAt(int(s/16) % dim.Nodes())
+			if src == dst {
+				continue
+			}
+			payload := int(s%5) * 128
+			if _, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: src, Dst: dst}, PayloadBits: payload}); err != nil {
+				return false
+			}
+			sent++
+		}
+		if !n.RunUntilDrained(50000) {
+			return false
+		}
+		return int(n.TotalDeliveredMessages()) == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

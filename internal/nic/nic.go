@@ -1,0 +1,390 @@
+// Package nic models the network interface controller that connects a
+// processing/memory element (PME) to its mesh router. The NIC is where the
+// paper's WaP mechanism lives: it packetizes outgoing messages — either into
+// a single packet bounded by the network's maximum packet size (regular
+// packetization) or into minimum-size packets with replicated control
+// information (WCTT-aware Packetization, WaP) — injects the resulting flits
+// into the local router, and reassembles incoming flits back into messages.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+// Scheme identifies a packetization scheme.
+type Scheme int
+
+const (
+	// SchemeRegular creates as few packets as possible: one packet per
+	// message, split only when the message exceeds the network's maximum
+	// packet size L.
+	SchemeRegular Scheme = iota
+	// SchemeWaP slices every message into minimum-size packets (one flit
+	// each with the default link configuration), replicating the control
+	// information in every packet. This bounds the arbitration slot duration
+	// seen by contenders to the minimum packet size.
+	SchemeWaP
+)
+
+// String names the packetization scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRegular:
+		return "regular"
+	case SchemeWaP:
+		return "WaP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Packetizer converts messages into packets according to a scheme and a link
+// configuration.
+type Packetizer struct {
+	Scheme Scheme
+	Link   flit.LinkConfig
+}
+
+// NewPacketizer returns a validated packetizer.
+func NewPacketizer(scheme Scheme, link flit.LinkConfig) (*Packetizer, error) {
+	if scheme != SchemeRegular && scheme != SchemeWaP {
+		return nil, fmt.Errorf("nic: unknown packetization scheme %v", scheme)
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Packetizer{Scheme: scheme, Link: link}, nil
+}
+
+// maxFlitsPerPacket returns the packet-size ceiling the scheme imposes.
+// Zero means unlimited.
+func (p *Packetizer) maxFlitsPerPacket() int {
+	switch p.Scheme {
+	case SchemeWaP:
+		return p.Link.MinPacketFlits
+	default:
+		return p.Link.MaxPacketFlits
+	}
+}
+
+// FlitsForMessage returns the total number of flits the scheme produces for a
+// message with the given payload size, without building the packets. Useful
+// for analytical models and workload accounting.
+func (p *Packetizer) FlitsForMessage(payloadBits int) int {
+	if p.Scheme == SchemeWaP {
+		flits, _ := p.Link.WaPFlitsForPayload(payloadBits)
+		return flits
+	}
+	// Regular: a single packet when it fits under the maximum size,
+	// otherwise split into maximum-size packets each paying the control
+	// overhead.
+	total := p.Link.FlitsForPayload(payloadBits)
+	maxFlits := p.Link.MaxPacketFlits
+	if maxFlits == 0 || total <= maxFlits {
+		return total
+	}
+	perPacketPayload := maxFlits*p.Link.WidthBits - p.Link.ControlBitsPerPacket
+	packets := (payloadBits + perPacketPayload - 1) / perPacketPayload
+	lastPayload := payloadBits - (packets-1)*perPacketPayload
+	return (packets-1)*maxFlits + p.Link.FlitsForPayload(lastPayload)
+}
+
+// Packetize converts a message into packets. Packet and flit identifiers are
+// allocated starting at firstPacketID. The produced packets are well formed
+// (Packet.Validate passes) and collectively carry the whole payload.
+func (p *Packetizer) Packetize(msg *flit.Message, firstPacketID uint64) []*flit.Packet {
+	maxFlits := p.maxFlitsPerPacket()
+	perPacketPayload := 0
+	if maxFlits > 0 {
+		perPacketPayload = maxFlits*p.Link.WidthBits - p.Link.ControlBitsPerPacket
+	}
+
+	payload := msg.PayloadBits
+	if payload < 0 {
+		payload = 0
+	}
+	// Split the payload into per-packet chunks.
+	var chunks []int
+	if maxFlits == 0 || payload <= perPacketPayload || perPacketPayload <= 0 {
+		chunks = []int{payload}
+	} else {
+		remaining := payload
+		for remaining > 0 {
+			c := remaining
+			if c > perPacketPayload {
+				c = perPacketPayload
+			}
+			chunks = append(chunks, c)
+			remaining -= c
+		}
+	}
+
+	packets := make([]*flit.Packet, 0, len(chunks))
+	for i, chunk := range chunks {
+		nflits := p.Link.FlitsForPayload(chunk)
+		if p.Scheme == SchemeWaP && nflits < p.Link.MinPacketFlits {
+			nflits = p.Link.MinPacketFlits
+		}
+		pkt := &flit.Packet{
+			ID:           firstPacketID + uint64(i),
+			MsgID:        msg.ID,
+			Flow:         msg.Flow,
+			PacketIndex:  i,
+			PacketsInMsg: len(chunks),
+		}
+		for s := 0; s < nflits; s++ {
+			typ := flit.Body
+			switch {
+			case nflits == 1:
+				typ = flit.HeadTail
+			case s == 0:
+				typ = flit.Head
+			case s == nflits-1:
+				typ = flit.Tail
+			}
+			payloadBits := 0
+			if s == 0 {
+				// Attribute the whole chunk to the packet; per-flit payload
+				// split is irrelevant to the timing model.
+				payloadBits = chunk
+			}
+			pkt.Flits = append(pkt.Flits, &flit.Flit{
+				Type:         typ,
+				Flow:         msg.Flow,
+				PacketID:     pkt.ID,
+				MsgID:        msg.ID,
+				Seq:          s,
+				PacketIndex:  i,
+				PacketsInMsg: len(chunks),
+				PayloadBits:  payloadBits,
+				CreatedAt:    msg.CreatedAt,
+				Class:        msg.Class,
+			})
+		}
+		packets = append(packets, pkt)
+	}
+	return packets
+}
+
+// DeliveredMessage pairs a reassembled message with its delivery metadata.
+type DeliveredMessage struct {
+	Msg *flit.Message
+	// Latency is DeliveredAt - CreatedAt in cycles (message creation at the
+	// source NIC to last flit ejected at the destination NIC).
+	Latency uint64
+	// NetworkLatency is DeliveredAt minus the injection cycle of the
+	// message's first flit (excludes source-queueing time).
+	NetworkLatency uint64
+}
+
+// NIC is the per-node network interface: an injection queue of flits awaiting
+// transmission and a reassembly table for incoming flits.
+type NIC struct {
+	Node mesh.Node
+
+	packetizer *Packetizer
+
+	nextPacketID uint64
+	nextMsgID    uint64
+
+	injectQueue []*flit.Flit
+
+	// reassembly state per message id
+	pending map[uint64]*reassembly
+
+	delivered []DeliveredMessage
+
+	// statistics
+	injectedFlits uint64
+	ejectedFlits  uint64
+	sentMessages  uint64
+}
+
+type reassembly struct {
+	flow          flit.FlowID
+	class         flit.MessageClass
+	createdAt     uint64
+	firstInjected uint64
+	payloadBits   int
+	expectedPkts  int
+	gotFlits      map[uint64]int // per packet id: flits received
+	donePkts      int
+}
+
+// New returns a NIC for the given node using the given packetization scheme
+// and link configuration.
+func New(node mesh.Node, scheme Scheme, link flit.LinkConfig) (*NIC, error) {
+	p, err := NewPacketizer(scheme, link)
+	if err != nil {
+		return nil, err
+	}
+	return &NIC{
+		Node:       node,
+		packetizer: p,
+		pending:    make(map[uint64]*reassembly),
+	}, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(node mesh.Node, scheme Scheme, link flit.LinkConfig) *NIC {
+	n, err := New(node, scheme, link)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Packetizer returns the NIC's packetizer (shared configuration).
+func (n *NIC) Packetizer() *Packetizer { return n.packetizer }
+
+// Send accepts a message for transmission at cycle now. The message's source
+// must be the NIC's node. The message is packetized immediately and its
+// flits are appended to the injection queue. Send assigns the message an
+// identifier when it has none (ID == 0) and returns it.
+func (n *NIC) Send(msg *flit.Message, now uint64) (uint64, error) {
+	if msg == nil {
+		return 0, fmt.Errorf("nic %v: nil message", n.Node)
+	}
+	if msg.Flow.Src != n.Node {
+		return 0, fmt.Errorf("nic %v: message source %v is not this node", n.Node, msg.Flow.Src)
+	}
+	if msg.Flow.Dst == n.Node {
+		return 0, fmt.Errorf("nic %v: message destination is the local node", n.Node)
+	}
+	if msg.ID == 0 {
+		n.nextMsgID++
+		msg.ID = uint64(n.Node.X+1)<<48 | uint64(n.Node.Y+1)<<40 | n.nextMsgID
+	}
+	msg.CreatedAt = now
+	packets := n.packetizer.Packetize(msg, n.allocPacketIDs(1))
+	// allocPacketIDs reserved a single id; reserve the rest now that the
+	// count is known.
+	if len(packets) > 1 {
+		n.allocPacketIDs(len(packets) - 1)
+		for i, pkt := range packets {
+			want := packets[0].ID + uint64(i)
+			pkt.ID = want
+			for _, f := range pkt.Flits {
+				f.PacketID = want
+			}
+		}
+	}
+	for _, pkt := range packets {
+		n.injectQueue = append(n.injectQueue, pkt.Flits...)
+	}
+	n.sentMessages++
+	return msg.ID, nil
+}
+
+func (n *NIC) allocPacketIDs(count int) uint64 {
+	first := n.nextPacketID + 1
+	n.nextPacketID += uint64(count)
+	// Packet ids are made globally unique by embedding the node coordinates
+	// in the high bits, so packets from different NICs never collide.
+	return uint64(n.Node.X+1)<<48 | uint64(n.Node.Y+1)<<40 | first
+}
+
+// PendingFlits returns the number of flits waiting in the injection queue.
+func (n *NIC) PendingFlits() int { return len(n.injectQueue) }
+
+// PeekFlit returns the next flit to inject without removing it, or nil when
+// the queue is empty.
+func (n *NIC) PeekFlit() *flit.Flit {
+	if len(n.injectQueue) == 0 {
+		return nil
+	}
+	return n.injectQueue[0]
+}
+
+// PopFlit removes and returns the next flit to inject, stamping its
+// injection cycle. It returns nil when the queue is empty.
+func (n *NIC) PopFlit(now uint64) *flit.Flit {
+	if len(n.injectQueue) == 0 {
+		return nil
+	}
+	f := n.injectQueue[0]
+	n.injectQueue = n.injectQueue[1:]
+	f.InjectedAt = now
+	n.injectedFlits++
+	return f
+}
+
+// Receive accepts a flit ejected by the local router at cycle now. When the
+// flit completes its message the reassembled message is returned, otherwise
+// nil.
+func (n *NIC) Receive(f *flit.Flit, now uint64) (*flit.Message, error) {
+	if f == nil {
+		return nil, fmt.Errorf("nic %v: received nil flit", n.Node)
+	}
+	if f.Flow.Dst != n.Node {
+		return nil, fmt.Errorf("nic %v: received flit for %v", n.Node, f.Flow.Dst)
+	}
+	f.EjectedAt = now
+	n.ejectedFlits++
+
+	r, ok := n.pending[f.MsgID]
+	if !ok {
+		r = &reassembly{
+			flow:          f.Flow,
+			class:         f.Class,
+			createdAt:     f.CreatedAt,
+			firstInjected: f.InjectedAt,
+			expectedPkts:  f.PacketsInMsg,
+			gotFlits:      make(map[uint64]int),
+		}
+		n.pending[f.MsgID] = r
+	}
+	if f.InjectedAt < r.firstInjected {
+		r.firstInjected = f.InjectedAt
+	}
+	r.payloadBits += f.PayloadBits
+	r.gotFlits[f.PacketID]++
+	if f.Type.IsTail() {
+		r.donePkts++
+	}
+	if r.donePkts < r.expectedPkts {
+		return nil, nil
+	}
+	// Message complete.
+	delete(n.pending, f.MsgID)
+	msg := &flit.Message{
+		ID:          f.MsgID,
+		Flow:        r.flow,
+		Class:       r.class,
+		PayloadBits: r.payloadBits,
+		CreatedAt:   r.createdAt,
+		DeliveredAt: now,
+	}
+	n.delivered = append(n.delivered, DeliveredMessage{
+		Msg:            msg,
+		Latency:        now - r.createdAt,
+		NetworkLatency: now - r.firstInjected,
+	})
+	return msg, nil
+}
+
+// Delivered returns the messages reassembled so far, in completion order.
+func (n *NIC) Delivered() []DeliveredMessage { return n.delivered }
+
+// DrainDelivered returns the delivered messages and clears the internal list
+// (useful for long simulations that process deliveries incrementally).
+func (n *NIC) DrainDelivered() []DeliveredMessage {
+	out := n.delivered
+	n.delivered = nil
+	return out
+}
+
+// PendingReassemblies returns the number of partially received messages.
+func (n *NIC) PendingReassemblies() int { return len(n.pending) }
+
+// InjectedFlits returns the number of flits handed to the router so far.
+func (n *NIC) InjectedFlits() uint64 { return n.injectedFlits }
+
+// EjectedFlits returns the number of flits received from the router so far.
+func (n *NIC) EjectedFlits() uint64 { return n.ejectedFlits }
+
+// SentMessages returns the number of messages accepted by Send so far.
+func (n *NIC) SentMessages() uint64 { return n.sentMessages }

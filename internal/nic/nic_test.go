@@ -1,0 +1,385 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+func testLink() flit.LinkConfig { return flit.DefaultLinkConfig() }
+
+func node(x, y int) mesh.Node { return mesh.Node{X: x, Y: y} }
+
+func TestSchemeString(t *testing.T) {
+	if SchemeRegular.String() != "regular" || SchemeWaP.String() != "WaP" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(7).String() != "Scheme(7)" {
+		t.Error("unknown scheme string")
+	}
+}
+
+func TestNewPacketizerValidation(t *testing.T) {
+	if _, err := NewPacketizer(Scheme(9), testLink()); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	bad := testLink()
+	bad.WidthBits = 0
+	if _, err := NewPacketizer(SchemeRegular, bad); err == nil {
+		t.Error("invalid link config should fail")
+	}
+	if _, err := NewPacketizer(SchemeWaP, testLink()); err != nil {
+		t.Errorf("valid packetizer rejected: %v", err)
+	}
+}
+
+func TestRegularPacketizeCacheLine(t *testing.T) {
+	p, _ := NewPacketizer(SchemeRegular, testLink())
+	msg := &flit.Message{ID: 5, Flow: flit.FlowID{Src: node(0, 0), Dst: node(3, 3)}, PayloadBits: 512, Class: flit.ClassReply}
+	pkts := p.Packetize(msg, 100)
+	if len(pkts) != 1 {
+		t.Fatalf("regular packetization produced %d packets, want 1", len(pkts))
+	}
+	if pkts[0].Size() != 4 {
+		t.Errorf("cache-line packet has %d flits, want 4", pkts[0].Size())
+	}
+	if err := pkts[0].Validate(); err != nil {
+		t.Errorf("packet invalid: %v", err)
+	}
+	if pkts[0].ID != 100 || pkts[0].MsgID != 5 {
+		t.Errorf("packet ids wrong: %+v", pkts[0])
+	}
+	if p.FlitsForMessage(512) != 4 {
+		t.Errorf("FlitsForMessage(512) = %d, want 4", p.FlitsForMessage(512))
+	}
+}
+
+func TestWaPPacketizeCacheLine(t *testing.T) {
+	p, _ := NewPacketizer(SchemeWaP, testLink())
+	msg := &flit.Message{ID: 9, Flow: flit.FlowID{Src: node(1, 1), Dst: node(0, 0)}, PayloadBits: 512, Class: flit.ClassReply}
+	pkts := p.Packetize(msg, 1)
+	// 512 payload bits over packets carrying 116 payload bits each -> 5
+	// single-flit packets (the paper's 25% overhead example).
+	if len(pkts) != 5 {
+		t.Fatalf("WaP produced %d packets, want 5", len(pkts))
+	}
+	total := 0
+	payload := 0
+	for i, pkt := range pkts {
+		if err := pkt.Validate(); err != nil {
+			t.Errorf("packet %d invalid: %v", i, err)
+		}
+		if pkt.Size() != 1 {
+			t.Errorf("WaP packet %d has %d flits, want 1", i, pkt.Size())
+		}
+		if pkt.PacketIndex != i || pkt.PacketsInMsg != 5 {
+			t.Errorf("packet %d index/total = %d/%d", i, pkt.PacketIndex, pkt.PacketsInMsg)
+		}
+		total += pkt.Size()
+		for _, f := range pkt.Flits {
+			payload += f.PayloadBits
+		}
+	}
+	if total != 5 {
+		t.Errorf("total WaP flits = %d, want 5", total)
+	}
+	if payload != 512 {
+		t.Errorf("reassembled payload = %d bits, want 512", payload)
+	}
+	if p.FlitsForMessage(512) != 5 {
+		t.Errorf("FlitsForMessage(512) = %d, want 5", p.FlitsForMessage(512))
+	}
+}
+
+func TestRegularPacketizeSplitsAboveMaxSize(t *testing.T) {
+	link := testLink() // MaxPacketFlits = 4
+	p, _ := NewPacketizer(SchemeRegular, link)
+	// Two cache lines worth of payload does not fit the 4-flit maximum
+	// packet, so regular packetization must emit more than one packet, each
+	// within the limit.
+	msg := &flit.Message{ID: 2, Flow: flit.FlowID{Src: node(0, 0), Dst: node(1, 0)}, PayloadBits: 1024}
+	pkts := p.Packetize(msg, 1)
+	if len(pkts) < 2 {
+		t.Fatalf("oversized message produced %d packets, want >= 2", len(pkts))
+	}
+	for _, pkt := range pkts {
+		if pkt.Size() > link.MaxPacketFlits {
+			t.Errorf("packet of %d flits exceeds the maximum of %d", pkt.Size(), link.MaxPacketFlits)
+		}
+		if err := pkt.Validate(); err != nil {
+			t.Errorf("packet invalid: %v", err)
+		}
+	}
+}
+
+func TestRegularUnlimitedPacketSize(t *testing.T) {
+	link := testLink()
+	link.MaxPacketFlits = 0 // protocols such as AMBA impose no limit
+	p, _ := NewPacketizer(SchemeRegular, link)
+	msg := &flit.Message{ID: 3, Flow: flit.FlowID{Src: node(0, 0), Dst: node(1, 0)}, PayloadBits: 4096}
+	pkts := p.Packetize(msg, 1)
+	if len(pkts) != 1 {
+		t.Fatalf("unlimited regular packetization produced %d packets, want 1", len(pkts))
+	}
+	want := (4096 + 16 + 131) / 132
+	if pkts[0].Size() != want {
+		t.Errorf("packet size = %d flits, want %d", pkts[0].Size(), want)
+	}
+	if p.FlitsForMessage(4096) != want {
+		t.Errorf("FlitsForMessage = %d, want %d", p.FlitsForMessage(4096), want)
+	}
+}
+
+func TestPacketizeOneFlitRequestIdenticalUnderBothSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeRegular, SchemeWaP} {
+		p, _ := NewPacketizer(scheme, testLink())
+		msg := &flit.Message{ID: 4, Flow: flit.FlowID{Src: node(0, 0), Dst: node(7, 7)}, PayloadBits: 48, Class: flit.ClassRequest}
+		pkts := p.Packetize(msg, 1)
+		if len(pkts) != 1 || pkts[0].Size() != 1 {
+			t.Errorf("%v: one-flit request became %d packets", scheme, len(pkts))
+		}
+		if pkts[0].Flits[0].Type != flit.HeadTail {
+			t.Errorf("%v: single flit should be HEAD+TAIL", scheme)
+		}
+	}
+}
+
+// Property: for any payload size, both schemes produce well-formed packets
+// whose flits carry the full payload, and WaP never produces a packet larger
+// than the minimum packet size.
+func TestPacketizeProperty(t *testing.T) {
+	link := testLink()
+	reg, _ := NewPacketizer(SchemeRegular, link)
+	wap, _ := NewPacketizer(SchemeWaP, link)
+	f := func(raw uint16) bool {
+		payload := int(raw)
+		msg := &flit.Message{ID: 77, Flow: flit.FlowID{Src: node(0, 0), Dst: node(3, 2)}, PayloadBits: payload}
+		for _, p := range []*Packetizer{reg, wap} {
+			pkts := p.Packetize(msg, 1)
+			if len(pkts) == 0 {
+				return false
+			}
+			gotPayload := 0
+			gotFlits := 0
+			for _, pkt := range pkts {
+				if pkt.Validate() != nil {
+					return false
+				}
+				if pkt.PacketsInMsg != len(pkts) {
+					return false
+				}
+				gotFlits += pkt.Size()
+				for _, fl := range pkt.Flits {
+					gotPayload += fl.PayloadBits
+				}
+				if p.Scheme == SchemeWaP && pkt.Size() > link.MinPacketFlits {
+					return false
+				}
+				if p.Scheme == SchemeRegular && link.MaxPacketFlits > 0 && pkt.Size() > link.MaxPacketFlits {
+					return false
+				}
+			}
+			if gotPayload != payload {
+				return false
+			}
+			if gotFlits != p.FlitsForMessage(payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNICSendValidation(t *testing.T) {
+	n := MustNew(node(1, 1), SchemeRegular, testLink())
+	if _, err := n.Send(nil, 0); err == nil {
+		t.Error("nil message should fail")
+	}
+	if _, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: node(0, 0), Dst: node(1, 1)}}, 0); err == nil {
+		t.Error("message from another node should fail")
+	}
+	if _, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: node(1, 1), Dst: node(1, 1)}}, 0); err == nil {
+		t.Error("message to self should fail")
+	}
+	id, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: node(1, 1), Dst: node(0, 0)}, PayloadBits: 64}, 10)
+	if err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	if id == 0 {
+		t.Error("message id not assigned")
+	}
+	if n.SentMessages() != 1 {
+		t.Error("sent message counter not updated")
+	}
+}
+
+func TestNICInjectionQueue(t *testing.T) {
+	n := MustNew(node(0, 0), SchemeWaP, testLink())
+	if n.PeekFlit() != nil || n.PopFlit(0) != nil {
+		t.Error("empty queue should return nil")
+	}
+	msg := &flit.Message{Flow: flit.FlowID{Src: node(0, 0), Dst: node(1, 0)}, PayloadBits: 512}
+	if _, err := n.Send(msg, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n.PendingFlits() != 5 {
+		t.Fatalf("pending flits = %d, want 5", n.PendingFlits())
+	}
+	first := n.PeekFlit()
+	popped := n.PopFlit(7)
+	if first != popped {
+		t.Error("Peek and Pop disagree")
+	}
+	if popped.InjectedAt != 7 {
+		t.Errorf("InjectedAt = %d, want 7", popped.InjectedAt)
+	}
+	if popped.CreatedAt != 5 {
+		t.Errorf("CreatedAt = %d, want 5", popped.CreatedAt)
+	}
+	if n.PendingFlits() != 4 {
+		t.Errorf("pending flits after pop = %d", n.PendingFlits())
+	}
+	if n.InjectedFlits() != 1 {
+		t.Errorf("injected counter = %d", n.InjectedFlits())
+	}
+}
+
+func TestNICReceiveValidation(t *testing.T) {
+	n := MustNew(node(2, 2), SchemeRegular, testLink())
+	if _, err := n.Receive(nil, 0); err == nil {
+		t.Error("nil flit should fail")
+	}
+	f := &flit.Flit{Flow: flit.FlowID{Src: node(0, 0), Dst: node(3, 3)}, Type: flit.HeadTail, PacketsInMsg: 1}
+	if _, err := n.Receive(f, 0); err == nil {
+		t.Error("flit for another node should fail")
+	}
+}
+
+// End-to-end packetize/reassemble round trip: everything the source NIC
+// sends, the destination NIC reassembles into an equivalent message,
+// regardless of the scheme and the payload size.
+func TestNICRoundTrip(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeRegular, SchemeWaP} {
+		for _, payload := range []int{0, 48, 116, 117, 512, 1024, 5000} {
+			src := MustNew(node(0, 0), scheme, testLink())
+			dst := MustNew(node(3, 2), scheme, testLink())
+			msg := &flit.Message{
+				Flow:        flit.FlowID{Src: node(0, 0), Dst: node(3, 2)},
+				PayloadBits: payload,
+				Class:       flit.ClassData,
+			}
+			id, err := src.Send(msg, 100)
+			if err != nil {
+				t.Fatalf("%v payload %d: %v", scheme, payload, err)
+			}
+			cycle := uint64(101)
+			var completed *flit.Message
+			for src.PendingFlits() > 0 {
+				f := src.PopFlit(cycle)
+				got, err := dst.Receive(f, cycle+3)
+				if err != nil {
+					t.Fatalf("%v payload %d: receive: %v", scheme, payload, err)
+				}
+				if got != nil {
+					completed = got
+				}
+				cycle++
+			}
+			if completed == nil {
+				t.Fatalf("%v payload %d: message never completed", scheme, payload)
+			}
+			if completed.ID != id {
+				t.Errorf("reassembled id = %d, want %d", completed.ID, id)
+			}
+			if completed.PayloadBits != payload {
+				t.Errorf("%v: reassembled payload = %d, want %d", scheme, completed.PayloadBits, payload)
+			}
+			if completed.Class != flit.ClassData {
+				t.Errorf("class lost in reassembly")
+			}
+			if dst.PendingReassemblies() != 0 {
+				t.Errorf("leftover reassembly state")
+			}
+			deliveries := dst.Delivered()
+			if len(deliveries) != 1 {
+				t.Fatalf("delivered = %d messages", len(deliveries))
+			}
+			d := deliveries[0]
+			if d.Latency != d.Msg.DeliveredAt-100 {
+				t.Errorf("latency = %d", d.Latency)
+			}
+			if d.NetworkLatency > d.Latency {
+				t.Errorf("network latency %d exceeds total latency %d", d.NetworkLatency, d.Latency)
+			}
+			if drained := dst.DrainDelivered(); len(drained) != 1 || len(dst.Delivered()) != 0 {
+				t.Error("DrainDelivered did not clear the list")
+			}
+			if dst.EjectedFlits() == 0 {
+				t.Error("ejected flit counter not updated")
+			}
+		}
+	}
+}
+
+// Two interleaved messages from different sources must be reassembled
+// independently.
+func TestNICInterleavedReassembly(t *testing.T) {
+	link := testLink()
+	dst := MustNew(node(0, 0), SchemeWaP, link)
+	a := MustNew(node(1, 0), SchemeWaP, link)
+	b := MustNew(node(2, 0), SchemeWaP, link)
+	msgA := &flit.Message{Flow: flit.FlowID{Src: node(1, 0), Dst: node(0, 0)}, PayloadBits: 512}
+	msgB := &flit.Message{Flow: flit.FlowID{Src: node(2, 0), Dst: node(0, 0)}, PayloadBits: 512}
+	if _, err := a.Send(msgA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Send(msgB, 0); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	cycle := uint64(1)
+	for a.PendingFlits() > 0 || b.PendingFlits() > 0 {
+		if f := a.PopFlit(cycle); f != nil {
+			if m, _ := dst.Receive(f, cycle); m != nil {
+				completed++
+			}
+		}
+		if f := b.PopFlit(cycle); f != nil {
+			if m, _ := dst.Receive(f, cycle); m != nil {
+				completed++
+			}
+		}
+		cycle++
+	}
+	if completed != 2 {
+		t.Errorf("completed %d messages, want 2", completed)
+	}
+	if dst.PendingReassemblies() != 0 {
+		t.Error("pending reassemblies left over")
+	}
+}
+
+func TestNICUniqueMessageIDsAcrossNodes(t *testing.T) {
+	a := MustNew(node(0, 1), SchemeRegular, testLink())
+	b := MustNew(node(1, 0), SchemeRegular, testLink())
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		idA, err := a.Send(&flit.Message{Flow: flit.FlowID{Src: node(0, 1), Dst: node(3, 3)}, PayloadBits: 10}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idB, err := b.Send(&flit.Message{Flow: flit.FlowID{Src: node(1, 0), Dst: node(3, 3)}, PayloadBits: 10}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[idA] || seen[idB] || idA == idB {
+			t.Fatalf("duplicate message id (%d, %d)", idA, idB)
+		}
+		seen[idA], seen[idB] = true, true
+	}
+}

@@ -1,0 +1,360 @@
+// Package router implements the cycle-level model of a wormhole mesh router:
+// five input-buffered ports (X+, X-, Y+, Y-, PME/local), XY route computation
+// on head flits, per-output-port arbitration (plain round-robin for the
+// regular wNoC or WaW weighted round-robin), wormhole output-port locking and
+// credit-based link-level flow control.
+//
+// The router is deliberately passive: it decides, once per cycle, which flit
+// each of its output ports forwards (ComputeTransfers) and exposes the
+// mutators the surrounding network simulator needs to apply those decisions
+// (PopInput, ConsumeCredit, StageArrival, ReturnCredit, CommitArrivals). This
+// keeps the router unit-testable in isolation and leaves the wiring and the
+// simultaneity rules (a flit forwarded in cycle T becomes visible downstream
+// in cycle T+1) to the network package.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/flit"
+	"repro/internal/flows"
+	"repro/internal/mesh"
+)
+
+// Config gathers the microarchitectural parameters of a router.
+type Config struct {
+	// BufferDepth is the capacity, in flits, of each input port FIFO.
+	BufferDepth int
+	// Arbitration selects the output-port arbitration policy.
+	Arbitration arbiter.Kind
+}
+
+// DefaultConfig returns the router configuration used by the evaluation
+// platform: 4-flit input buffers and plain round-robin arbitration.
+func DefaultConfig() Config {
+	return Config{BufferDepth: 4, Arbitration: arbiter.KindRoundRobin}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("router: buffer depth must be >= 1, got %d", c.BufferDepth)
+	}
+	if c.Arbitration != arbiter.KindRoundRobin && c.Arbitration != arbiter.KindWeighted {
+		return fmt.Errorf("router: unknown arbitration kind %v", c.Arbitration)
+	}
+	return nil
+}
+
+// Transfer describes one flit movement decided by an output port in the
+// current cycle: the flit at the head of input port In is forwarded through
+// output port Out.
+type Transfer struct {
+	Out  mesh.Direction
+	In   mesh.Direction
+	Flit *flit.Flit
+}
+
+// outputPort holds the per-output state: existence, arbitration, the wormhole
+// reservation and the credit counter towards the downstream buffer.
+type outputPort struct {
+	exists    bool
+	arb       arbiter.Arbiter
+	locked    bool
+	lockedTo  mesh.Direction
+	credits   int
+	unlimited bool // the local ejection port is never back-pressured
+
+	// Forwarded counts the flits sent through this output (statistics).
+	Forwarded uint64
+}
+
+// Router is the cycle-level wormhole router model.
+type Router struct {
+	Dim  mesh.Dim
+	Node mesh.Node
+	cfg  Config
+
+	inputs [mesh.NumDirections][]*flit.Flit // committed input FIFOs
+	staged [mesh.NumDirections][]*flit.Flit // arrivals of the current cycle
+	out    [mesh.NumDirections]*outputPort
+}
+
+// New builds a router at node n of a mesh with dimensions d. For WaW
+// arbitration the per-port weights are taken from counts (typically
+// flows.ClosedFormCounts(d, n)); counts may be nil for round-robin routers.
+// The downstream credit counters are initialised to downstreamDepth, the
+// input-buffer depth of the neighbouring routers (normally cfg.BufferDepth).
+func New(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts, downstreamDepth int) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Contains(n) {
+		return nil, fmt.Errorf("router: node %v outside %v mesh", n, d)
+	}
+	if cfg.Arbitration == arbiter.KindWeighted && counts == nil {
+		return nil, fmt.Errorf("router: WaW arbitration requires per-port flow counts")
+	}
+	if downstreamDepth < 1 {
+		downstreamDepth = cfg.BufferDepth
+	}
+	r := &Router{Dim: d, Node: n, cfg: cfg}
+	for _, dir := range mesh.Directions {
+		op := &outputPort{exists: mesh.OutputExists(d, n, dir)}
+		if op.exists {
+			switch cfg.Arbitration {
+			case arbiter.KindRoundRobin:
+				op.arb = arbiter.NewRoundRobin(mesh.NumDirections)
+			case arbiter.KindWeighted:
+				weights := make([]int, mesh.NumDirections)
+				for _, in := range mesh.Directions {
+					weights[int(in)] = counts.CounterMax(in, dir)
+				}
+				op.arb = arbiter.NewWeighted(weights)
+			}
+			if dir == mesh.Local {
+				op.unlimited = true
+			} else {
+				op.credits = downstreamDepth
+			}
+		}
+		r.out[int(dir)] = op
+	}
+	return r, nil
+}
+
+// MustNew is like New but panics on error; intended for tests.
+func MustNew(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts) *Router {
+	r, err := New(d, n, cfg, counts, cfg.BufferDepth)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Config returns the router configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// HasOutput reports whether the output port in direction dir exists.
+func (r *Router) HasOutput(dir mesh.Direction) bool { return r.out[int(dir)].exists }
+
+// Credits returns the current credit count of the output port (the number of
+// free slots the router believes the downstream buffer has). The local
+// ejection port reports the configured buffer depth but is never
+// back-pressured.
+func (r *Router) Credits(dir mesh.Direction) int {
+	op := r.out[int(dir)]
+	if op.unlimited {
+		return r.cfg.BufferDepth
+	}
+	return op.credits
+}
+
+// OutputLocked reports whether the output port is currently reserved by an
+// in-flight packet, and if so by which input port.
+func (r *Router) OutputLocked(dir mesh.Direction) (mesh.Direction, bool) {
+	op := r.out[int(dir)]
+	return op.lockedTo, op.locked
+}
+
+// Forwarded returns the number of flits forwarded through the output port
+// since construction.
+func (r *Router) Forwarded(dir mesh.Direction) uint64 { return r.out[int(dir)].Forwarded }
+
+// InputOccupancy returns the number of committed flits waiting in the input
+// FIFO of port dir (staged arrivals of the current cycle are not counted).
+func (r *Router) InputOccupancy(dir mesh.Direction) int { return len(r.inputs[int(dir)]) }
+
+// InputSpace returns the number of free slots of the input FIFO of port dir,
+// accounting for arrivals already staged this cycle.
+func (r *Router) InputSpace(dir mesh.Direction) int {
+	used := len(r.inputs[int(dir)]) + len(r.staged[int(dir)])
+	space := r.cfg.BufferDepth - used
+	if space < 0 {
+		return 0
+	}
+	return space
+}
+
+// Front returns the flit at the head of the input FIFO of port dir, or nil
+// when the FIFO is empty.
+func (r *Router) Front(dir mesh.Direction) *flit.Flit {
+	q := r.inputs[int(dir)]
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// StageArrival places a flit arriving on input port dir into the staging
+// area; it becomes visible in the FIFO after CommitArrivals. It returns an
+// error when the buffer (committed plus staged) is full — with correct
+// credit-based flow control this never happens.
+func (r *Router) StageArrival(dir mesh.Direction, f *flit.Flit) error {
+	if f == nil {
+		return fmt.Errorf("router %v: staging nil flit on %v", r.Node, dir)
+	}
+	if r.InputSpace(dir) == 0 {
+		return fmt.Errorf("router %v: input buffer %v overflow (flow-control violation)", r.Node, dir)
+	}
+	r.staged[int(dir)] = append(r.staged[int(dir)], f)
+	return nil
+}
+
+// CommitArrivals moves the flits staged during the current cycle into the
+// input FIFOs. The network calls it once per cycle, after every router has
+// computed and applied its transfers.
+func (r *Router) CommitArrivals() {
+	for i := range r.staged {
+		if len(r.staged[i]) == 0 {
+			continue
+		}
+		r.inputs[i] = append(r.inputs[i], r.staged[i]...)
+		r.staged[i] = r.staged[i][:0]
+	}
+}
+
+// PopInput removes and returns the flit at the head of the input FIFO of
+// port dir. It panics if the FIFO is empty (which would indicate a bug in
+// the transfer logic).
+func (r *Router) PopInput(dir mesh.Direction) *flit.Flit {
+	q := r.inputs[int(dir)]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("router %v: pop from empty input %v", r.Node, dir))
+	}
+	f := q[0]
+	r.inputs[int(dir)] = q[1:]
+	return f
+}
+
+// ConsumeCredit decrements the credit counter of the output port after a flit
+// has been forwarded through it. The local ejection port is never
+// back-pressured, so its credits are not tracked.
+func (r *Router) ConsumeCredit(dir mesh.Direction) {
+	op := r.out[int(dir)]
+	if op.unlimited {
+		return
+	}
+	if op.credits <= 0 {
+		panic(fmt.Sprintf("router %v: credit underflow on output %v", r.Node, dir))
+	}
+	op.credits--
+}
+
+// ReturnCredit increments the credit counter of the output port; the network
+// calls it when the downstream router frees a slot of the buffer this output
+// feeds.
+func (r *Router) ReturnCredit(dir mesh.Direction) {
+	op := r.out[int(dir)]
+	if op.unlimited {
+		return
+	}
+	op.credits++
+	if op.credits > r.cfg.BufferDepth {
+		panic(fmt.Sprintf("router %v: credit overflow on output %v", r.Node, dir))
+	}
+}
+
+// desiredOutput returns the output port the flit at the head of input port
+// `in` wants. For head flits this is the XY routing decision; body/tail flits
+// follow the wormhole reservation of their packet and are handled through the
+// output lock, so desiredOutput is only meaningful for head flits.
+func (r *Router) desiredOutput(f *flit.Flit) mesh.Direction {
+	return mesh.XYOutputPort(r.Node, f.Flow.Dst)
+}
+
+// ComputeTransfers decides, for the current cycle, which flit every output
+// port forwards. At most one transfer is produced per output port and per
+// input port. The decision mutates only the arbitration state and the
+// wormhole locks; the caller must then apply each transfer with
+// ApplyTransfer (or equivalent calls to PopInput/ConsumeCredit) and deliver
+// the flit downstream.
+func (r *Router) ComputeTransfers() []Transfer {
+	var transfers []Transfer
+	inputBusy := [mesh.NumDirections]bool{}
+
+	for _, outDir := range mesh.Directions {
+		op := r.out[int(outDir)]
+		if !op.exists {
+			continue
+		}
+		if !op.unlimited && op.credits <= 0 {
+			continue // downstream full: nothing can be sent this cycle
+		}
+		if op.locked {
+			// Wormhole: the port is reserved for the packet coming from
+			// lockedTo; forward its next flit if it is at the head of that
+			// input FIFO.
+			in := op.lockedTo
+			if inputBusy[int(in)] {
+				continue
+			}
+			f := r.Front(in)
+			if f == nil || f.Type.IsHead() {
+				// The next flit of the reserved packet has not arrived yet.
+				continue
+			}
+			transfers = append(transfers, Transfer{Out: outDir, In: in, Flit: f})
+			inputBusy[int(in)] = true
+			if f.Type.IsTail() {
+				op.locked = false
+			}
+			continue
+		}
+		// Free port: arbitrate among the input ports whose head-of-line flit
+		// is a head flit routed to this output.
+		requests := make([]bool, mesh.NumDirections)
+		any := false
+		for _, inDir := range mesh.Directions {
+			if inputBusy[int(inDir)] {
+				continue
+			}
+			f := r.Front(inDir)
+			if f == nil || !f.Type.IsHead() {
+				continue
+			}
+			if r.desiredOutput(f) != outDir {
+				continue
+			}
+			if !mesh.LegalTurn(inDir, outDir) {
+				continue
+			}
+			requests[int(inDir)] = true
+			any = true
+		}
+		if !any {
+			// Let the WaW counters replenish on idle cycles, as in the
+			// hardware rule.
+			op.arb.Grant(requests)
+			continue
+		}
+		winner := op.arb.Grant(requests)
+		if winner < 0 {
+			continue
+		}
+		in := mesh.Direction(winner)
+		f := r.Front(in)
+		transfers = append(transfers, Transfer{Out: outDir, In: in, Flit: f})
+		inputBusy[int(in)] = true
+		if !f.Type.IsTail() {
+			op.locked = true
+			op.lockedTo = in
+		}
+	}
+	return transfers
+}
+
+// ApplyTransfer removes the transferred flit from its input FIFO, consumes a
+// credit of the output port and updates the forwarding statistics. It
+// returns the flit so the caller can deliver it to the downstream router or
+// to the local NIC.
+func (r *Router) ApplyTransfer(t Transfer) *flit.Flit {
+	f := r.PopInput(t.In)
+	if f != t.Flit {
+		panic(fmt.Sprintf("router %v: transfer flit mismatch on input %v", r.Node, t.In))
+	}
+	r.ConsumeCredit(t.Out)
+	r.out[int(t.Out)].Forwarded++
+	return f
+}

@@ -1,0 +1,226 @@
+// Package stats provides the small statistics utilities used by the NoC
+// simulator and the benchmark harnesses: latency samplers with min/mean/max,
+// histograms and per-flow aggregation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampler accumulates scalar samples (latencies in cycles, bandwidth shares,
+// WCTT bounds…) and reports summary statistics. The zero value is ready to
+// use.
+type Sampler struct {
+	count uint64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one sample.
+func (s *Sampler) Add(v float64) {
+	if s.count == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.count++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// AddUint records one unsigned integer sample (convenience for cycle counts).
+func (s *Sampler) AddUint(v uint64) { s.Add(float64(v)) }
+
+// Count returns the number of samples recorded.
+func (s *Sampler) Count() uint64 { return s.count }
+
+// Sum returns the sum of all samples.
+func (s *Sampler) Sum() float64 { return s.sum }
+
+// Min returns the smallest sample, or 0 when empty.
+func (s *Sampler) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (s *Sampler) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Sampler) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// StdDev returns the population standard deviation, or 0 when fewer than two
+// samples have been recorded.
+func (s *Sampler) StdDev() float64 {
+	if s.count < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	variance := s.sumSq/float64(s.count) - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical noise
+	}
+	return math.Sqrt(variance)
+}
+
+// Merge adds every sample of other into s (as if they had been recorded on
+// s directly).
+func (s *Sampler) Merge(other *Sampler) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if s.count == 0 {
+		*s = *other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.count += other.count
+	s.sum += other.sum
+	s.sumSq += other.sumSq
+}
+
+// String summarises the sampler.
+func (s *Sampler) String() string {
+	return fmt.Sprintf("n=%d min=%.2f mean=%.2f max=%.2f", s.count, s.Min(), s.Mean(), s.Max())
+}
+
+// Histogram is a fixed-bucket histogram for latency distributions.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; the last bucket is unbounded
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. A final overflow bucket is added automatically. It panics when the
+// bounds are empty or not strictly ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count of the i-th bucket (the last index is the
+// overflow bucket).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) using the
+// bucket upper bounds; the overflow bucket returns +Inf. It returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) {
+				return math.Inf(1)
+			}
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// KeyedSamplers aggregates samples per string key (e.g. per flow, per node,
+// per benchmark). The zero value is not ready to use; call NewKeyed.
+type KeyedSamplers struct {
+	samplers map[string]*Sampler
+}
+
+// NewKeyed returns an empty keyed-sampler collection.
+func NewKeyed() *KeyedSamplers {
+	return &KeyedSamplers{samplers: make(map[string]*Sampler)}
+}
+
+// Add records a sample under key.
+func (k *KeyedSamplers) Add(key string, v float64) {
+	s, ok := k.samplers[key]
+	if !ok {
+		s = &Sampler{}
+		k.samplers[key] = s
+	}
+	s.Add(v)
+}
+
+// Get returns the sampler for key, or nil when no sample was recorded.
+func (k *KeyedSamplers) Get(key string) *Sampler { return k.samplers[key] }
+
+// Keys returns the recorded keys in sorted order.
+func (k *KeyedSamplers) Keys() []string {
+	keys := make([]string, 0, len(k.samplers))
+	for key := range k.samplers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Overall returns a sampler merging every key.
+func (k *KeyedSamplers) Overall() *Sampler {
+	out := &Sampler{}
+	for _, s := range k.samplers {
+		out.Merge(s)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if s.Count() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("empty sampler should report zeros")
+	}
+}
+
+func TestSamplerBasic(t *testing.T) {
+	var s Sampler
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Sum() != 20 {
+		t.Errorf("sum = %v", s.Sum())
+	}
+	wantStd := math.Sqrt(5) // population stddev of {4,2,8,6}
+	if math.Abs(s.StdDev()-wantStd) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", s.StdDev(), wantStd)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSamplerAddUint(t *testing.T) {
+	var s Sampler
+	s.AddUint(7)
+	if s.Mean() != 7 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestSamplerMerge(t *testing.T) {
+	var a, b Sampler
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	for _, v := range []float64{10, 20} {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 5 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 20 {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-36.0/5.0) > 1e-9 {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	// Merging into an empty sampler copies the other.
+	var c Sampler
+	c.Merge(&b)
+	if c.Count() != 2 || c.Max() != 20 {
+		t.Error("merge into empty failed")
+	}
+	// Merging nil or empty is a no-op.
+	c.Merge(nil)
+	var empty Sampler
+	c.Merge(&empty)
+	if c.Count() != 2 {
+		t.Error("merge of empty changed the sampler")
+	}
+}
+
+// Property: merging two samplers is equivalent to adding all samples to one.
+func TestSamplerMergeProperty(t *testing.T) {
+	// Samples are mapped into a bounded range (the sampler is used for
+	// latencies in cycles, not astronomically large values) so the equality
+	// check is not defeated by floating-point cancellation.
+	clamp := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return math.Mod(v, 1e6), true
+	}
+	f := func(xs, ys []float64) bool {
+		var a, b, all Sampler
+		for _, x := range xs {
+			v, ok := clamp(x)
+			if !ok {
+				return true
+			}
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, y := range ys {
+			v, ok := clamp(y)
+			if !ok {
+				return true
+			}
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		return a.Min() == all.Min() && a.Max() == all.Max() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", h.NumBuckets())
+	}
+	for _, v := range []float64{1, 5, 10, 50, 200, 5000} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 1, 5, 10 (<=10)
+		t.Errorf("bucket 0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(2) != 1 || h.Bucket(3) != 1 {
+		t.Errorf("buckets = %d,%d,%d", h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("median bound = %v, want 10", q)
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Errorf("q100 = %v, want +Inf (overflow bucket)", q)
+	}
+	if q := h.Quantile(-1); q != 10 {
+		t.Errorf("clamped quantile = %v", q)
+	}
+	if q := h.Quantile(2); !math.IsInf(q, 1) {
+		t.Errorf("clamped-high quantile = %v", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty bounds should panic")
+			}
+		}()
+		NewHistogram(nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-ascending bounds should panic")
+			}
+		}()
+		NewHistogram([]float64{5, 5})
+	}()
+}
+
+func TestKeyedSamplers(t *testing.T) {
+	k := NewKeyed()
+	k.Add("b", 2)
+	k.Add("a", 1)
+	k.Add("a", 3)
+	keys := k.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if k.Get("a").Count() != 2 || k.Get("b").Count() != 1 {
+		t.Error("per-key counts wrong")
+	}
+	if k.Get("missing") != nil {
+		t.Error("missing key should return nil")
+	}
+	overall := k.Overall()
+	if overall.Count() != 3 || overall.Max() != 3 || overall.Min() != 1 {
+		t.Errorf("overall = %v", overall)
+	}
+}

@@ -1,0 +1,231 @@
+// Package tablegen renders the experiment results as text, CSV or Markdown
+// tables whose layout mirrors the tables and figures of the paper, so the
+// output of the benchmark harness and of the noctool CLI can be compared to
+// the published numbers side by side.
+package tablegen
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects the output rendering.
+type Format int
+
+const (
+	// FormatText renders an aligned plain-text table.
+	FormatText Format = iota
+	// FormatCSV renders comma-separated values.
+	FormatCSV
+	// FormatMarkdown renders a GitHub-flavoured Markdown table.
+	FormatMarkdown
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatCSV:
+		return "csv"
+	case FormatMarkdown:
+		return "markdown"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat converts a user-supplied string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text", "txt", "":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "markdown", "md":
+		return FormatMarkdown, nil
+	default:
+		return FormatText, fmt.Errorf("tablegen: unknown format %q (want text, csv or markdown)", s)
+	}
+}
+
+// Table is a generic titled table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates an empty table with the given title and headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are dropped; missing
+// cells are rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowValues appends a row of formatted cells; each argument is rendered
+// with %v.
+func (t *Table) AddRowValues(cells ...interface{}) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		strs[i] = fmt.Sprintf("%v", c)
+	}
+	t.AddRow(strs...)
+}
+
+// Render writes the table in the given format.
+func (t *Table) Render(w io.Writer, f Format) error {
+	switch f {
+	case FormatCSV:
+		return t.renderCSV(w)
+	case FormatMarkdown:
+		return t.renderMarkdown(w)
+	case FormatText:
+		return t.renderText(w)
+	default:
+		return fmt.Errorf("tablegen: unknown format %v", f)
+	}
+}
+
+// RenderString renders the table to a string in the given format.
+func (t *Table) RenderString(f Format) string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = t.Render(&b, f)
+	return b.String()
+}
+
+func csvEscape(cell string) string {
+	if strings.ContainsAny(cell, ",\"\n") {
+		return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+	}
+	return cell
+}
+
+func (t *Table) renderCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			escaped[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(escaped, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) columnWidths() []int {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	return widths
+}
+
+func (t *Table) renderText(w io.Writer) error {
+	widths := t.columnWidths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) renderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Matrix renders a 2D value grid (such as Table III's per-core map) with row
+// and column indices, in the given cell format (e.g. "%.4f").
+func Matrix(title string, values [][]float64, cellFormat string) *Table {
+	if len(values) == 0 {
+		return New(title, "y\\x")
+	}
+	headers := make([]string, len(values[0])+1)
+	headers[0] = "y\\x"
+	for x := range values[0] {
+		headers[x+1] = fmt.Sprintf("%d", x)
+	}
+	t := New(title, headers...)
+	for y, row := range values {
+		cells := make([]string, len(row)+1)
+		cells[0] = fmt.Sprintf("%d", y)
+		for x, v := range row {
+			cells[x+1] = fmt.Sprintf(cellFormat, v)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+)
+
+// This file provides the classical synthetic permutation patterns used to
+// characterise mesh NoCs (Duato et al. [5]): transpose, bit-complement and
+// nearest-neighbour traffic. They complement the memory-controller hotspot
+// pattern of the paper's platform and are used by the average-performance
+// and simulator-throughput studies.
+
+// Permutation maps every source node to a fixed destination node.
+type Permutation func(d mesh.Dim, src mesh.Node) mesh.Node
+
+// Transpose maps node (x, y) to node (y, x). On non-square meshes the
+// coordinates are wrapped into range.
+func Transpose(d mesh.Dim, src mesh.Node) mesh.Node {
+	return mesh.Node{X: src.Y % d.Width, Y: src.X % d.Height}
+}
+
+// BitComplement maps node (x, y) to (Width-1-x, Height-1-y), i.e. the node
+// mirrored through the mesh centre.
+func BitComplement(d mesh.Dim, src mesh.Node) mesh.Node {
+	return mesh.Node{X: d.Width - 1 - src.X, Y: d.Height - 1 - src.Y}
+}
+
+// NearestNeighbor maps every node to its east neighbour (wrapping at the
+// edge to the first node of the same row), producing short-range traffic.
+func NearestNeighbor(d mesh.Dim, src mesh.Node) mesh.Node {
+	return mesh.Node{X: (src.X + 1) % d.Width, Y: src.Y}
+}
+
+// PermutationGenerator injects `rounds` messages per node following a fixed
+// permutation pattern, one message per node per interval cycles.
+type PermutationGenerator struct {
+	dim      mesh.Dim
+	perm     Permutation
+	payload  int
+	interval uint64
+	rounds   int
+
+	issued int
+}
+
+// NewPermutation builds a permutation-pattern generator. interval is the
+// number of cycles between consecutive rounds (at least 1).
+func NewPermutation(d mesh.Dim, perm Permutation, payload, rounds int, interval uint64) (*PermutationGenerator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if perm == nil {
+		return nil, fmt.Errorf("traffic: nil permutation")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("traffic: negative round count %d", rounds)
+	}
+	if interval < 1 {
+		return nil, fmt.Errorf("traffic: interval must be at least one cycle")
+	}
+	return &PermutationGenerator{
+		dim:      d,
+		perm:     perm,
+		payload:  payload,
+		interval: interval,
+		rounds:   rounds,
+	}, nil
+}
+
+// Tick implements Generator.
+func (p *PermutationGenerator) Tick(cycle uint64) []*flit.Message {
+	if p.issued >= p.rounds || cycle%p.interval != 0 {
+		return nil
+	}
+	p.issued++
+	var out []*flit.Message
+	for _, src := range p.dim.AllNodes() {
+		dst := p.perm(p.dim, src)
+		if dst == src || !p.dim.Contains(dst) {
+			continue
+		}
+		out = append(out, &flit.Message{
+			Flow:        flit.FlowID{Src: src, Dst: dst},
+			Class:       flit.ClassData,
+			PayloadBits: p.payload,
+		})
+	}
+	return out
+}
+
+// Done implements Generator.
+func (p *PermutationGenerator) Done() bool { return p.issued >= p.rounds }

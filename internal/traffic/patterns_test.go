@@ -1,0 +1,120 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func TestTransposeAndBitComplementProperties(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	f := func(xr, yr uint8) bool {
+		src := mesh.Node{X: int(xr) % d.Width, Y: int(yr) % d.Height}
+		tr := Transpose(d, src)
+		bc := BitComplement(d, src)
+		nn := NearestNeighbor(d, src)
+		if !d.Contains(tr) || !d.Contains(bc) || !d.Contains(nn) {
+			return false
+		}
+		// Transpose and bit-complement are involutions on a square mesh.
+		if Transpose(d, tr) != src || BitComplement(d, bc) != src {
+			return false
+		}
+		// Nearest neighbour stays in the same row one column over.
+		if nn.Y != src.Y || nn == src && d.Width > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeDiagonalFixedPoints(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	if Transpose(d, mesh.Node{X: 2, Y: 2}) != (mesh.Node{X: 2, Y: 2}) {
+		t.Error("diagonal nodes are fixed points of transpose")
+	}
+	if Transpose(d, mesh.Node{X: 3, Y: 1}) != (mesh.Node{X: 1, Y: 3}) {
+		t.Error("transpose mapping wrong")
+	}
+	if BitComplement(d, mesh.Node{X: 0, Y: 0}) != (mesh.Node{X: 3, Y: 3}) {
+		t.Error("bit-complement mapping wrong")
+	}
+}
+
+func TestNewPermutationValidation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	if _, err := NewPermutation(mesh.Dim{}, Transpose, 64, 1, 1); err == nil {
+		t.Error("invalid dim should fail")
+	}
+	if _, err := NewPermutation(d, nil, 64, 1, 1); err == nil {
+		t.Error("nil permutation should fail")
+	}
+	if _, err := NewPermutation(d, Transpose, 64, -1, 1); err == nil {
+		t.Error("negative rounds should fail")
+	}
+	if _, err := NewPermutation(d, Transpose, 64, 1, 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestPermutationGeneratorRoundsAndSelfFiltering(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	g, err := NewPermutation(d, Transpose, 64, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First round fires at cycle 0: 16 nodes minus the 4 diagonal fixed
+	// points = 12 messages.
+	msgs := g.Tick(0)
+	if len(msgs) != 12 {
+		t.Errorf("round 1 produced %d messages, want 12", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Flow.Src == m.Flow.Dst {
+			t.Error("self message produced")
+		}
+	}
+	// Nothing between rounds.
+	if got := g.Tick(3); got != nil {
+		t.Errorf("off-interval tick produced %d messages", len(got))
+	}
+	if g.Done() {
+		t.Error("generator done too early")
+	}
+	if got := g.Tick(5); len(got) != 12 {
+		t.Errorf("round 2 produced %d messages", len(got))
+	}
+	if !g.Done() {
+		t.Error("generator should be done after the configured rounds")
+	}
+	if g.Tick(10) != nil {
+		t.Error("done generator should stay quiet")
+	}
+}
+
+// Both designs deliver the whole transpose and bit-complement patterns —
+// additional conservation coverage with non-hotspot traffic.
+func TestPermutationTrafficDelivered(t *testing.T) {
+	for _, perm := range []Permutation{Transpose, BitComplement, NearestNeighbor} {
+		for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+			d := mesh.MustDim(4, 4)
+			net := network.MustNew(network.DefaultConfig(d, design))
+			g, err := NewPermutation(d, perm, 512, 3, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected, done := Drive(net, g, 100_000)
+			if !done {
+				t.Fatalf("%v: pattern did not drain", design)
+			}
+			if injected == 0 || int(net.TotalDeliveredMessages()) != injected {
+				t.Errorf("%v: delivered %d of %d", design, net.TotalDeliveredMessages(), injected)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package traffic provides the traffic generators that drive the NoC
+// simulator: open-loop synthetic patterns (uniform random, hotspot,
+// all-to-one memory traffic) and a deterministic pseudo-random source so that
+// simulations are reproducible.
+//
+// The paper's evaluation platform generates two kinds of NoC traffic from the
+// cores: one-flit load/write-miss requests answered by 4-flit (512-bit cache
+// line) replies, and 4-flit eviction (write-back) messages answered by
+// one-flit acknowledgements. The generators in this package produce the
+// request side of those transactions; the closed-loop reply side is handled
+// by the memctrl and manycore packages.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+// Standard message payload sizes of the evaluation platform (Section IV).
+const (
+	// RequestPayloadBits is the payload of a load/write-miss request
+	// (address plus command, well within one flit).
+	RequestPayloadBits = 48
+	// CacheLinePayloadBits is a 64-byte cache line.
+	CacheLinePayloadBits = 512
+	// AckPayloadBits is a one-flit acknowledgement.
+	AckPayloadBits = 16
+)
+
+// Generator produces messages to inject at given cycles.
+type Generator interface {
+	// Tick returns the messages to inject at the given cycle. The returned
+	// messages have their Flow, Class and PayloadBits fields set.
+	Tick(cycle uint64) []*flit.Message
+	// Done reports whether the generator will never produce messages again.
+	Done() bool
+}
+
+// Rand is the deterministic pseudo-random source used by the generators.
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// UniformRandom injects requests from every node to uniformly random
+// destinations at a fixed per-node injection rate (flit-equivalents per node
+// per cycle, approximated at message granularity).
+type UniformRandom struct {
+	dim        mesh.Dim
+	rng        *rand.Rand
+	ratePerMil int // messages per node per 1000 cycles
+	payload    int
+	remaining  int
+}
+
+// NewUniformRandom builds a uniform-random generator producing `total`
+// messages overall at roughly ratePerMil messages per node per 1000 cycles
+// with the given payload size.
+func NewUniformRandom(dim mesh.Dim, seed int64, ratePerMil, payload, total int) (*UniformRandom, error) {
+	if err := dim.Validate(); err != nil {
+		return nil, err
+	}
+	if ratePerMil <= 0 {
+		return nil, fmt.Errorf("traffic: injection rate must be positive, got %d", ratePerMil)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("traffic: total message count must be non-negative, got %d", total)
+	}
+	return &UniformRandom{
+		dim:        dim,
+		rng:        Rand(seed),
+		ratePerMil: ratePerMil,
+		payload:    payload,
+		remaining:  total,
+	}, nil
+}
+
+// Tick implements Generator.
+func (u *UniformRandom) Tick(uint64) []*flit.Message {
+	if u.remaining <= 0 {
+		return nil
+	}
+	var out []*flit.Message
+	for _, src := range u.dim.AllNodes() {
+		if u.remaining <= 0 {
+			break
+		}
+		if u.rng.Intn(1000) >= u.ratePerMil {
+			continue
+		}
+		dst := u.dim.NodeAt(u.rng.Intn(u.dim.Nodes()))
+		if dst == src {
+			continue
+		}
+		out = append(out, &flit.Message{
+			Flow:        flit.FlowID{Src: src, Dst: dst},
+			Class:       flit.ClassData,
+			PayloadBits: u.payload,
+		})
+		u.remaining--
+	}
+	return out
+}
+
+// Done implements Generator.
+func (u *UniformRandom) Done() bool { return u.remaining <= 0 }
+
+// Hotspot sends requests from every node towards a single hotspot node (the
+// memory controller pattern of the paper's platform).
+type Hotspot struct {
+	dim       mesh.Dim
+	target    mesh.Node
+	rng       *rand.Rand
+	ratePct   int // probability (percent) that a node issues a request each cycle
+	payload   int
+	remaining int
+}
+
+// NewHotspot builds an all-to-one generator towards target producing `total`
+// messages overall; each cycle every node issues a request with probability
+// ratePct percent.
+func NewHotspot(dim mesh.Dim, target mesh.Node, seed int64, ratePct, payload, total int) (*Hotspot, error) {
+	if err := dim.Validate(); err != nil {
+		return nil, err
+	}
+	if !dim.Contains(target) {
+		return nil, fmt.Errorf("traffic: hotspot %v outside %v mesh", target, dim)
+	}
+	if ratePct <= 0 || ratePct > 100 {
+		return nil, fmt.Errorf("traffic: rate must be in (0,100], got %d", ratePct)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("traffic: total message count must be non-negative, got %d", total)
+	}
+	return &Hotspot{
+		dim:       dim,
+		target:    target,
+		rng:       Rand(seed),
+		ratePct:   ratePct,
+		payload:   payload,
+		remaining: total,
+	}, nil
+}
+
+// Tick implements Generator.
+func (h *Hotspot) Tick(uint64) []*flit.Message {
+	if h.remaining <= 0 {
+		return nil
+	}
+	var out []*flit.Message
+	for _, src := range h.dim.AllNodes() {
+		if h.remaining <= 0 {
+			break
+		}
+		if src == h.target {
+			continue
+		}
+		if h.rng.Intn(100) >= h.ratePct {
+			continue
+		}
+		out = append(out, &flit.Message{
+			Flow:        flit.FlowID{Src: src, Dst: h.target},
+			Class:       flit.ClassRequest,
+			PayloadBits: h.payload,
+		})
+		h.remaining--
+	}
+	return out
+}
+
+// Done implements Generator.
+func (h *Hotspot) Done() bool { return h.remaining <= 0 }
+
+// Trace replays an explicit list of (cycle, message) events, e.g. extracted
+// from an application communication trace.
+type Trace struct {
+	events []TraceEvent
+	next   int
+}
+
+// TraceEvent is one entry of a replayed trace.
+type TraceEvent struct {
+	Cycle uint64
+	Msg   *flit.Message
+}
+
+// NewTrace builds a trace generator. Events must be sorted by cycle.
+func NewTrace(events []TraceEvent) (*Trace, error) {
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			return nil, fmt.Errorf("traffic: trace events must be sorted by cycle (event %d)", i)
+		}
+	}
+	for i, e := range events {
+		if e.Msg == nil {
+			return nil, fmt.Errorf("traffic: trace event %d has a nil message", i)
+		}
+	}
+	return &Trace{events: events}, nil
+}
+
+// Tick implements Generator.
+func (t *Trace) Tick(cycle uint64) []*flit.Message {
+	var out []*flit.Message
+	for t.next < len(t.events) && t.events[t.next].Cycle <= cycle {
+		out = append(out, t.events[t.next].Msg)
+		t.next++
+	}
+	return out
+}
+
+// Done implements Generator.
+func (t *Trace) Done() bool { return t.next >= len(t.events) }
+
+// Drive runs the generator against the network until the generator is done
+// and the network has drained, or until maxCycles have elapsed. It returns
+// the number of messages injected and whether the run completed.
+func Drive(net *network.Network, gen Generator, maxCycles int) (int, bool) {
+	injected := 0
+	for i := 0; i < maxCycles; i++ {
+		for _, msg := range gen.Tick(net.Cycle()) {
+			if _, err := net.Send(msg); err == nil {
+				injected++
+			}
+		}
+		if gen.Done() && net.Drained() {
+			return injected, true
+		}
+		net.Step()
+	}
+	return injected, gen.Done() && net.Drained()
+}

@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func TestUniformRandomValidation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	if _, err := NewUniformRandom(mesh.Dim{}, 1, 10, 64, 10); err == nil {
+		t.Error("invalid dim should fail")
+	}
+	if _, err := NewUniformRandom(d, 1, 0, 64, 10); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewUniformRandom(d, 1, 10, 64, -1); err == nil {
+		t.Error("negative total should fail")
+	}
+}
+
+func TestUniformRandomProducesExactlyTotal(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	g, err := NewUniformRandom(d, 42, 500, 64, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := 0
+	for cycle := uint64(0); !g.Done() && cycle < 100000; cycle++ {
+		msgs := g.Tick(cycle)
+		for _, m := range msgs {
+			if m.Flow.Src == m.Flow.Dst {
+				t.Error("self flow generated")
+			}
+			if !d.Contains(m.Flow.Src) || !d.Contains(m.Flow.Dst) {
+				t.Error("flow outside the mesh")
+			}
+		}
+		produced += len(msgs)
+	}
+	if produced != 37 {
+		t.Errorf("produced %d messages, want 37", produced)
+	}
+	if !g.Done() {
+		t.Error("generator should be done")
+	}
+	if g.Tick(0) != nil {
+		t.Error("done generator should not produce messages")
+	}
+}
+
+func TestUniformRandomDeterministic(t *testing.T) {
+	d := mesh.MustDim(3, 3)
+	run := func() []flit.FlowID {
+		g, _ := NewUniformRandom(d, 7, 300, 64, 20)
+		var flows []flit.FlowID
+		for cycle := uint64(0); !g.Done(); cycle++ {
+			for _, m := range g.Tick(cycle) {
+				flows = append(flows, m.Flow)
+			}
+		}
+		return flows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different traffic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHotspotValidation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	target := mesh.Node{X: 0, Y: 0}
+	if _, err := NewHotspot(mesh.Dim{}, target, 1, 50, 48, 10); err == nil {
+		t.Error("invalid dim should fail")
+	}
+	if _, err := NewHotspot(d, mesh.Node{X: 9, Y: 9}, 1, 50, 48, 10); err == nil {
+		t.Error("target outside mesh should fail")
+	}
+	if _, err := NewHotspot(d, target, 1, 0, 48, 10); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewHotspot(d, target, 1, 101, 48, 10); err == nil {
+		t.Error("rate above 100 should fail")
+	}
+	if _, err := NewHotspot(d, target, 1, 50, 48, -5); err == nil {
+		t.Error("negative total should fail")
+	}
+}
+
+func TestHotspotTargetsSingleNode(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	target := mesh.Node{X: 0, Y: 0}
+	g, err := NewHotspot(d, target, 3, 100, RequestPayloadBits, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := 0
+	for cycle := uint64(0); !g.Done() && cycle < 1000; cycle++ {
+		for _, m := range g.Tick(cycle) {
+			if m.Flow.Dst != target {
+				t.Errorf("message to %v, want %v", m.Flow.Dst, target)
+			}
+			if m.Flow.Src == target {
+				t.Error("hotspot node should not send to itself")
+			}
+			if m.Class != flit.ClassRequest {
+				t.Errorf("class = %v, want request", m.Class)
+			}
+			produced++
+		}
+	}
+	if produced != 45 {
+		t.Errorf("produced %d messages, want 45", produced)
+	}
+}
+
+func TestTraceGenerator(t *testing.T) {
+	mk := func(cycle uint64) TraceEvent {
+		return TraceEvent{Cycle: cycle, Msg: &flit.Message{
+			Flow:        flit.FlowID{Src: mesh.Node{X: 0, Y: 0}, Dst: mesh.Node{X: 1, Y: 0}},
+			PayloadBits: 64,
+		}}
+	}
+	if _, err := NewTrace([]TraceEvent{mk(5), mk(3)}); err == nil {
+		t.Error("unsorted trace should fail")
+	}
+	if _, err := NewTrace([]TraceEvent{{Cycle: 1, Msg: nil}}); err == nil {
+		t.Error("nil message should fail")
+	}
+	g, err := NewTrace([]TraceEvent{mk(0), mk(2), mk(2), mk(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Tick(0)); got != 1 {
+		t.Errorf("cycle 0: %d messages, want 1", got)
+	}
+	if got := len(g.Tick(1)); got != 0 {
+		t.Errorf("cycle 1: %d messages, want 0", got)
+	}
+	if got := len(g.Tick(3)); got != 2 {
+		t.Errorf("cycle 3: %d messages, want 2 (both cycle-2 events)", got)
+	}
+	if g.Done() {
+		t.Error("generator should not be done yet")
+	}
+	if got := len(g.Tick(10)); got != 1 {
+		t.Errorf("cycle 10: %d messages, want 1", got)
+	}
+	if !g.Done() {
+		t.Error("generator should be done")
+	}
+}
+
+func TestDriveDeliversEverything(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	net := network.MustNew(network.DefaultConfig(d, network.DesignWaWWaP))
+	g, err := NewHotspot(d, mesh.Node{X: 0, Y: 0}, 11, 40, RequestPayloadBits, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, done := Drive(net, g, 100000)
+	if !done {
+		t.Fatal("drive did not complete")
+	}
+	if injected != 60 {
+		t.Errorf("injected %d messages, want 60", injected)
+	}
+	if net.TotalDeliveredMessages() != 60 {
+		t.Errorf("delivered %d messages, want 60", net.TotalDeliveredMessages())
+	}
+}
+
+func TestDriveRespectsMaxCycles(t *testing.T) {
+	d := mesh.MustDim(2, 2)
+	net := network.MustNew(network.DefaultConfig(d, network.DesignRegular))
+	g, err := NewHotspot(d, mesh.Node{X: 0, Y: 0}, 1, 100, CacheLinePayloadBits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := Drive(net, g, 10)
+	if done {
+		t.Error("drive should not complete in 10 cycles")
+	}
+}

@@ -1,0 +1,359 @@
+// Package wcet implements the WCET computation mode of the paper's
+// evaluation platform (after Paolieri et al. [17]): at analysis time every
+// NoC access of a task is inflated by the Upper-Bound Delay (UBD) of its
+// flow, i.e. the analytical worst-case traversal time of the request plus
+// the reply plus the memory service latency. The package produces the
+// per-core WCET estimates behind Table III (single-threaded EEMBC kernels)
+// and Figure 2 (the 16-core 3DPP avionics application under different
+// maximum packet sizes and placements).
+package wcet
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Platform describes the many-core platform of the evaluation: an N x M mesh
+// with a single memory controller, the link parameters, the memory service
+// latency and the clock frequency used to report WCETs in milliseconds.
+type Platform struct {
+	Dim    mesh.Dim
+	Memory mesh.Node
+	Link   flit.LinkConfig
+	// MemoryLatency is the memory controller service latency in cycles,
+	// charged once per round trip on top of the two traversals.
+	MemoryLatency int
+	// RouterLatency and HeaderOverhead parameterise the analytical WCTT
+	// models (see the analysis package).
+	RouterLatency  int
+	HeaderOverhead int
+	// ClockMHz converts cycles to wall-clock time for Figure 2.
+	ClockMHz int
+	// RequestBits and ReplyBits are the payload sizes of a memory read
+	// transaction; EvictionBits/AckBits those of a write-back transaction.
+	RequestBits  int
+	ReplyBits    int
+	EvictionBits int
+	AckBits      int
+}
+
+// DefaultPlatform returns the paper's 64-core platform: an 8x8 mesh, the
+// memory controller attached to R(0,0), 132-bit links, 4-flit cache-line
+// replies and a 500 MHz clock.
+func DefaultPlatform() Platform {
+	return Platform{
+		Dim:            mesh.MustDim(8, 8),
+		Memory:         mesh.Node{X: 0, Y: 0},
+		Link:           flit.DefaultLinkConfig(),
+		MemoryLatency:  30,
+		RouterLatency:  1,
+		HeaderOverhead: 1,
+		ClockMHz:       500,
+		RequestBits:    48,
+		ReplyBits:      512,
+		EvictionBits:   512,
+		AckBits:        16,
+	}
+}
+
+// Validate checks the platform description.
+func (p Platform) Validate() error {
+	if err := p.Dim.Validate(); err != nil {
+		return err
+	}
+	if !p.Dim.Contains(p.Memory) {
+		return fmt.Errorf("wcet: memory controller %v outside %v mesh", p.Memory, p.Dim)
+	}
+	if err := p.Link.Validate(); err != nil {
+		return err
+	}
+	if p.MemoryLatency < 0 {
+		return fmt.Errorf("wcet: negative memory latency %d", p.MemoryLatency)
+	}
+	if p.ClockMHz <= 0 {
+		return fmt.Errorf("wcet: clock frequency must be positive, got %d MHz", p.ClockMHz)
+	}
+	if p.RequestBits <= 0 || p.ReplyBits <= 0 || p.EvictionBits <= 0 || p.AckBits <= 0 {
+		return fmt.Errorf("wcet: message payload sizes must be positive")
+	}
+	return nil
+}
+
+// model builds the analytical WCTT model for the platform, optionally
+// overriding the network maximum packet size (the L parameter of Figure 2a).
+func (p Platform) model(maxPacketFlits int) (*analysis.Model, error) {
+	params := analysis.Params{
+		Dim:            p.Dim,
+		Link:           p.Link,
+		RouterLatency:  p.RouterLatency,
+		HeaderOverhead: p.HeaderOverhead,
+	}
+	if maxPacketFlits > 0 {
+		params.Link.MaxPacketFlits = maxPacketFlits
+	}
+	return analysis.NewModel(params)
+}
+
+// CyclesToMillis converts a cycle count to milliseconds at the platform
+// clock.
+func (p Platform) CyclesToMillis(cycles uint64) float64 {
+	return float64(cycles) / (float64(p.ClockMHz) * 1000.0)
+}
+
+// BenchmarkWCET returns the WCET estimate, in cycles, of a single-threaded
+// benchmark running on the core at node `core` under the given NoC design:
+// the benchmark's compute cycles plus one UBD-inflated round trip per memory
+// access and per eviction.
+func (p Platform) BenchmarkWCET(design network.Design, core mesh.Node, b workload.Benchmark) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if !p.Dim.Contains(core) {
+		return 0, fmt.Errorf("wcet: core %v outside %v mesh", core, p.Dim)
+	}
+	m, err := p.model(0)
+	if err != nil {
+		return 0, err
+	}
+	loadUBD, err := m.RoundTripUBD(design, core, p.Memory, p.RequestBits, p.ReplyBits)
+	if err != nil {
+		return 0, err
+	}
+	evictUBD, err := m.RoundTripUBD(design, core, p.Memory, p.EvictionBits, p.AckBits)
+	if err != nil {
+		return 0, err
+	}
+	mem := uint64(p.MemoryLatency)
+	wcet := b.ComputeCycles()
+	wcet += b.MemoryAccesses() * (loadUBD + mem)
+	wcet += b.Evictions() * (evictUBD + mem)
+	return wcet, nil
+}
+
+// NormalizedCell is one entry of the Table III map: the WCET of the WaW+WaP
+// design divided by the WCET of the regular design for the core at Node,
+// averaged over a benchmark suite.
+type NormalizedCell struct {
+	Node  mesh.Node
+	Ratio float64
+}
+
+// TableIII computes the per-core normalised WCET map of Table III: for every
+// node of the mesh, the geometric structure of the paper is reproduced by
+// averaging, over the given benchmark suite, the ratio
+// WCET(WaW+WaP) / WCET(regular). Values above 1 mean the regular design is
+// better for that core; values far below 1 mean WaW+WaP is better.
+// The result is indexed [y][x].
+func (p Platform) TableIII(benchmarks []workload.Benchmark) ([][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("wcet: empty benchmark suite")
+	}
+	table := make([][]float64, p.Dim.Height)
+	for y := range table {
+		table[y] = make([]float64, p.Dim.Width)
+	}
+	for _, core := range p.Dim.AllNodes() {
+		sum := 0.0
+		for _, b := range benchmarks {
+			reg, err := p.BenchmarkWCET(network.DesignRegular, core, b)
+			if err != nil {
+				return nil, err
+			}
+			waw, err := p.BenchmarkWCET(network.DesignWaWWaP, core, b)
+			if err != nil {
+				return nil, err
+			}
+			if reg == 0 {
+				return nil, fmt.Errorf("wcet: zero regular WCET for %s at %v", b.Name, core)
+			}
+			sum += float64(waw) / float64(reg)
+		}
+		table[core.Y][core.X] = sum / float64(len(benchmarks))
+	}
+	return table, nil
+}
+
+// farthestPeer returns the node of the placement that is farthest from n
+// (excluding n itself); used to bound neighbour-exchange phases.
+func farthestPeer(placement workload.Placement, n mesh.Node) mesh.Node {
+	best := n
+	bestDist := -1
+	for _, other := range placement.Nodes {
+		if other == n {
+			continue
+		}
+		if d := other.ManhattanDistance(n); d > bestDist {
+			bestDist = d
+			best = other
+		}
+	}
+	return best
+}
+
+// ParallelWCET returns the WCET estimate, in cycles, of a fork/join parallel
+// application mapped onto the mesh by the given placement, under the given
+// design and network maximum packet size (maxPacketFlits; 0 keeps the
+// platform default). Each phase completes when its slowest thread completes;
+// the estimate is the sum over phases of that critical path, with every
+// message exchange inflated by its round-trip UBD (memory exchanges also pay
+// the memory service latency).
+func (p Platform) ParallelWCET(design network.Design, app workload.ParallelApp, placement workload.Placement, maxPacketFlits int) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	if err := placement.Validate(p.Dim); err != nil {
+		return 0, err
+	}
+	if len(placement.Nodes) < app.Threads {
+		return 0, fmt.Errorf("wcet: placement %s has %d nodes for %d threads", placement.Name, len(placement.Nodes), app.Threads)
+	}
+	m, err := p.model(maxPacketFlits)
+	if err != nil {
+		return 0, err
+	}
+	master := placement.Nodes[0]
+	var total uint64
+	for _, phase := range app.Phases {
+		var worst uint64
+		for t := 0; t < app.Threads; t++ {
+			node := placement.Nodes[t]
+			threadTime := phase.ComputeCycles
+			if phase.MessagesPerThread > 0 {
+				var peer mesh.Node
+				extra := uint64(0)
+				switch phase.Target {
+				case workload.TargetMemory:
+					peer = p.Memory
+					extra = uint64(p.MemoryLatency)
+				case workload.TargetMaster:
+					peer = master
+				case workload.TargetNeighbors:
+					peer = farthestPeer(placement, node)
+				default:
+					return 0, fmt.Errorf("wcet: unknown communication target %v", phase.Target)
+				}
+				ubd, err := m.RoundTripUBD(design, node, peer, phase.RequestBits, phase.ReplyBits)
+				if err != nil {
+					return 0, err
+				}
+				threadTime += uint64(phase.MessagesPerThread) * (ubd + extra)
+			}
+			if threadTime > worst {
+				worst = threadTime
+			}
+		}
+		total += worst
+	}
+	return total, nil
+}
+
+// Figure2aPoint is one group of bars of Figure 2(a): the WCET estimates (in
+// milliseconds) of the application under the regular and WaW+WaP designs for
+// one maximum packet size.
+type Figure2aPoint struct {
+	MaxPacketFlits int
+	RegularMs      float64
+	WaWWaPMs       float64
+}
+
+// Improvement returns the regular/WaW+WaP WCET ratio (values above 1 mean
+// WaW+WaP is better).
+func (p Figure2aPoint) Improvement() float64 {
+	if p.WaWWaPMs == 0 {
+		return 0
+	}
+	return p.RegularMs / p.WaWWaPMs
+}
+
+// Figure2a computes the WCET estimates of the application under placement
+// for each maximum packet size in sizes (the paper uses 1, 4 and 8 flits).
+func (p Platform) Figure2a(app workload.ParallelApp, placement workload.Placement, sizes []int) ([]Figure2aPoint, error) {
+	points := make([]Figure2aPoint, 0, len(sizes))
+	for _, l := range sizes {
+		if l < 1 {
+			return nil, fmt.Errorf("wcet: invalid maximum packet size %d", l)
+		}
+		reg, err := p.ParallelWCET(network.DesignRegular, app, placement, l)
+		if err != nil {
+			return nil, err
+		}
+		waw, err := p.ParallelWCET(network.DesignWaWWaP, app, placement, l)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Figure2aPoint{
+			MaxPacketFlits: l,
+			RegularMs:      p.CyclesToMillis(reg),
+			WaWWaPMs:       p.CyclesToMillis(waw),
+		})
+	}
+	return points, nil
+}
+
+// Figure2bPoint is one group of bars of Figure 2(b): the WCET estimates (in
+// milliseconds) of the application under one placement, for the L1 (one-flit
+// maximum packet) configuration.
+type Figure2bPoint struct {
+	Placement string
+	RegularMs float64
+	WaWWaPMs  float64
+}
+
+// Figure2b computes the placement-sensitivity study of Figure 2(b): the WCET
+// estimates of the application under every placement for the given maximum
+// packet size (the paper uses L1).
+func (p Platform) Figure2b(app workload.ParallelApp, placements []workload.Placement, maxPacketFlits int) ([]Figure2bPoint, error) {
+	points := make([]Figure2bPoint, 0, len(placements))
+	for _, pl := range placements {
+		reg, err := p.ParallelWCET(network.DesignRegular, app, pl, maxPacketFlits)
+		if err != nil {
+			return nil, err
+		}
+		waw, err := p.ParallelWCET(network.DesignWaWWaP, app, pl, maxPacketFlits)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Figure2bPoint{
+			Placement: pl.Name,
+			RegularMs: p.CyclesToMillis(reg),
+			WaWWaPMs:  p.CyclesToMillis(waw),
+		})
+	}
+	return points, nil
+}
+
+// Variability returns max/min of the given per-placement WCETs; the paper
+// uses it to show that WaW+WaP bounds the impact of placement (about 20%
+// variability) whereas the regular design varies by more than 6x.
+func Variability(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV == 0 {
+		return 0
+	}
+	return maxV / minV
+}

@@ -1,0 +1,116 @@
+// Package workload provides the application models used by the paper's
+// evaluation: synthetic execution profiles of the sixteen EEMBC Automotive
+// (autobench) kernels and a synthetic model of the 3D path planning (3DPP)
+// parallel avionics application from Honeywell, together with the thread
+// placements studied in Figure 2(b).
+//
+// # Substitution note
+//
+// The original EEMBC binaries and the Honeywell application are proprietary
+// and cannot be redistributed, so this package models them by their
+// NoC-relevant characteristics: dynamic instruction counts, base CPI and
+// memory-access (cache-miss) densities for the single-threaded kernels, and
+// per-phase compute/communication volumes for the parallel application. The
+// WCET experiments (Table III, Figure 2) only depend on the ratio between
+// NoC-bound delay and on-core compute, so profiles spanning the realistic
+// range reproduce the structure of the paper's results. The parameters below
+// are synthetic but follow the published characterisation of the EEMBC
+// autobench suite (Poovey [20]): small kernels with working sets that mostly
+// fit in the L1 cache (low miss densities) except for the memory-streaming
+// kernels (cacheb, matrix, idctrn, aifftr) which show substantially higher
+// miss densities.
+package workload
+
+import "fmt"
+
+// Benchmark is a synthetic single-threaded execution profile.
+type Benchmark struct {
+	// Name of the EEMBC autobench kernel.
+	Name string
+	// Instructions is the dynamic instruction count of one iteration of the
+	// kernel.
+	Instructions uint64
+	// CPI is the base cycles-per-instruction of the core when every memory
+	// access hits in the local cache hierarchy (no NoC involvement).
+	CPI float64
+	// MissesPer1K is the number of NoC-bound memory accesses (load/store
+	// misses reaching the memory controller) per thousand instructions.
+	MissesPer1K float64
+	// EvictionRatio is the fraction of misses that additionally write back a
+	// dirty line (generating a 4-flit eviction message and a 1-flit ack).
+	EvictionRatio float64
+}
+
+// Validate checks the profile for consistency.
+func (b Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("workload: benchmark without a name")
+	}
+	if b.Instructions == 0 {
+		return fmt.Errorf("workload: benchmark %s has no instructions", b.Name)
+	}
+	if b.CPI <= 0 {
+		return fmt.Errorf("workload: benchmark %s has non-positive CPI", b.Name)
+	}
+	if b.MissesPer1K < 0 {
+		return fmt.Errorf("workload: benchmark %s has negative miss density", b.Name)
+	}
+	if b.EvictionRatio < 0 || b.EvictionRatio > 1 {
+		return fmt.Errorf("workload: benchmark %s eviction ratio %v outside [0,1]", b.Name, b.EvictionRatio)
+	}
+	return nil
+}
+
+// ComputeCycles returns the cycles the kernel spends on-core, excluding any
+// NoC/memory round-trip delay.
+func (b Benchmark) ComputeCycles() uint64 {
+	return uint64(float64(b.Instructions) * b.CPI)
+}
+
+// MemoryAccesses returns the number of NoC-bound memory transactions
+// (request + cache-line reply) of one kernel run.
+func (b Benchmark) MemoryAccesses() uint64 {
+	return uint64(float64(b.Instructions) / 1000.0 * b.MissesPer1K)
+}
+
+// Evictions returns the number of write-back transactions (4-flit eviction +
+// 1-flit ack) of one kernel run.
+func (b Benchmark) Evictions() uint64 {
+	return uint64(float64(b.MemoryAccesses()) * b.EvictionRatio)
+}
+
+// EEMBCAutomotive returns the synthetic profiles of the sixteen EEMBC
+// autobench kernels used in Table III. The instruction counts are in the
+// millions (one benchmark iteration), the miss densities range from well
+// below one miss per thousand instructions (control-dominated kernels) to a
+// few misses per thousand instructions (streaming kernels).
+func EEMBCAutomotive() []Benchmark {
+	return []Benchmark{
+		{Name: "a2time", Instructions: 2_600_000, CPI: 1.15, MissesPer1K: 0.35, EvictionRatio: 0.25},
+		{Name: "aifftr", Instructions: 5_200_000, CPI: 1.25, MissesPer1K: 3.10, EvictionRatio: 0.40},
+		{Name: "aifirf", Instructions: 3_100_000, CPI: 1.10, MissesPer1K: 0.80, EvictionRatio: 0.30},
+		{Name: "aiifft", Instructions: 5_000_000, CPI: 1.25, MissesPer1K: 2.90, EvictionRatio: 0.40},
+		{Name: "basefp", Instructions: 1_900_000, CPI: 1.30, MissesPer1K: 0.25, EvictionRatio: 0.20},
+		{Name: "bitmnp", Instructions: 2_200_000, CPI: 1.05, MissesPer1K: 0.45, EvictionRatio: 0.15},
+		{Name: "cacheb", Instructions: 1_500_000, CPI: 1.20, MissesPer1K: 6.50, EvictionRatio: 0.50},
+		{Name: "canrdr", Instructions: 1_200_000, CPI: 1.10, MissesPer1K: 0.55, EvictionRatio: 0.20},
+		{Name: "idctrn", Instructions: 3_800_000, CPI: 1.20, MissesPer1K: 2.40, EvictionRatio: 0.45},
+		{Name: "iirflt", Instructions: 2_800_000, CPI: 1.15, MissesPer1K: 0.70, EvictionRatio: 0.25},
+		{Name: "matrix", Instructions: 4_500_000, CPI: 1.20, MissesPer1K: 4.20, EvictionRatio: 0.45},
+		{Name: "pntrch", Instructions: 1_700_000, CPI: 1.35, MissesPer1K: 1.60, EvictionRatio: 0.20},
+		{Name: "puwmod", Instructions: 1_300_000, CPI: 1.10, MissesPer1K: 0.40, EvictionRatio: 0.20},
+		{Name: "rspeed", Instructions: 1_100_000, CPI: 1.05, MissesPer1K: 0.35, EvictionRatio: 0.15},
+		{Name: "tblook", Instructions: 1_600_000, CPI: 1.25, MissesPer1K: 1.90, EvictionRatio: 0.25},
+		{Name: "ttsprk", Instructions: 2_000_000, CPI: 1.15, MissesPer1K: 0.60, EvictionRatio: 0.25},
+	}
+}
+
+// BenchmarkByName returns the EEMBC profile with the given name.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range EEMBCAutomotive() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown EEMBC benchmark %q", name)
+}
