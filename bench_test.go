@@ -7,12 +7,15 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/flit"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 	"repro/internal/wcet"
 	"repro/internal/workload"
@@ -210,6 +213,64 @@ func BenchmarkAblation_WCTT(b *testing.B) {
 	b.ReportMetric(results["WaP-only"], "wap-only-cycles")
 	b.ReportMetric(results["WaW-only"], "waw-only-cycles")
 	b.ReportMetric(results["WaW+WaP"], "wawwap-cycles")
+}
+
+// benchmarkSweep runs the Table II scenario grid (sizes 2x2..8x8 crossed
+// with the regular and WaW+WaP designs) through the sweep engine with the
+// given worker count. The serial/parallel pair tracks the wall-clock win of
+// the parallel experiment layer in the benchmark trajectory.
+func benchmarkSweep(b *testing.B, jobs int) {
+	spec := scenario.Spec{
+		Name:    "bench",
+		Mode:    scenario.ModeWCTT,
+		Sizes:   []int{2, 3, 4, 5, 6, 7, 8},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+	}
+	var scenarios int
+	var maxWCTT float64
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.Expand(context.Background(), spec, sweep.Options{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = len(results)
+		maxWCTT = float64(results[len(results)-2].WCTT.MaxCycles)
+	}
+	b.ReportMetric(float64(scenarios), "scenarios")
+	b.ReportMetric(maxWCTT, "regular-8x8-max-cycles")
+}
+
+// BenchmarkSweep_Serial runs the Table II grid on one worker.
+func BenchmarkSweep_Serial(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweep_Parallel runs the same grid on GOMAXPROCS workers; the
+// ns/op ratio against BenchmarkSweep_Serial is the engine's speedup.
+func BenchmarkSweep_Parallel(b *testing.B) { benchmarkSweep(b, 0) }
+
+// BenchmarkSweep_Simulate runs a cycle-accurate hotspot grid (both designs,
+// 2x2..6x6) through the engine on all cores — the simulation-heavy sweep
+// profile.
+func BenchmarkSweep_Simulate(b *testing.B) {
+	spec := scenario.Spec{
+		Name:    "bench-sim",
+		Mode:    scenario.ModeSimulate,
+		Sizes:   []int{2, 3, 4, 5, 6},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Seed:    7,
+		Traffic: scenario.Traffic{Pattern: "hotspot", Rate: 40, Messages: 500},
+	}
+	var delivered uint64
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.Expand(context.Background(), spec, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = 0
+		for _, r := range results {
+			delivered += r.Sim.Delivered
+		}
+	}
+	b.ReportMetric(float64(delivered), "messages-delivered")
 }
 
 // BenchmarkPacketization measures the WaP slicing overhead accounting (the

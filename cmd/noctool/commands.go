@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -8,6 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tablegen"
 	"repro/internal/traffic"
 )
@@ -15,7 +18,7 @@ import (
 // newFlagSet builds a flag set with the shared -format flag.
 func newFlagSet(name string) (*flag.FlagSet, *string) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
-	format := fs.String("format", "text", "output format: text, csv or markdown")
+	format := fs.String("format", "text", "output format: text, csv, markdown or json")
 	return fs, format
 }
 
@@ -169,7 +172,8 @@ func cmdArea(args []string, w io.Writer) error {
 
 // cmdSimulate runs a cycle-accurate all-to-one hotspot simulation on both
 // designs and reports the per-flow latency spread, the measured counterpart
-// of Table II's analytical story.
+// of Table II's analytical story. The two design runs are declared as
+// scenario specs and execute concurrently on the sweep engine.
 func cmdSimulate(args []string, w io.Writer) error {
 	fs, format := newFlagSet("simulate")
 	width := fs.Int("width", 8, "mesh width")
@@ -185,24 +189,34 @@ func cmdSimulate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *rate <= 0 || *rate > 100 {
+		return fmt.Errorf("rate must be in 1..100 percent, got %d", *rate)
+	}
 	target := mesh.Node{X: 0, Y: 0}
+	results, err := sweep.Expand(context.Background(), scenario.Spec{
+		Name:   "simulate",
+		Mode:   scenario.ModeSimulate,
+		Width:  *width,
+		Height: *height,
+		Seed:   *seed,
+		Traffic: scenario.Traffic{
+			Pattern:     "hotspot",
+			Rate:        *rate,
+			Messages:    *messages,
+			PayloadBits: traffic.RequestPayloadBits,
+			Target:      target,
+		},
+		MaxCycles: *maxCycles,
+		Designs:   []network.Design{network.DesignRegular, network.DesignWaWWaP},
+	}, sweep.Options{})
+	if err != nil {
+		return err
+	}
 	t := tablegen.New(fmt.Sprintf("Hotspot simulation — %d one-flit requests towards %v on a %v mesh", *messages, target, d),
 		"design", "delivered", "min latency", "mean latency", "max latency")
-	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
-		net, err := network.New(network.DefaultConfig(d, design))
-		if err != nil {
-			return err
-		}
-		gen, err := traffic.NewHotspot(d, target, *seed, *rate, traffic.RequestPayloadBits, *messages)
-		if err != nil {
-			return err
-		}
-		if _, done := traffic.Drive(net, gen, *maxCycles); !done {
-			return fmt.Errorf("%v simulation did not complete within %d cycles", design, *maxCycles)
-		}
-		agg := net.AggregateLatency()
-		t.AddRow(design.String(), fmt.Sprintf("%d", net.TotalDeliveredMessages()),
-			fmt.Sprintf("%.0f", agg.Min()), fmt.Sprintf("%.1f", agg.Mean()), fmt.Sprintf("%.0f", agg.Max()))
+	for _, r := range results {
+		t.AddRow(r.Design, fmt.Sprintf("%d", r.Sim.Delivered),
+			fmt.Sprintf("%.0f", r.Sim.MinLatency), fmt.Sprintf("%.1f", r.Sim.MeanLatency), fmt.Sprintf("%.0f", r.Sim.MaxLatency))
 	}
 	return render(w, t, *format)
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCommandRegistry(t *testing.T) {
-	for _, name := range []string{"weights", "wctt-table", "eembc", "avionics", "avgperf", "area", "simulate"} {
+	for _, name := range []string{"weights", "wctt-table", "eembc", "avionics", "avgperf", "area", "simulate", "sweep"} {
 		if _, ok := commands[name]; !ok {
 			t.Errorf("command %q not registered", name)
 		}

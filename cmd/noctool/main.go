@@ -16,8 +16,12 @@
 //	avgperf     Section IV— average-performance comparison
 //	area        Section III— NoC area overhead of WaW+WaP
 //	simulate    cycle-accurate hotspot simulation of both designs
+//	sweep       declarative scenario grid run on the parallel sweep engine
 //
-// Every command accepts -format text|csv|markdown.
+// Every command accepts -format text|csv|markdown|json. The experiment
+// commands are thin adapters over the internal/scenario and internal/sweep
+// layers, so grids of design points and mesh sizes execute across all CPU
+// cores with deterministic aggregation.
 package main
 
 import (
@@ -37,6 +41,7 @@ var commands = map[string]func(args []string, w io.Writer) error{
 	"avgperf":    cmdAvgPerf,
 	"area":       cmdArea,
 	"simulate":   cmdSimulate,
+	"sweep":      cmdSweep,
 }
 
 func usage() {
@@ -53,8 +58,10 @@ Commands:
   avgperf      average-performance comparison on the cycle-accurate simulator
   area         NoC area overhead of the WaW+WaP modifications
   simulate     cycle-accurate hotspot simulation comparing both designs
+  sweep        run a scenario grid (sizes x designs x workloads) in parallel
 
-Run "noctool <command> -h" for command-specific flags.
+Run "noctool <command> -h" for command-specific flags. Every command accepts
+-format text|csv|markdown|json; sweep additionally accepts -jobs.
 `)
 }
 

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/tablegen"
+)
+
+// cmdSweep runs a declarative scenario grid (sizes x designs x workloads)
+// through the parallel sweep engine and renders the aggregated results.
+// Because scenario execution is deterministic and the engine aggregates in
+// spec order, the output is identical for -jobs 1 and -jobs N.
+func cmdSweep(args []string, w io.Writer) error {
+	fs, format := newFlagSet("sweep")
+	mode := fs.String("mode", "wctt", "scenario mode: wctt, simulate, manycore, parallel-wcet or wcet-map")
+	sizes := fs.String("sizes", "2..8", "square mesh sizes, e.g. 2..8 or 2,4,8")
+	designs := fs.String("designs", "regular,waw+wap", "comma-separated design points (regular, waw+wap, waw-only, wap-only)")
+	workloads := fs.String("workloads", "", "comma-separated EEMBC kernels (manycore mode)")
+	jobs := fs.Int("jobs", 0, "parallel workers; 0 = GOMAXPROCS")
+	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate mode)")
+	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp or neighbor")
+	rate := fs.Int("rate", 0, "traffic injection rate (simulate mode); 0 = pattern default")
+	messages := fs.Int("messages", 0, "messages or rounds to inject (simulate mode); 0 = default")
+	maxCycles := fs.Int("max-cycles", 0, "cycle budget per scenario; 0 = mode default")
+	scale := fs.Int("scale", 0, "workload instruction-count scale-down factor (manycore mode)")
+	placement := fs.String("placement", "", "thread placement P0-P3 (parallel-wcet mode)")
+	maxPacket := fs.Int("max-packet-flits", 0, "maximum packet size in flits (parallel-wcet mode)")
+	progress := fs.Bool("progress", false, "report per-scenario completion on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Validate the output format before spending any compute on the grid.
+	f, err := tablegen.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	m, err := scenario.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	// The WCET modes model the paper's 64-core platform; the standard
+	// placements need an 8x8 mesh or larger, so the generic 2..8 size
+	// default would fail outright. Default to the platform size unless
+	// the user explicitly picked sizes.
+	if m == scenario.ModeParallelWCET || m == scenario.ModeWCETMap {
+		explicit := false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "sizes" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*sizes = "8"
+		}
+	}
+	// The normalised suite map (wcet-map without workloads) already compares
+	// both designs in one scenario; crossing it with the design axis would
+	// just recompute the identical, design-independent map per design.
+	if m == scenario.ModeWCETMap && *workloads == "" {
+		*designs = "regular"
+	}
+	sizeList, err := scenario.ParseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	designList, err := scenario.ParseDesigns(*designs)
+	if err != nil {
+		return err
+	}
+	spec := scenario.Spec{
+		Name:           "sweep",
+		Mode:           m,
+		Sizes:          sizeList,
+		Designs:        designList,
+		Seed:           *seed,
+		Traffic:        scenario.Traffic{Pattern: *pattern, Rate: *rate, Messages: *messages},
+		MaxCycles:      *maxCycles,
+		Scale:          *scale,
+		Placement:      *placement,
+		MaxPacketFlits: *maxPacket,
+	}
+	if *workloads != "" {
+		for _, wl := range strings.Split(*workloads, ",") {
+			if wl = strings.TrimSpace(wl); wl != "" {
+				spec.Workloads = append(spec.Workloads, wl)
+			}
+		}
+	}
+
+	opts := sweep.Options{Jobs: *jobs}
+	if *progress {
+		opts.Progress = func(done, total int, r scenario.Result) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s\n", done, total, r.Name)
+		}
+	}
+	results, err := sweep.Expand(context.Background(), spec, opts)
+	if err != nil {
+		return err
+	}
+
+	if f == tablegen.FormatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return sweepTable(m, results).Render(w, f)
+}
+
+// sweepTable renders one row per scenario with mode-appropriate columns.
+func sweepTable(m scenario.Mode, results []scenario.Result) *tablegen.Table {
+	title := fmt.Sprintf("Sweep — %d %s scenarios", len(results), m)
+	switch m {
+	case scenario.ModeWCTT:
+		t := tablegen.New(title, "scenario", "dim", "design", "max WCTT", "mean WCTT", "min WCTT", "flows")
+		for _, r := range results {
+			if r.WCTT == nil {
+				continue
+			}
+			t.AddRow(r.Name, r.Dim, r.Design,
+				fmt.Sprintf("%d", r.WCTT.MaxCycles), fmt.Sprintf("%.2f", r.WCTT.MeanCycles),
+				fmt.Sprintf("%d", r.WCTT.MinCycles), fmt.Sprintf("%d", r.WCTT.Flows))
+		}
+		return t
+	case scenario.ModeSimulate:
+		t := tablegen.New(title, "scenario", "dim", "design", "delivered", "cycles", "min lat", "mean lat", "max lat")
+		for _, r := range results {
+			if r.Sim == nil {
+				continue
+			}
+			t.AddRow(r.Name, r.Dim, r.Design,
+				fmt.Sprintf("%d", r.Sim.Delivered), fmt.Sprintf("%d", r.Sim.Cycles),
+				fmt.Sprintf("%.0f", r.Sim.MinLatency), fmt.Sprintf("%.1f", r.Sim.MeanLatency),
+				fmt.Sprintf("%.0f", r.Sim.MaxLatency))
+		}
+		return t
+	case scenario.ModeManycore:
+		t := tablegen.New(title, "scenario", "dim", "design", "workload", "makespan", "mem transactions")
+		for _, r := range results {
+			if r.Manycore == nil {
+				continue
+			}
+			t.AddRow(r.Name, r.Dim, r.Design, r.Workload,
+				fmt.Sprintf("%d", r.Manycore.MakespanCycles), fmt.Sprintf("%d", r.Manycore.MemTransactions))
+		}
+		return t
+	case scenario.ModeParallelWCET:
+		t := tablegen.New(title, "scenario", "dim", "design", "placement", "L", "WCET (ms)")
+		for _, r := range results {
+			if r.WCET == nil {
+				continue
+			}
+			t.AddRow(r.Name, r.Dim, r.Design, r.Placement,
+				fmt.Sprintf("%d", r.MaxPacketFlits), fmt.Sprintf("%.2f", r.WCET.Millis))
+		}
+		return t
+	default: // ModeWCETMap: summarise the per-core map per scenario.
+		t := tablegen.New(title, "scenario", "dim", "design", "workload", "cores", "min cell", "max cell")
+		for _, r := range results {
+			if r.WCETMap == nil {
+				continue
+			}
+			cells, minV, maxV := 0, 0.0, 0.0
+			first := true
+			for _, row := range r.WCETMap {
+				for _, v := range row {
+					if first {
+						minV, maxV = v, v
+						first = false
+					}
+					if v < minV {
+						minV = v
+					}
+					if v > maxV {
+						maxV = v
+					}
+					cells++
+				}
+			}
+			t.AddRow(r.Name, r.Dim, r.Design, r.Workload,
+				fmt.Sprintf("%d", cells), fmt.Sprintf("%.4f", minV), fmt.Sprintf("%.4f", maxV))
+		}
+		return t
+	}
+}

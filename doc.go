@@ -19,6 +19,25 @@
 // WCTT and WCET models, synthetic models of the EEMBC Automotive suite and
 // of the 3DPP avionics application, an area model, a CLI (cmd/noctool),
 // runnable examples (examples/) and a benchmark harness (bench_test.go)
-// that regenerates every table and figure of the paper. See README.md,
-// DESIGN.md and EXPERIMENTS.md for the full documentation.
+// that regenerates every table and figure of the paper.
+//
+// Every experiment flows through a unified, two-package experiment layer:
+//
+//   - internal/scenario declares experiments: a Spec names the mesh size,
+//     design point, mode (analytical WCTT, cycle-accurate simulation,
+//     many-core workload, parallel WCET, per-core WCET map), workload or
+//     traffic selection and seeds. Specs validate, carry sweep axes
+//     (sizes x designs x workloads) that Expand crosses into concrete
+//     scenarios, and execute into a stable, JSON-serialisable Result.
+//   - internal/sweep executes spec lists on a worker pool (Run/Expand with
+//     a configurable job count, GOMAXPROCS by default) with deterministic,
+//     spec-ordered aggregation and progress callbacks: a sweep's aggregated
+//     output is byte-identical for 1 worker and for N.
+//
+// The layering is: substrate (mesh, flit, router, network, traffic,
+// manycore, analysis, wcet, workload) -> scenario -> sweep -> facade
+// (internal/core) -> CLI/examples/benchmarks. The core package's table and
+// figure functions, the noctool commands (including the grid-running
+// `noctool sweep`) and the examples are all thin adapters over this layer.
+// See README.md for the user-facing documentation.
 package repro

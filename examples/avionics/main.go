@@ -10,6 +10,10 @@
 // the regular design is extremely sensitive to where the application is
 // placed, WaW+WaP keeps the estimate nearly constant.
 //
+// Both studies are scenario grids under the hood: core.Figure2a and
+// core.Figure2b declare ModeParallelWCET specs and run them concurrently on
+// the sweep engine.
+//
 // Run with:
 //
 //	go run ./examples/avionics

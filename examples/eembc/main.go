@@ -4,6 +4,9 @@
 // the memory controller attached to R(0,0); cells above 1 mean the regular
 // design gives that core a lower WCET, cells far below 1 mean WaW+WaP wins.
 //
+// Both maps are ModeWCETMap scenarios under the hood: core.TableIII and
+// core.BenchmarkWCETs are thin adapters over the scenario layer.
+//
 // Run with:
 //
 //	go run ./examples/eembc

@@ -1,8 +1,8 @@
-// Quickstart: build both NoC designs studied in the paper (the regular
-// wormhole mesh and the proposed WaW+WaP mesh), push a small burst of
-// memory-style traffic through them with the cycle-accurate simulator, and
-// compare the analytical worst-case traversal time bounds of a near and a
-// far flow.
+// Quickstart: declare both NoC designs studied in the paper (the regular
+// wormhole mesh and the proposed WaW+WaP mesh) as scenario specs, push a
+// burst of memory-style traffic through them on the parallel sweep engine,
+// and compare the analytical worst-case traversal time bounds of a near and
+// a far flow.
 //
 // Run with:
 //
@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/flit"
 	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -24,34 +28,31 @@ func main() {
 
 	fmt.Printf("Quickstart: %dx%d wormhole mesh, memory controller at %v\n\n", width, height, memory)
 
-	// 1. Cycle-accurate simulation: every node sends one cache-line
-	//    eviction towards the memory node, on both designs.
-	for _, design := range []core.Design{core.DesignRegular, core.DesignWaWWaP} {
-		noc, err := core.NewNoC(width, height, design)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sent := 0
-		for _, src := range noc.Config().Dim.AllNodes() {
-			if src == memory {
-				continue
-			}
-			msg := &flit.Message{
-				Flow:        flit.FlowID{Src: src, Dst: memory},
-				Class:       flit.ClassEviction,
-				PayloadBits: 512, // a 64-byte cache line
-			}
-			if _, err := noc.Send(msg); err != nil {
-				log.Fatal(err)
-			}
-			sent++
-		}
-		if !noc.RunUntilDrained(100_000) {
-			log.Fatalf("%v: network did not drain", design)
-		}
-		agg := noc.AggregateLatency()
+	// 1. Cycle-accurate simulation: a burst of cache-line evictions
+	//    converging on the memory node, declared once and executed on
+	//    both designs concurrently by the sweep engine.
+	results, err := sweep.Expand(context.Background(), scenario.Spec{
+		Name:   "quickstart",
+		Mode:   scenario.ModeSimulate,
+		Width:  width,
+		Height: height,
+		Seed:   1,
+		Traffic: scenario.Traffic{
+			Pattern:     "hotspot",
+			Rate:        100, // every node offers traffic each cycle
+			Messages:    width*height - 1,
+			PayloadBits: traffic.CacheLinePayloadBits,
+			Target:      memory,
+		},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+	}, sweep.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
 		fmt.Printf("%-8s delivered %2d/%2d messages in %4d cycles  (latency min=%.0f mean=%.1f max=%.0f)\n",
-			design, noc.TotalDeliveredMessages(), sent, noc.Cycle(), agg.Min(), agg.Mean(), agg.Max())
+			r.Design, r.Sim.Delivered, r.Sim.Injected, r.Sim.Cycles,
+			r.Sim.MinLatency, r.Sim.MeanLatency, r.Sim.MaxLatency)
 	}
 
 	// 2. Analytical worst-case traversal time bounds for a near and a far

@@ -80,8 +80,32 @@ type TableIIRow struct {
 	WaWWaP  WCTTSummary
 }
 
+// RowForDim computes one Table II row (the regular and WaW+WaP one-flit
+// WCTT summaries) for a single mesh, sharing one model between the two
+// designs. The serial TableII below is a thin adapter over it; the
+// sweep-backed core.TableII instead schedules one scenario per
+// (size, design) pair — finer-grained parallelism at the cost of one extra
+// model construction per size — and reassembles the same rows.
+func RowForDim(d mesh.Dim) (TableIIRow, error) {
+	m, err := NewModel(DefaultParams(d))
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	reg, err := m.SummarizeOneFlitWCTT(network.DesignRegular)
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	waw, err := m.SummarizeOneFlitWCTT(network.DesignWaWWaP)
+	if err != nil {
+		return TableIIRow{}, err
+	}
+	return TableIIRow{Dim: d, Regular: reg, WaWWaP: waw}, nil
+}
+
 // TableII computes the WCTT scalability table for the given square mesh
-// sizes (the paper uses 2x2 … 8x8) with one-flit packets.
+// sizes (the paper uses 2x2 … 8x8) with one-flit packets, serially. Callers
+// that want the sizes analysed in parallel should go through the scenario
+// and sweep layers (see core.TableII).
 func TableII(sizes []int) ([]TableIIRow, error) {
 	rows := make([]TableIIRow, 0, len(sizes))
 	for _, s := range sizes {
@@ -89,19 +113,11 @@ func TableII(sizes []int) ([]TableIIRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := NewModel(DefaultParams(d))
+		row, err := RowForDim(d)
 		if err != nil {
 			return nil, err
 		}
-		reg, err := m.SummarizeOneFlitWCTT(network.DesignRegular)
-		if err != nil {
-			return nil, err
-		}
-		waw, err := m.SummarizeOneFlitWCTT(network.DesignWaWWaP)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TableIIRow{Dim: d, Regular: reg, WaWWaP: waw})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -5,9 +5,16 @@
 // paper (Tables I–III, Figure 2, the average-performance comparison and the
 // area estimate). The command-line tool, the examples and the benchmark
 // harness are thin wrappers around this package.
+//
+// Since the scenario/sweep refactor the experiment entry points are thin
+// adapters: each one declares its grid of scenario.Specs and hands them to
+// the sweep engine, which executes them across GOMAXPROCS workers with
+// deterministic, spec-ordered aggregation. The functions here only translate
+// the stable scenario.Result values back into the paper-shaped row types.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -16,6 +23,8 @@ import (
 	"repro/internal/manycore"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/wcet"
 	"repro/internal/workload"
 )
@@ -78,9 +87,47 @@ func TableI(width, height, x, y int) ([]flows.WeightEntry, error) {
 
 // TableII returns the WCTT scalability study of Table II (max/mean/min WCTT
 // of one-flit packets under worst-case contention) for the given square mesh
-// sizes.
+// sizes. The per-size/per-design analyses run in parallel through the sweep
+// engine; the aggregated rows are identical to a serial analysis.TableII run.
 func TableII(sizes []int) ([]analysis.TableIIRow, error) {
-	return analysis.TableII(sizes)
+	results, err := sweep.Expand(context.Background(), scenario.Spec{
+		Name:    "table-ii",
+		Mode:    scenario.ModeWCTT,
+		Sizes:   sizes,
+		Designs: []network.Design{DesignRegular, DesignWaWWaP},
+	}, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]analysis.TableIIRow, 0, len(sizes))
+	for i, s := range sizes {
+		d, err := mesh.NewDim(s, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, analysis.TableIIRow{
+			Dim:     d,
+			Regular: wcttSummary(d, DesignRegular, results[2*i]),
+			WaWWaP:  wcttSummary(d, DesignWaWWaP, results[2*i+1]),
+		})
+	}
+	return rows, nil
+}
+
+// wcttSummary converts a scenario WCTT result back into the analysis row
+// shape.
+func wcttSummary(d mesh.Dim, design Design, r scenario.Result) analysis.WCTTSummary {
+	if r.WCTT == nil {
+		return analysis.WCTTSummary{Design: design, Dim: d}
+	}
+	return analysis.WCTTSummary{
+		Design: design,
+		Dim:    d,
+		Max:    r.WCTT.MaxCycles,
+		Min:    r.WCTT.MinCycles,
+		Mean:   r.WCTT.MeanCycles,
+		Flows:  r.WCTT.Flows,
+	}
 }
 
 // PaperTableIISizes are the mesh sizes evaluated in Table II of the paper.
@@ -91,52 +138,105 @@ func PaperTableIISizes() []int { return []int{2, 3, 4, 5, 6, 7, 8} }
 // suite) on the paper's 64-core platform. The result is indexed [y][x].
 func TableIII() ([][]float64, error) {
 	platform := wcet.DefaultPlatform()
-	return platform.TableIII(workload.EEMBCAutomotive())
+	r, err := scenario.Execute(scenario.Spec{
+		Name:   "table-iii",
+		Mode:   scenario.ModeWCETMap,
+		Width:  platform.Dim.Width,
+		Height: platform.Dim.Height,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.WCETMap, nil
 }
 
 // BenchmarkWCETs returns, for one EEMBC benchmark, the absolute WCET
 // estimate (in cycles) of every core of the platform under the given
 // design. The result is indexed [y][x].
 func BenchmarkWCETs(design Design, benchmarkName string) ([][]float64, error) {
+	if benchmarkName == "" {
+		// An empty workload would select the normalised suite map of
+		// ModeWCETMap (TableIII) — plausible-looking but wrong data
+		// for this per-benchmark, per-design entry point.
+		return nil, fmt.Errorf("core: BenchmarkWCETs needs a benchmark name")
+	}
 	platform := wcet.DefaultPlatform()
-	bench, err := workload.BenchmarkByName(benchmarkName)
+	r, err := scenario.Execute(scenario.Spec{
+		Name:     "wcet-map",
+		Mode:     scenario.ModeWCETMap,
+		Width:    platform.Dim.Width,
+		Height:   platform.Dim.Height,
+		Design:   design,
+		Workload: benchmarkName,
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]float64, platform.Dim.Height)
-	for yIdx := range out {
-		out[yIdx] = make([]float64, platform.Dim.Width)
-	}
-	for _, n := range platform.Dim.AllNodes() {
-		v, err := platform.BenchmarkWCET(design, n, bench)
-		if err != nil {
-			return nil, err
+	return r.WCETMap, nil
+}
+
+// figure2Specs declares the ModeParallelWCET scenario grid shared by the
+// two Figure 2 studies: for every (placement, max packet size) combination
+// it emits a regular-design and a WaW+WaP spec, in that order.
+func figure2Specs(name string, placements []string, packetSizes []int) []scenario.Spec {
+	platform := wcet.DefaultPlatform()
+	specs := make([]scenario.Spec, 0, 2*len(placements)*len(packetSizes))
+	for _, pl := range placements {
+		for _, l := range packetSizes {
+			for _, design := range []Design{DesignRegular, DesignWaWWaP} {
+				specs = append(specs, scenario.Spec{
+					Name:           name,
+					Mode:           scenario.ModeParallelWCET,
+					Width:          platform.Dim.Width,
+					Height:         platform.Dim.Height,
+					Design:         design,
+					Placement:      pl,
+					MaxPacketFlits: l,
+				})
+			}
 		}
-		out[n.Y][n.X] = float64(v)
 	}
-	return out, nil
+	return specs
 }
 
 // Figure2a returns the 3DPP WCET estimates of Figure 2(a): regular vs
 // WaW+WaP under placement P0 for maximum packet sizes of 1, 4 and 8 flits.
+// The six WCET analyses run in parallel through the sweep engine.
 func Figure2a() ([]wcet.Figure2aPoint, error) {
-	platform := wcet.DefaultPlatform()
-	p0, err := workload.PlacementByName(platform.Dim, "P0")
+	sizes := []int{1, 4, 8}
+	results, err := sweep.RunAll(figure2Specs("figure-2a", []string{"P0"}, sizes))
 	if err != nil {
 		return nil, err
 	}
-	return platform.Figure2a(workload.ThreeDPathPlanning(), p0, []int{1, 4, 8})
+	points := make([]wcet.Figure2aPoint, len(sizes))
+	for i, l := range sizes {
+		points[i] = wcet.Figure2aPoint{
+			MaxPacketFlits: l,
+			RegularMs:      results[2*i].WCET.Millis,
+			WaWWaPMs:       results[2*i+1].WCET.Millis,
+		}
+	}
+	return points, nil
 }
 
 // Figure2b returns the 3DPP placement-sensitivity study of Figure 2(b):
 // regular vs WaW+WaP under placements P0–P3 with one-flit maximum packets.
+// The eight WCET analyses run in parallel through the sweep engine.
 func Figure2b() ([]wcet.Figure2bPoint, error) {
-	platform := wcet.DefaultPlatform()
-	placements, err := workload.StandardPlacements(platform.Dim)
+	placements := []string{"P0", "P1", "P2", "P3"}
+	results, err := sweep.RunAll(figure2Specs("figure-2b", placements, []int{1}))
 	if err != nil {
 		return nil, err
 	}
-	return platform.Figure2b(workload.ThreeDPathPlanning(), placements, 1)
+	points := make([]wcet.Figure2bPoint, len(placements))
+	for i, pl := range placements {
+		points[i] = wcet.Figure2bPoint{
+			Placement: pl,
+			RegularMs: results[2*i].WCET.Millis,
+			WaWWaPMs:  results[2*i+1].WCET.Millis,
+		}
+	}
+	return points, nil
 }
 
 // AvgPerfResult is the outcome of the average-performance comparison of
@@ -155,56 +255,35 @@ type AvgPerfResult struct {
 // AveragePerformance runs the same multiprogrammed workload (the given EEMBC
 // kernel on every core, scaled down by scaleFactor to keep the cycle-accurate
 // simulation tractable) on the regular design and on WaW+WaP and compares
-// the makespans. maxCycles bounds each simulation.
+// the makespans. maxCycles bounds each simulation. The two design runs
+// execute concurrently through the sweep engine.
 func AveragePerformance(width, height int, benchmarkName string, scaleFactor, maxCycles int) (AvgPerfResult, error) {
+	results, err := sweep.Expand(context.Background(), scenario.Spec{
+		Name:      "avgperf",
+		Mode:      scenario.ModeManycore,
+		Width:     width,
+		Height:    height,
+		Workload:  benchmarkName,
+		Scale:     scaleFactor,
+		MaxCycles: maxCycles,
+		Designs:   []network.Design{DesignRegular, DesignWaWWaP},
+	}, sweep.Options{})
+	if err != nil {
+		return AvgPerfResult{}, err
+	}
 	d, err := mesh.NewDim(width, height)
 	if err != nil {
 		return AvgPerfResult{}, err
 	}
-	bench, err := workload.BenchmarkByName(benchmarkName)
-	if err != nil {
-		return AvgPerfResult{}, err
-	}
-	scaled := manycore.ScaleBenchmark(bench, scaleFactor)
-
-	run := func(design Design) (uint64, uint64, error) {
-		sys, err := manycore.New(manycore.DefaultConfig(d, design))
-		if err != nil {
-			return 0, 0, err
-		}
-		if err := sys.AssignEverywhere(scaled); err != nil {
-			return 0, 0, err
-		}
-		if !sys.Run(maxCycles) {
-			return 0, 0, fmt.Errorf("core: %v workload did not finish within %d cycles", design, maxCycles)
-		}
-		var transactions uint64
-		for _, n := range d.AllNodes() {
-			st, err := sys.CoreStats(n)
-			if err != nil {
-				return 0, 0, err
-			}
-			transactions += st.MemoryTransactions
-		}
-		return sys.MakespanCycles(), transactions, nil
-	}
-
-	regular, _, err := run(DesignRegular)
-	if err != nil {
-		return AvgPerfResult{}, err
-	}
-	waw, transactions, err := run(DesignWaWWaP)
-	if err != nil {
-		return AvgPerfResult{}, err
-	}
+	regular, waw := results[0].Manycore, results[1].Manycore
 	return AvgPerfResult{
 		Dim:             d,
-		Benchmark:       scaled.Name,
-		RegularCycles:   regular,
-		WaWWaPCycles:    waw,
-		DegradationPct:  (float64(waw)/float64(regular) - 1) * 100,
+		Benchmark:       benchmarkName,
+		RegularCycles:   regular.MakespanCycles,
+		WaWWaPCycles:    waw.MakespanCycles,
+		DegradationPct:  (float64(waw.MakespanCycles)/float64(regular.MakespanCycles) - 1) * 100,
 		CoresSimulated:  d.Nodes(),
-		MemTransactions: transactions,
+		MemTransactions: waw.MemTransactions,
 	}, nil
 }
 

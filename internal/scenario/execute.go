@@ -1,0 +1,260 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/manycore"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/traffic"
+	"repro/internal/wcet"
+	"repro/internal/workload"
+)
+
+// Default budgets and intensities applied when the spec leaves the
+// corresponding field zero.
+const (
+	defaultSimCycles      = 5_000_000
+	defaultManycoreCycles = 50_000_000
+	defaultHotspotRate    = 30 // percent per node per cycle
+	defaultUniformRate    = 10 // messages per node per 1000 cycles
+	defaultPermInterval   = 100
+	defaultSimMessages    = 2000
+	defaultPermRounds     = 10
+)
+
+// Execute runs one concrete scenario to completion and returns its Result.
+// Execution is deterministic: the same spec always yields the same result,
+// which is what lets the sweep engine run scenarios in any order on any
+// number of workers.
+func Execute(s Spec) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	d, err := s.Dim()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Name:   s.Name,
+		Mode:   s.Mode.String(),
+		Dim:    d.String(),
+		Design: s.Design.String(),
+	}
+	switch s.Mode {
+	case ModeWCTT:
+		err = executeWCTT(s, d, &res)
+	case ModeSimulate:
+		res.Seed = s.Seed
+		err = executeSimulate(s, d, &res)
+	case ModeManycore:
+		res.Workload = s.Workload
+		err = executeManycore(s, d, &res)
+	case ModeParallelWCET:
+		res.Placement = placementName(s)
+		res.MaxPacketFlits = s.MaxPacketFlits
+		err = executeParallelWCET(s, d, &res)
+	case ModeWCETMap:
+		res.Workload = s.Workload
+		err = executeWCETMap(s, d, &res)
+	default:
+		err = fmt.Errorf("scenario: unknown mode %v", s.Mode)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return res, nil
+}
+
+func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
+	m, err := analysis.NewModel(analysis.DefaultParams(d))
+	if err != nil {
+		return err
+	}
+	sum, err := m.SummarizeOneFlitWCTT(s.Design)
+	if err != nil {
+		return err
+	}
+	res.WCTT = &WCTTResult{
+		MaxCycles:  sum.Max,
+		MeanCycles: sum.Mean,
+		MinCycles:  sum.Min,
+		Flows:      sum.Flows,
+	}
+	return nil
+}
+
+func executeSimulate(s Spec, d mesh.Dim, res *Result) error {
+	net, err := network.New(network.DefaultConfig(d, s.Design))
+	if err != nil {
+		return err
+	}
+	gen, err := buildGenerator(s, d)
+	if err != nil {
+		return err
+	}
+	maxCycles := s.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = defaultSimCycles
+	}
+	injected, done := traffic.Drive(net, gen, maxCycles)
+	if !done {
+		return fmt.Errorf("simulation did not complete within %d cycles", maxCycles)
+	}
+	agg := net.AggregateLatency()
+	res.Sim = &SimResult{
+		Injected:      injected,
+		Delivered:     net.TotalDeliveredMessages(),
+		Cycles:        net.Cycle(),
+		MinLatency:    agg.Min(),
+		MeanLatency:   agg.Mean(),
+		MaxLatency:    agg.Max(),
+		InjectedFlits: net.TotalInjectedFlits(),
+	}
+	return nil
+}
+
+// buildGenerator instantiates the traffic generator a ModeSimulate spec
+// describes, applying the documented defaults for zero fields.
+func buildGenerator(s Spec, d mesh.Dim) (traffic.Generator, error) {
+	t := s.Traffic
+	payload := t.PayloadBits
+	if payload == 0 {
+		payload = traffic.RequestPayloadBits
+	}
+	messages := t.Messages
+	if messages == 0 {
+		messages = defaultSimMessages
+	}
+	switch t.Pattern {
+	case "", "hotspot":
+		rate := t.Rate
+		if rate == 0 {
+			rate = defaultHotspotRate
+		}
+		return traffic.NewHotspot(d, t.Target, s.Seed, rate, payload, messages)
+	case "uniform":
+		rate := t.Rate
+		if rate == 0 {
+			rate = defaultUniformRate
+		}
+		return traffic.NewUniformRandom(d, s.Seed, rate, payload, messages)
+	case "transpose", "bitcomp", "neighbor":
+		perms := map[string]traffic.Permutation{
+			"transpose": traffic.Transpose,
+			"bitcomp":   traffic.BitComplement,
+			"neighbor":  traffic.NearestNeighbor,
+		}
+		interval := t.Rate
+		if interval == 0 {
+			interval = defaultPermInterval
+		}
+		rounds := t.Messages
+		if rounds == 0 {
+			rounds = defaultPermRounds
+		}
+		return traffic.NewPermutation(d, perms[t.Pattern], payload, rounds, uint64(interval))
+	default:
+		return nil, fmt.Errorf("unknown traffic pattern %q", t.Pattern)
+	}
+}
+
+func executeManycore(s Spec, d mesh.Dim, res *Result) error {
+	bench, err := workload.BenchmarkByName(s.Workload)
+	if err != nil {
+		return err
+	}
+	if s.Scale > 1 {
+		bench = manycore.ScaleBenchmark(bench, s.Scale)
+	}
+	sys, err := manycore.New(manycore.DefaultConfig(d, s.Design))
+	if err != nil {
+		return err
+	}
+	if err := sys.AssignEverywhere(bench); err != nil {
+		return err
+	}
+	maxCycles := s.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = defaultManycoreCycles
+	}
+	if !sys.Run(maxCycles) {
+		return fmt.Errorf("workload %q did not finish within %d cycles", s.Workload, maxCycles)
+	}
+	var transactions uint64
+	for _, n := range d.AllNodes() {
+		st, err := sys.CoreStats(n)
+		if err != nil {
+			return err
+		}
+		transactions += st.MemoryTransactions
+	}
+	res.Manycore = &ManycoreResult{
+		MakespanCycles:  sys.MakespanCycles(),
+		MemTransactions: transactions,
+		Cores:           d.Nodes(),
+	}
+	return nil
+}
+
+func placementName(s Spec) string {
+	if s.Placement == "" {
+		return "P0"
+	}
+	return s.Placement
+}
+
+// platformFor adapts the paper's default WCET platform to the spec's mesh
+// (the memory controller stays at R(0,0)).
+func platformFor(d mesh.Dim) wcet.Platform {
+	p := wcet.DefaultPlatform()
+	p.Dim = d
+	return p
+}
+
+func executeParallelWCET(s Spec, d mesh.Dim, res *Result) error {
+	p := platformFor(d)
+	pl, err := workload.PlacementByName(d, placementName(s))
+	if err != nil {
+		return err
+	}
+	cycles, err := p.ParallelWCET(s.Design, workload.ThreeDPathPlanning(), pl, s.MaxPacketFlits)
+	if err != nil {
+		return err
+	}
+	res.WCET = &WCETResult{Cycles: cycles, Millis: p.CyclesToMillis(cycles)}
+	return nil
+}
+
+func executeWCETMap(s Spec, d mesh.Dim, res *Result) error {
+	p := platformFor(d)
+	if s.Workload == "" {
+		m, err := p.TableIII(workload.EEMBCAutomotive())
+		if err != nil {
+			return err
+		}
+		// The normalised suite map is a ratio of both designs; label it
+		// as such instead of with the (ignored) spec design.
+		res.Design = "WaW+WaP/regular"
+		res.WCETMap = m
+		return nil
+	}
+	bench, err := workload.BenchmarkByName(s.Workload)
+	if err != nil {
+		return err
+	}
+	out := make([][]float64, d.Height)
+	for y := range out {
+		out[y] = make([]float64, d.Width)
+	}
+	for _, n := range d.AllNodes() {
+		v, err := p.BenchmarkWCET(s.Design, n, bench)
+		if err != nil {
+			return err
+		}
+		out[n.Y][n.X] = float64(v)
+	}
+	res.WCETMap = out
+	return nil
+}

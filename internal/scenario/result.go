@@ -1,0 +1,61 @@
+package scenario
+
+// Result is the stable, mode-tagged outcome of one executed scenario. The
+// identifying fields are always set; exactly one of the payload pointers
+// (WCTT, Sim, Manycore, WCET, WCETMap) is non-nil, matching the mode. The
+// struct marshals to self-describing JSON, so sweep output is directly
+// machine-readable.
+type Result struct {
+	// Name, Mode, Dim, Design identify the scenario that produced the
+	// result (enum fields by name, for stability).
+	Name   string `json:"name,omitempty"`
+	Mode   string `json:"mode"`
+	Dim    string `json:"dim"`
+	Design string `json:"design"`
+	// Workload, Placement, MaxPacketFlits and Seed carry the remaining
+	// identifying parameters when the mode uses them.
+	Workload       string `json:"workload,omitempty"`
+	Placement      string `json:"placement,omitempty"`
+	MaxPacketFlits int    `json:"max_packet_flits,omitempty"`
+	Seed           int64  `json:"seed,omitempty"`
+
+	WCTT     *WCTTResult     `json:"wctt,omitempty"`
+	Sim      *SimResult      `json:"sim,omitempty"`
+	Manycore *ManycoreResult `json:"manycore,omitempty"`
+	WCET     *WCETResult     `json:"wcet,omitempty"`
+	// WCETMap is the per-core map of ModeWCETMap, indexed [y][x].
+	WCETMap [][]float64 `json:"wcet_map,omitempty"`
+}
+
+// WCTTResult summarises the analytical one-flit WCTT bounds over every
+// ordered node pair (one Table II cell group).
+type WCTTResult struct {
+	MaxCycles  uint64  `json:"max_cycles"`
+	MeanCycles float64 `json:"mean_cycles"`
+	MinCycles  uint64  `json:"min_cycles"`
+	Flows      int     `json:"flows"`
+}
+
+// SimResult reports a cycle-accurate traffic simulation.
+type SimResult struct {
+	Injected      int     `json:"injected"`
+	Delivered     uint64  `json:"delivered"`
+	Cycles        uint64  `json:"cycles"`
+	MinLatency    float64 `json:"min_latency"`
+	MeanLatency   float64 `json:"mean_latency"`
+	MaxLatency    float64 `json:"max_latency"`
+	InjectedFlits uint64  `json:"injected_flits"`
+}
+
+// ManycoreResult reports a full-platform workload run.
+type ManycoreResult struct {
+	MakespanCycles  uint64 `json:"makespan_cycles"`
+	MemTransactions uint64 `json:"mem_transactions"`
+	Cores           int    `json:"cores"`
+}
+
+// WCETResult reports a parallel-application WCET estimate.
+type WCETResult struct {
+	Cycles uint64  `json:"cycles"`
+	Millis float64 `json:"millis"`
+}

@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"2..5", []int{2, 3, 4, 5}},
+		{"2,4,8", []int{2, 4, 8}},
+		{"2..4,8", []int{2, 3, 4, 8}},
+		{" 3 ", []int{3}},
+	}
+	for _, c := range cases {
+		got, err := ParseSizes(c.in)
+		if err != nil {
+			t.Errorf("ParseSizes(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSizes(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "5..2", "2..x", ","} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDesignAndMode(t *testing.T) {
+	designs := map[string]network.Design{
+		"regular":  network.DesignRegular,
+		"WaW+WaP":  network.DesignWaWWaP,
+		"waw-only": network.DesignWaWOnly,
+		"WAP":      network.DesignWaPOnly,
+	}
+	for in, want := range designs {
+		got, err := ParseDesign(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDesign(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDesign("mesh-of-trees"); err == nil {
+		t.Error("unknown design should fail")
+	}
+	list, err := ParseDesigns("regular, waw+wap")
+	if err != nil || len(list) != 2 {
+		t.Errorf("ParseDesigns = %v, %v", list, err)
+	}
+	for _, m := range []Mode{ModeWCTT, ModeSimulate, ModeManycore, ModeParallelWCET, ModeWCETMap} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), back, err, m)
+		}
+	}
+	if _, err := ParseMode("quantum"); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	spec := Spec{
+		Name:      "grid",
+		Mode:      ModeManycore,
+		Sizes:     []int{2, 4},
+		Designs:   []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Workloads: []string{"matrix", "rspeed"},
+	}
+	specs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("expanded to %d specs, want 8", len(specs))
+	}
+	// Order: sizes outermost, then designs, then workloads.
+	if specs[0].Name != "grid/2x2/regular/matrix" {
+		t.Errorf("first child name = %q", specs[0].Name)
+	}
+	if specs[7].Name != "grid/4x4/WaW+WaP/rspeed" {
+		t.Errorf("last child name = %q", specs[7].Name)
+	}
+	for i, s := range specs {
+		if len(s.Sizes)+len(s.Designs)+len(s.Workloads) != 0 {
+			t.Errorf("spec %d still carries sweep axes", i)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+		if s.Width != s.Height {
+			t.Errorf("spec %d not square: %dx%d", i, s.Width, s.Height)
+		}
+	}
+}
+
+func TestExpandScalarFallback(t *testing.T) {
+	spec := Spec{Mode: ModeWCTT, Width: 3, Height: 5, Design: network.DesignWaWWaP}
+	specs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("expanded to %d specs, want 1", len(specs))
+	}
+	if specs[0].Width != 3 || specs[0].Height != 5 || specs[0].Design != network.DesignWaWWaP {
+		t.Errorf("scalar fields not preserved: %+v", specs[0])
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]Spec{
+		"unexpanded axes":  {Mode: ModeWCTT, Width: 2, Height: 2, Sizes: []int{2}},
+		"bad mesh":         {Mode: ModeWCTT, Width: 0, Height: 2},
+		"bad pattern":      {Mode: ModeSimulate, Width: 2, Height: 2, Traffic: Traffic{Pattern: "tornado"}},
+		"negative rate":    {Mode: ModeSimulate, Width: 2, Height: 2, Traffic: Traffic{Rate: -1}},
+		"missing workload": {Mode: ModeManycore, Width: 2, Height: 2},
+		"negative budget":  {Mode: ModeWCTT, Width: 2, Height: 2, MaxCycles: -1},
+		"negative L":       {Mode: ModeParallelWCET, Width: 8, Height: 8, MaxPacketFlits: -4},
+		"unknown mode":     {Mode: Mode(99), Width: 2, Height: 2},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate() should fail for %+v", name, s)
+		}
+	}
+}
+
+func TestExecuteWCTTMatchesAnalysis(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	m, err := analysis.NewModel(analysis.DefaultParams(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SummarizeOneFlitWCTT(network.DesignWaWWaP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Execute(Spec{Mode: ModeWCTT, Width: 4, Height: 4, Design: network.DesignWaWWaP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WCTT == nil {
+		t.Fatal("WCTT result missing")
+	}
+	if r.WCTT.MaxCycles != want.Max || r.WCTT.MinCycles != want.Min ||
+		r.WCTT.MeanCycles != want.Mean || r.WCTT.Flows != want.Flows {
+		t.Errorf("Execute WCTT = %+v, want %+v", *r.WCTT, want)
+	}
+	if r.Dim != "4x4" || r.Design != "WaW+WaP" || r.Mode != "wctt" {
+		t.Errorf("identifying fields wrong: %+v", r)
+	}
+}
+
+func TestExecuteSimulateDeterministic(t *testing.T) {
+	spec := Spec{
+		Mode:    ModeSimulate,
+		Width:   3,
+		Height:  3,
+		Design:  network.DesignWaWWaP,
+		Seed:    42,
+		Traffic: Traffic{Pattern: "hotspot", Rate: 50, Messages: 200},
+	}
+	a, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same spec produced different results:\n%+v\n%+v", a, b)
+	}
+	if a.Sim == nil || a.Sim.Delivered == 0 {
+		t.Errorf("simulation delivered nothing: %+v", a)
+	}
+}
+
+func TestExecuteSimulatePatterns(t *testing.T) {
+	for _, pattern := range []string{"uniform", "transpose", "bitcomp", "neighbor"} {
+		r, err := Execute(Spec{
+			Mode:    ModeSimulate,
+			Width:   4,
+			Height:  4,
+			Design:  network.DesignRegular,
+			Seed:    7,
+			Traffic: Traffic{Pattern: pattern, Messages: 32},
+		})
+		if err != nil {
+			t.Errorf("%s: %v", pattern, err)
+			continue
+		}
+		if r.Sim == nil || r.Sim.Delivered == 0 {
+			t.Errorf("%s: no messages delivered: %+v", pattern, r)
+		}
+	}
+}
+
+func TestExecuteManycore(t *testing.T) {
+	r, err := Execute(Spec{
+		Mode:     ModeManycore,
+		Width:    2,
+		Height:   2,
+		Design:   network.DesignWaWWaP,
+		Workload: "matrix",
+		Scale:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Manycore == nil || r.Manycore.MakespanCycles == 0 || r.Manycore.Cores != 4 {
+		t.Errorf("manycore result malformed: %+v", r)
+	}
+	if _, err := Execute(Spec{Mode: ModeManycore, Width: 2, Height: 2, Workload: "nope"}); err == nil {
+		t.Error("unknown workload should fail at execution")
+	}
+}
+
+func TestExecuteParallelWCETAndMap(t *testing.T) {
+	r, err := Execute(Spec{Mode: ModeParallelWCET, Width: 8, Height: 8, Design: network.DesignWaWWaP, MaxPacketFlits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WCET == nil || r.WCET.Millis <= 0 {
+		t.Errorf("parallel WCET malformed: %+v", r)
+	}
+	if r.Placement != "P0" {
+		t.Errorf("default placement = %q, want P0", r.Placement)
+	}
+	m, err := Execute(Spec{Mode: ModeWCETMap, Width: 8, Height: 8, Design: network.DesignWaWWaP, Workload: "matrix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.WCETMap) != 8 || len(m.WCETMap[0]) != 8 || m.WCETMap[0][1] <= 0 {
+		t.Errorf("WCET map malformed: %+v", m.WCETMap)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:    "rt",
+		Mode:    ModeSimulate,
+		Width:   4,
+		Height:  4,
+		Design:  network.DesignWaWOnly,
+		Seed:    9,
+		Traffic: Traffic{Pattern: "uniform", Rate: 5, Messages: 100},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaPOnly},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v\njson %s", spec, back, data)
+	}
+}

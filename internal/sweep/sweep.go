@@ -1,0 +1,122 @@
+// Package sweep is the parallel execution engine of the experiment layer:
+// it runs lists of scenario specs across a pool of worker goroutines and
+// aggregates the results deterministically, in spec order, regardless of how
+// many workers run or in which order scenarios finish. Because scenario
+// execution itself is deterministic (every source of pseudo-randomness is
+// seeded from the spec), a sweep's aggregated output is byte-identical for
+// one worker and for GOMAXPROCS workers — which is what makes the engine
+// safe to drop under every table- and figure-generating code path.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Options tunes a sweep run.
+type Options struct {
+	// Jobs is the number of worker goroutines; values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress, when non-nil, is called after every finished scenario
+	// (successful or failed) with the number of scenarios finished so
+	// far, the total, and the scenario's result — a zero Result carrying
+	// only the spec name when the scenario failed. Calls are serialised
+	// but not ordered by spec index; done increases monotonically and
+	// reaches total unless the sweep is cancelled before every scenario
+	// was dispatched to a worker.
+	Progress func(done, total int, r scenario.Result)
+}
+
+// jobs resolves the worker count.
+func (o Options) jobs() int {
+	if o.Jobs < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Jobs
+}
+
+// Run executes every spec and returns the results in spec order. All specs
+// are attempted even if some fail; the returned error joins the individual
+// failures in spec order (and includes ctx's error if the sweep was
+// cancelled). Results of failed or skipped scenarios are zero-valued.
+func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.Result, error) {
+	results := make([]scenario.Result, len(specs))
+	errs := make([]error, len(specs))
+	if len(specs) == 0 {
+		return results, nil
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	report := func(r scenario.Result) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opts.Progress(done, len(specs), r)
+		mu.Unlock()
+	}
+
+	workers := min(opts.jobs(), len(specs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, err)
+					report(scenario.Result{Name: specs[i].Name})
+					continue
+				}
+				r, err := scenario.Execute(specs[i])
+				if err != nil {
+					errs[i] = err
+					report(scenario.Result{Name: specs[i].Name})
+					continue
+				}
+				results[i] = r
+				report(r)
+			}
+		}()
+	}
+
+feed:
+	for i := range specs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			for j := i; j < len(specs); j++ {
+				errs[j] = fmt.Errorf("sweep: scenario %d skipped: %w", j, ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	return results, errors.Join(errs...)
+}
+
+// RunAll is Run with a background context and default options — the
+// convenience entry point for the table generators.
+func RunAll(specs []scenario.Spec) ([]scenario.Result, error) {
+	return Run(context.Background(), specs, Options{})
+}
+
+// Expand expands the spec's sweep axes and runs every resulting scenario.
+func Expand(ctx context.Context, s scenario.Spec, opts Options) ([]scenario.Result, error) {
+	specs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, specs, opts)
+}

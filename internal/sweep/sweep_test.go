@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/scenario"
+)
+
+// tableIISpec is the acceptance sweep of the refactor: sizes 2..8 crossed
+// with the two headline design points, analytical WCTT mode.
+func tableIISpec() scenario.Spec {
+	return scenario.Spec{
+		Name:    "det",
+		Mode:    scenario.ModeWCTT,
+		Sizes:   []int{2, 3, 4, 5, 6, 7, 8},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+	}
+}
+
+// TestDeterminismAcrossJobCounts checks the core promise of the engine: the
+// aggregated results of a sweep are byte-identical no matter how many
+// workers execute it.
+func TestDeterminismAcrossJobCounts(t *testing.T) {
+	var baseline []byte
+	for _, jobs := range []int{1, 2, 8} {
+		results, err := Expand(context.Background(), tableIISpec(), Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		data, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = data
+			continue
+		}
+		if string(data) != string(baseline) {
+			t.Errorf("jobs=%d produced different aggregated results:\n%s\nvs jobs=1:\n%s", jobs, data, baseline)
+		}
+	}
+	if baseline == nil || !strings.Contains(string(baseline), `"dim": "8x8"`) && !strings.Contains(string(baseline), `"dim":"8x8"`) {
+		t.Errorf("sweep results missing the 8x8 row: %s", baseline)
+	}
+}
+
+// TestSimulateDeterminismAcrossJobCounts repeats the determinism check with
+// the cycle-accurate simulator, whose pseudo-randomness must be fully
+// seed-driven for the engine to be safe.
+func TestSimulateDeterminismAcrossJobCounts(t *testing.T) {
+	spec := scenario.Spec{
+		Name:    "sim-det",
+		Mode:    scenario.ModeSimulate,
+		Sizes:   []int{2, 3, 4},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Seed:    11,
+		Traffic: scenario.Traffic{Pattern: "hotspot", Rate: 40, Messages: 150},
+	}
+	one, err := Expand(context.Background(), spec, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Expand(context.Background(), spec, Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(one)
+	b, _ := json.Marshal(many)
+	if string(a) != string(b) {
+		t.Errorf("simulator sweep not deterministic across job counts:\n%s\n%s", a, b)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs, err := tableIISpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(ctx, specs, Options{Jobs: 4})
+	if err == nil {
+		t.Fatal("cancelled sweep should report an error")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("error should mention cancellation: %v", err)
+	}
+	if len(results) != len(specs) {
+		t.Errorf("results slice should keep spec length: %d vs %d", len(results), len(specs))
+	}
+}
+
+func TestCancelMidSweep(t *testing.T) {
+	specs, err := tableIISpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	opts := Options{
+		Jobs: 1,
+		Progress: func(done, total int, r scenario.Result) {
+			fired++
+			if done == 2 {
+				cancel()
+			}
+		},
+	}
+	results, err := Run(ctx, specs, opts)
+	if err == nil {
+		t.Fatal("mid-sweep cancellation should surface as an error")
+	}
+	if fired < 2 {
+		t.Errorf("progress fired %d times, want >= 2", fired)
+	}
+	// The scenarios that completed before the cancellation keep their
+	// results; at least one later scenario must have been skipped.
+	if results[0].WCTT == nil {
+		t.Error("first scenario should have completed")
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.WCTT == nil {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("no scenario was skipped despite cancellation")
+	}
+}
+
+// TestRoundTrip covers the full declarative path: Spec -> Expand -> Run ->
+// Result, checking that every result row matches the spec that produced it.
+func TestRoundTrip(t *testing.T) {
+	spec := scenario.Spec{
+		Name:      "rt",
+		Mode:      scenario.ModeManycore,
+		Sizes:     []int{2, 3},
+		Designs:   []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Workloads: []string{"rspeed"},
+		Scale:     500,
+	}
+	specs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(results), len(specs))
+	}
+	for i, r := range results {
+		s := specs[i]
+		wantDim := mesh.MustDim(s.Width, s.Height).String()
+		if r.Dim != wantDim || r.Design != s.Design.String() || r.Name != s.Name {
+			t.Errorf("result %d does not match its spec: spec=%+v result=%+v", i, s, r)
+		}
+		if r.Manycore == nil || r.Manycore.MakespanCycles == 0 {
+			t.Errorf("result %d missing manycore payload: %+v", i, r)
+		}
+		if r.Workload != "rspeed" {
+			t.Errorf("result %d workload = %q", i, r.Workload)
+		}
+	}
+}
+
+// TestPartialFailure checks that one failing scenario neither aborts the
+// sweep nor corrupts the other results.
+func TestPartialFailure(t *testing.T) {
+	specs := []scenario.Spec{
+		{Name: "good", Mode: scenario.ModeWCTT, Width: 2, Height: 2},
+		{Name: "bad", Mode: scenario.ModeManycore, Width: 2, Height: 2, Workload: "does-not-exist"},
+		{Name: "also-good", Mode: scenario.ModeWCTT, Width: 3, Height: 3},
+	}
+	var mu sync.Mutex
+	progressed := 0
+	results, err := Run(context.Background(), specs, Options{
+		Jobs: 2,
+		Progress: func(done, total int, r scenario.Result) {
+			mu.Lock()
+			progressed = done
+			mu.Unlock()
+		},
+	})
+	if err == nil {
+		t.Fatal("sweep with a failing scenario should return an error")
+	}
+	if results[0].WCTT == nil || results[2].WCTT == nil {
+		t.Errorf("healthy scenarios should still complete: %+v", results)
+	}
+	if results[1].WCTT != nil || results[1].Manycore != nil {
+		t.Errorf("failed scenario should have a zero result: %+v", results[1])
+	}
+	// Failed scenarios still report progress, so done reaches total.
+	if progressed != len(specs) {
+		t.Errorf("progress reached %d/%d despite all scenarios finishing", progressed, len(specs))
+	}
+}
+
+// TestProgressMonotonic checks the progress contract: done counts strictly
+// increase from 1 to total, under concurrency.
+func TestProgressMonotonic(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	specs, err := tableIISpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), specs, Options{
+		Jobs: 8,
+		Progress: func(done, total int, r scenario.Result) {
+			mu.Lock()
+			seen = append(seen, done)
+			mu.Unlock()
+			if total != len(specs) {
+				t.Errorf("total = %d, want %d", total, len(specs))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("progress fired %d times, want %d", len(seen), len(specs))
+	}
+	for i, v := range seen {
+		if v != i+1 {
+			t.Errorf("progress done sequence not monotone: %v", seen)
+			break
+		}
+	}
+}

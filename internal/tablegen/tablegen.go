@@ -1,10 +1,12 @@
-// Package tablegen renders the experiment results as text, CSV or Markdown
-// tables whose layout mirrors the tables and figures of the paper, so the
-// output of the benchmark harness and of the noctool CLI can be compared to
-// the published numbers side by side.
+// Package tablegen renders the experiment results as text, CSV, Markdown or
+// JSON tables whose layout mirrors the tables and figures of the paper, so
+// the output of the benchmark harness and of the noctool CLI can be compared
+// to the published numbers side by side (and, with JSON, consumed by
+// machines).
 package tablegen
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -20,6 +22,9 @@ const (
 	FormatCSV
 	// FormatMarkdown renders a GitHub-flavoured Markdown table.
 	FormatMarkdown
+	// FormatJSON renders a machine-readable JSON object with the title,
+	// the header list and one object per row keyed by header.
+	FormatJSON
 )
 
 // String names the format.
@@ -31,6 +36,8 @@ func (f Format) String() string {
 		return "csv"
 	case FormatMarkdown:
 		return "markdown"
+	case FormatJSON:
+		return "json"
 	default:
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
@@ -45,8 +52,10 @@ func ParseFormat(s string) (Format, error) {
 		return FormatCSV, nil
 	case "markdown", "md":
 		return FormatMarkdown, nil
+	case "json":
+		return FormatJSON, nil
 	default:
-		return FormatText, fmt.Errorf("tablegen: unknown format %q (want text, csv or markdown)", s)
+		return FormatText, fmt.Errorf("tablegen: unknown format %q (want text, csv, markdown or json)", s)
 	}
 }
 
@@ -91,6 +100,8 @@ func (t *Table) Render(w io.Writer, f Format) error {
 		return t.renderCSV(w)
 	case FormatMarkdown:
 		return t.renderMarkdown(w)
+	case FormatJSON:
+		return t.renderJSON(w)
 	case FormatText:
 		return t.renderText(w)
 	default:
@@ -131,6 +142,33 @@ func (t *Table) renderCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// renderJSON emits {"title", "headers", "rows"} with each row as an object
+// keyed by header name, so downstream tooling does not need the column
+// order. Rows longer than the header list keep their extra cells under
+// positional "col<N>" keys.
+func (t *Table) renderJSON(w io.Writer) error {
+	type doc struct {
+		Title   string              `json:"title,omitempty"`
+		Headers []string            `json:"headers"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	d := doc{Title: t.Title, Headers: t.Headers, Rows: make([]map[string]string, 0, len(t.Rows))}
+	for _, row := range t.Rows {
+		obj := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Headers) {
+				key = t.Headers[i]
+			}
+			obj[key] = cell
+		}
+		d.Rows = append(d.Rows, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
 }
 
 func (t *Table) columnWidths() []int {

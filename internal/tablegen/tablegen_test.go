@@ -1,6 +1,7 @@
 package tablegen
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func sample() *Table {
 }
 
 func TestFormatString(t *testing.T) {
-	if FormatText.String() != "text" || FormatCSV.String() != "csv" || FormatMarkdown.String() != "markdown" {
+	if FormatText.String() != "text" || FormatCSV.String() != "csv" || FormatMarkdown.String() != "markdown" || FormatJSON.String() != "json" {
 		t.Error("format names wrong")
 	}
 	if Format(9).String() != "Format(9)" {
@@ -26,6 +27,7 @@ func TestParseFormat(t *testing.T) {
 		"text": FormatText, "txt": FormatText, "": FormatText,
 		"csv": FormatCSV, "CSV": FormatCSV,
 		"markdown": FormatMarkdown, "md": FormatMarkdown,
+		"json": FormatJSON, "JSON": FormatJSON,
 	}
 	for in, want := range cases {
 		got, err := ParseFormat(in)
@@ -80,6 +82,38 @@ func TestRenderMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(out, "| alpha | 1 |") {
 		t.Errorf("markdown row missing: %q", out)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	out := sample().RenderString(FormatJSON)
+	var doc struct {
+		Title   string              `json:"title"`
+		Headers []string            `json:"headers"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("FormatJSON emitted invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Title != "Sample" || len(doc.Headers) != 2 || len(doc.Rows) != 2 {
+		t.Errorf("json document malformed: %+v", doc)
+	}
+	if doc.Rows[0]["name"] != "alpha" || doc.Rows[1]["value"] != "2.5" {
+		t.Errorf("json rows not keyed by header: %+v", doc.Rows)
+	}
+}
+
+func TestRenderJSONExtraCells(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}, Rows: [][]string{{"1", "overflow"}}}
+	out := tbl.RenderString(FormatJSON)
+	var doc struct {
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows[0]["a"] != "1" || doc.Rows[0]["col1"] != "overflow" {
+		t.Errorf("extra cells should land under positional keys: %+v", doc.Rows)
 	}
 }
 
