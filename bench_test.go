@@ -215,11 +215,12 @@ func BenchmarkAblation_WCTT(b *testing.B) {
 	b.ReportMetric(results["WaW+WaP"], "wawwap-cycles")
 }
 
-// benchmarkSweep runs the Table II scenario grid (sizes 2x2..8x8 crossed
-// with the regular and WaW+WaP designs) through the sweep engine with the
-// given worker count. The serial/parallel pair tracks the wall-clock win of
-// the parallel experiment layer in the benchmark trajectory.
-func benchmarkSweep(b *testing.B, jobs int) {
+// benchmarkSweepGrid runs the Table II scenario grid (sizes 2x2..8x8
+// crossed with the regular and WaW+WaP designs) through the sweep engine
+// with the given worker count. The serial/parallel pair tracks the
+// wall-clock win of the parallel experiment layer in the benchmark
+// trajectory.
+func benchmarkSweepGrid(b *testing.B, jobs int) {
 	spec := scenario.Spec{
 		Name:    "bench",
 		Mode:    scenario.ModeWCTT,
@@ -240,37 +241,122 @@ func benchmarkSweep(b *testing.B, jobs int) {
 	b.ReportMetric(maxWCTT, "regular-8x8-max-cycles")
 }
 
-// BenchmarkSweep_Serial runs the Table II grid on one worker.
-func BenchmarkSweep_Serial(b *testing.B) { benchmarkSweep(b, 1) }
+// BenchmarkSweep is the sweep-engine benchmark family tracked across PRs
+// (see BENCH_baseline.json and the CI bench smoke step).
+func BenchmarkSweep(b *testing.B) {
+	// serial runs the Table II grid on one worker; parallel on GOMAXPROCS
+	// workers — their ns/op ratio is the experiment layer's speedup.
+	b.Run("serial", func(b *testing.B) { benchmarkSweepGrid(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkSweepGrid(b, 0) })
 
-// BenchmarkSweep_Parallel runs the same grid on GOMAXPROCS workers; the
-// ns/op ratio against BenchmarkSweep_Serial is the engine's speedup.
-func BenchmarkSweep_Parallel(b *testing.B) { benchmarkSweep(b, 0) }
+	// simulate drives the cycle-accurate simulator at low injection load on
+	// an 8x8 mesh (plus smaller meshes and a congested hotspot grid) — the
+	// profile the active-set engine accelerates: most nodes idle most
+	// cycles.
+	b.Run("simulate", func(b *testing.B) {
+		spec := scenario.Spec{
+			Name:    "bench-sim",
+			Mode:    scenario.ModeSimulate,
+			Sizes:   []int{4, 8},
+			Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+			Seed:    7,
+			Traffic: scenario.Traffic{Pattern: "uniform", Rate: 5, Messages: 2000},
+		}
+		var delivered uint64
+		for i := 0; i < b.N; i++ {
+			results, err := sweep.Expand(context.Background(), spec, sweep.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			delivered = 0
+			for _, r := range results {
+				delivered += r.Sim.Delivered
+			}
+		}
+		b.ReportMetric(float64(delivered), "messages-delivered")
+	})
 
-// BenchmarkSweep_Simulate runs a cycle-accurate hotspot grid (both designs,
-// 2x2..6x6) through the engine on all cores — the simulation-heavy sweep
-// profile.
-func BenchmarkSweep_Simulate(b *testing.B) {
-	spec := scenario.Spec{
-		Name:    "bench-sim",
-		Mode:    scenario.ModeSimulate,
-		Sizes:   []int{2, 3, 4, 5, 6},
-		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
-		Seed:    7,
-		Traffic: scenario.Traffic{Pattern: "hotspot", Rate: 40, Messages: 500},
-	}
-	var delivered uint64
-	for i := 0; i < b.N; i++ {
-		results, err := sweep.Expand(context.Background(), spec, sweep.Options{})
-		if err != nil {
-			b.Fatal(err)
+	// hotspot-simulate keeps the original congested small-mesh grid so the
+	// saturated-network profile stays tracked too.
+	b.Run("hotspot-simulate", func(b *testing.B) {
+		spec := scenario.Spec{
+			Name:    "bench-hot",
+			Mode:    scenario.ModeSimulate,
+			Sizes:   []int{2, 3, 4, 5, 6},
+			Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+			Seed:    7,
+			Traffic: scenario.Traffic{Pattern: "hotspot", Rate: 40, Messages: 500},
 		}
-		delivered = 0
-		for _, r := range results {
-			delivered += r.Sim.Delivered
+		var delivered uint64
+		for i := 0; i < b.N; i++ {
+			results, err := sweep.Expand(context.Background(), spec, sweep.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			delivered = 0
+			for _, r := range results {
+				delivered += r.Sim.Delivered
+			}
 		}
+		b.ReportMetric(float64(delivered), "messages-delivered")
+	})
+
+	// load-curve exercises the saturation-study mode across both designs.
+	b.Run("load-curve", func(b *testing.B) {
+		spec := scenario.Spec{
+			Name:    "bench-lc",
+			Mode:    scenario.ModeLoadCurve,
+			Sizes:   []int{4},
+			Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+			Seed:    3,
+			Traffic: scenario.Traffic{
+				Rates:         []int{50, 200, 500},
+				WarmupCycles:  500,
+				MeasureCycles: 2500,
+			},
+		}
+		var points int
+		for i := 0; i < b.N; i++ {
+			results, err := sweep.Expand(context.Background(), spec, sweep.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			points = 0
+			for _, r := range results {
+				points += len(r.LoadCurve.Points)
+			}
+		}
+		b.ReportMetric(float64(points), "curve-points")
+	})
+}
+
+// BenchmarkEngine compares the active-set engine against the full-scan
+// reference on an 8x8 mesh under low uniform-random load — the ns/op ratio
+// is the scheduling win on the workload where most nodes idle most cycles.
+func BenchmarkEngine(b *testing.B) {
+	for _, e := range []network.Engine{network.EngineActiveSet, network.EngineFullScan} {
+		b.Run(e.String(), func(b *testing.B) {
+			d := mesh.MustDim(8, 8)
+			cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+			cfg.Engine = e
+			net := network.MustNew(cfg)
+			gen, err := traffic.NewUniformRandom(d, 3, 5, traffic.RequestPayloadBits, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, msg := range gen.Tick(net.Cycle()) {
+					if _, err := net.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				net.Step()
+			}
+			b.ReportMetric(float64(net.TotalInjectedFlits())/float64(b.N), "flits/cycle")
+		})
 	}
-	b.ReportMetric(float64(delivered), "messages-delivered")
 }
 
 // BenchmarkPacketization measures the WaP slicing overhead accounting (the

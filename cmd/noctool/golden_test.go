@@ -90,10 +90,75 @@ func TestCmdSweepDeterministicAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestCmdSweepLoadCurve checks the load-curve mode end to end: the table
+// carries one row per (scenario, rate) point, the JSON parses back into
+// results with load_curve payloads, and the output is byte-identical across
+// worker counts — the determinism the saturation tables are trusted for.
+func TestCmdSweepLoadCurve(t *testing.T) {
+	args := []string{"-mode", "load-curve", "-sizes", "2,3", "-rates", "50,300",
+		"-warmup", "300", "-measure", "1500"}
+	run := func(extra ...string) string {
+		var out strings.Builder
+		if err := cmdSweep(append(append([]string{}, args...), extra...), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	text := run("-jobs", "1")
+	for _, col := range []string{"rate", "tput", "mean lat", "mean net lat", "drained"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("load-curve table missing column %q:\n%s", col, text)
+		}
+	}
+	// 2 sizes x 2 designs x 2 rates = 8 data rows (plus title, header, rule).
+	if rows := strings.Count(text, "sweep/"); rows != 8 {
+		t.Errorf("expected 8 load-curve rows, got %d:\n%s", rows, text)
+	}
+	if eight := run("-jobs", "8"); eight != text {
+		t.Errorf("load-curve output differs between -jobs 1 and -jobs 8:\n%s\nvs\n%s", text, eight)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal([]byte(run("-format", "json")), &results); err != nil {
+		t.Fatalf("load-curve -format json did not emit valid JSON: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 load-curve results, got %d", len(results))
+	}
+	for _, r := range results {
+		if _, ok := r["load_curve"]; !ok {
+			t.Errorf("result missing load_curve payload: %v", r)
+		}
+	}
+	if err := cmdSweep([]string{"-mode", "load-curve", "-rates", "0"}, &strings.Builder{}); err == nil {
+		t.Error("zero rate should fail validation")
+	}
+	if err := cmdSweep([]string{"-mode", "load-curve", "-rates", "1500"}, &strings.Builder{}); err == nil {
+		t.Error("rate above the 1000 per-mil offered-load ceiling should fail validation")
+	}
+	if err := cmdSweep([]string{"-mode", "load-curve", "-rates", "banana"}, &strings.Builder{}); err == nil {
+		t.Error("bad rate list should fail")
+	}
+	// Flags a mode would silently ignore must be rejected, not dropped.
+	for _, args := range [][]string{
+		{"-mode", "load-curve", "-pattern", "hotspot"},
+		{"-mode", "load-curve", "-rate", "80"},
+		{"-mode", "load-curve", "-messages", "100"},
+		{"-mode", "load-curve", "-workloads", "rspeed"},
+		{"-mode", "load-curve", "-placement", "P1"},
+		{"-mode", "simulate", "-sizes", "2", "-rates", "25,50"},
+		{"-mode", "wctt", "-warmup", "100"},
+	} {
+		if err := cmdSweep(args, &strings.Builder{}); err == nil {
+			t.Errorf("sweep %v should reject the mode-incompatible flag", args)
+		}
+	}
+}
+
 func TestCmdSweepModes(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mode", "simulate", "-sizes", "2,3", "-messages", "50", "-rate", "50"},
 		{"-mode", "manycore", "-sizes", "2", "-workloads", "rspeed", "-scale", "500"},
+		{"-mode", "load-curve", "-sizes", "2", "-rates", "100", "-warmup", "200", "-measure", "800"},
 		// parallel-wcet without -sizes must fall back to the 8x8 platform
 		// (the generic 2..8 default has no standard placements).
 		{"-mode", "parallel-wcet", "-max-packet-flits", "1"},

@@ -18,6 +18,11 @@
 //	simulate    cycle-accurate hotspot simulation of both designs
 //	sweep       declarative scenario grid run on the parallel sweep engine
 //
+// The sweep command additionally offers -mode load-curve, which sweeps
+// sustained uniform-random injection rates per design point and emits the
+// latency-vs-throughput saturation curve of the mesh (see -rates, -warmup,
+// -measure).
+//
 // Every command accepts -format text|csv|markdown|json. The experiment
 // commands are thin adapters over the internal/scenario and internal/sweep
 // layers, so grids of design points and mesh sizes execute across all CPU
@@ -59,6 +64,7 @@ Commands:
   area         NoC area overhead of the WaW+WaP modifications
   simulate     cycle-accurate hotspot simulation comparing both designs
   sweep        run a scenario grid (sizes x designs x workloads) in parallel
+               (-mode load-curve sweeps injection rates into saturation curves)
 
 Run "noctool <command> -h" for command-specific flags. Every command accepts
 -format text|csv|markdown|json; sweep additionally accepts -jobs.

@@ -20,14 +20,17 @@ import (
 // spec order, the output is identical for -jobs 1 and -jobs N.
 func cmdSweep(args []string, w io.Writer) error {
 	fs, format := newFlagSet("sweep")
-	mode := fs.String("mode", "wctt", "scenario mode: wctt, simulate, manycore, parallel-wcet or wcet-map")
+	mode := fs.String("mode", "wctt", "scenario mode: wctt, simulate, manycore, parallel-wcet, wcet-map or load-curve")
 	sizes := fs.String("sizes", "2..8", "square mesh sizes, e.g. 2..8 or 2,4,8")
 	designs := fs.String("designs", "regular,waw+wap", "comma-separated design points (regular, waw+wap, waw-only, wap-only)")
 	workloads := fs.String("workloads", "", "comma-separated EEMBC kernels (manycore mode)")
 	jobs := fs.Int("jobs", 0, "parallel workers; 0 = GOMAXPROCS")
-	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate mode)")
+	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate and load-curve modes)")
 	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp or neighbor")
 	rate := fs.Int("rate", 0, "traffic injection rate (simulate mode); 0 = pattern default")
+	rates := fs.String("rates", "", "injection rates in msgs/node/kcycle (load-curve mode), e.g. 25,50,100 or 100..110; empty = default ladder")
+	warmup := fs.Int("warmup", 0, "warmup cycles per load-curve rate point; 0 = default")
+	measure := fs.Int("measure", 0, "measurement cycles per load-curve rate point; 0 = default")
 	messages := fs.Int("messages", 0, "messages or rounds to inject (simulate mode); 0 = default")
 	maxCycles := fs.Int("max-cycles", 0, "cycle budget per scenario; 0 = mode default")
 	scale := fs.Int("scale", 0, "workload instruction-count scale-down factor (manycore mode)")
@@ -76,13 +79,38 @@ func cmdSweep(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var rateList []int
+	if *rates != "" {
+		if rateList, err = scenario.ParseRates(*rates); err != nil {
+			return err
+		}
+	}
+	// Reject explicitly-set flags the selected mode would silently ignore:
+	// the load-curve mode generates its own sustained uniform-random
+	// traffic, and only it reads the window flags.
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	incompatible := []string{"rates", "warmup", "measure"}
+	if m == scenario.ModeLoadCurve {
+		incompatible = []string{"pattern", "rate", "messages", "max-cycles",
+			"workloads", "scale", "placement", "max-packet-flits"}
+	}
+	for _, name := range incompatible {
+		if explicit[name] {
+			return fmt.Errorf("flag -%s is not supported in -mode %v", name, m)
+		}
+	}
+	traf := scenario.Traffic{Pattern: *pattern, Rate: *rate, Messages: *messages}
+	if m == scenario.ModeLoadCurve {
+		traf = scenario.Traffic{Rates: rateList, WarmupCycles: *warmup, MeasureCycles: *measure}
+	}
 	spec := scenario.Spec{
 		Name:           "sweep",
 		Mode:           m,
 		Sizes:          sizeList,
 		Designs:        designList,
 		Seed:           *seed,
-		Traffic:        scenario.Traffic{Pattern: *pattern, Rate: *rate, Messages: *messages},
+		Traffic:        traf,
 		MaxCycles:      *maxCycles,
 		Scale:          *scale,
 		Placement:      *placement,
@@ -150,6 +178,21 @@ func sweepTable(m scenario.Mode, results []scenario.Result) *tablegen.Table {
 			}
 			t.AddRow(r.Name, r.Dim, r.Design, r.Workload,
 				fmt.Sprintf("%d", r.Manycore.MakespanCycles), fmt.Sprintf("%d", r.Manycore.MemTransactions))
+		}
+		return t
+	case scenario.ModeLoadCurve:
+		t := tablegen.New(title, "scenario", "dim", "design", "rate", "offered", "delivered", "tput", "mean lat", "max lat", "mean net lat", "drained")
+		for _, r := range results {
+			if r.LoadCurve == nil {
+				continue
+			}
+			for _, p := range r.LoadCurve.Points {
+				t.AddRow(r.Name, r.Dim, r.Design,
+					fmt.Sprintf("%d", p.RatePerMil), fmt.Sprintf("%d", p.Offered),
+					fmt.Sprintf("%d", p.Delivered), fmt.Sprintf("%.1f", p.Throughput),
+					fmt.Sprintf("%.1f", p.MeanLatency), fmt.Sprintf("%.0f", p.MaxLatency),
+					fmt.Sprintf("%.1f", p.MeanNetworkLatency), fmt.Sprintf("%v", p.Drained))
+			}
 		}
 		return t
 	case scenario.ModeParallelWCET:

@@ -25,14 +25,32 @@
 //
 //   - internal/scenario declares experiments: a Spec names the mesh size,
 //     design point, mode (analytical WCTT, cycle-accurate simulation,
-//     many-core workload, parallel WCET, per-core WCET map), workload or
-//     traffic selection and seeds. Specs validate, carry sweep axes
-//     (sizes x designs x workloads) that Expand crosses into concrete
-//     scenarios, and execute into a stable, JSON-serialisable Result.
+//     many-core workload, parallel WCET, per-core WCET map, load-curve
+//     saturation study), workload or traffic selection and seeds. Specs
+//     validate, carry sweep axes (sizes x designs x workloads) that Expand
+//     crosses into concrete scenarios, and execute into a stable,
+//     JSON-serialisable Result.
 //   - internal/sweep executes spec lists on a worker pool (Run/Expand with
 //     a configurable job count, GOMAXPROCS by default) with deterministic,
 //     spec-ordered aggregation and progress callbacks: a sweep's aggregated
 //     output is byte-identical for 1 worker and for N.
+//
+// The cycle-accurate simulator (internal/network) schedules its cycle loop
+// with an active-set engine: Step only visits routers with occupied input
+// buffers or still-replenishing WaW arbitration counters, and NICs with
+// pending injection flits. A router enters the active set when a flit is
+// staged into one of its inputs or a credit returns to one of its outputs,
+// and leaves it when quiescent (empty inputs, idle-stable arbiters on all
+// unlocked output ports), so skipped visits are provably no-ops and the
+// engine is cycle-for-cycle identical to the full per-node scan — which is
+// retained as network.EngineFullScan and pinned to the active-set engine by
+// equivalence tests. Per-router neighbour indices are precomputed and every
+// per-cycle buffer is reused, making the steady-state loop allocation-free.
+// The load-curve scenario mode builds the classical saturation study on top
+// of this engine: per injection rate it runs warmup, measurement and drain
+// windows of sustained uniform-random traffic and reports throughput plus
+// total- and network-latency distributions (network latency excludes the
+// source-queueing time; see noctool sweep -mode load-curve).
 //
 // The layering is: substrate (mesh, flit, router, network, traffic,
 // manycore, analysis, wcet, workload) -> scenario -> sweep -> facade

@@ -25,6 +25,12 @@ type Arbiter interface {
 	NumInputs() int
 	// Reset restores the power-on state.
 	Reset()
+	// IdleStable reports whether a Grant call with no requesting inputs
+	// would leave the arbiter's state unchanged. Round-robin arbiters are
+	// always idle-stable; a WaW arbiter is idle-stable once every flit
+	// counter has replenished back to its weight. The active-set simulator
+	// engine uses this to decide when an idle router can safely be skipped.
+	IdleStable() bool
 }
 
 // RoundRobin is the conventional rotating-priority round-robin arbiter used
@@ -50,6 +56,10 @@ func (a *RoundRobin) NumInputs() int { return a.n }
 
 // Reset restores the power-on priority (input 0 first).
 func (a *RoundRobin) Reset() { a.next = 0 }
+
+// IdleStable implements Arbiter: a request-less Grant never moves the
+// round-robin pointer.
+func (a *RoundRobin) IdleStable() bool { return true }
 
 // Grant returns the requesting input with the highest current priority, or -1
 // when none request. The priority pointer rotates past the winner.
@@ -88,6 +98,11 @@ type Weighted struct {
 	weights []int
 	counts  []int
 	rr      *RoundRobin
+
+	// candScratch and tieScratch are reusable per-Grant buffers so that
+	// steady-state arbitration performs no heap allocations.
+	candScratch []int
+	tieScratch  []bool
 }
 
 // NewWeighted returns a WaW arbiter with the given per-input weights
@@ -101,9 +116,11 @@ func NewWeighted(weights []int) *Weighted {
 		panic("arbiter: weighted arbiter needs at least one input")
 	}
 	w := &Weighted{
-		weights: make([]int, len(weights)),
-		counts:  make([]int, len(weights)),
-		rr:      NewRoundRobin(len(weights)),
+		weights:     make([]int, len(weights)),
+		counts:      make([]int, len(weights)),
+		rr:          NewRoundRobin(len(weights)),
+		candScratch: make([]int, 0, len(weights)),
+		tieScratch:  make([]bool, len(weights)),
 	}
 	for i, wt := range weights {
 		if wt < 0 {
@@ -137,12 +154,23 @@ func (a *Weighted) Weight(i int) int { return a.weights[i] }
 // for the WCTT analysis of the counter phasing).
 func (a *Weighted) Count(i int) int { return a.counts[i] }
 
+// IdleStable implements Arbiter: the request-less replenishment rule is a
+// no-op exactly when every flit counter already sits at its weight.
+func (a *Weighted) IdleStable() bool {
+	for i, c := range a.counts {
+		if c != a.weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Grant applies the WaW arbitration rule described above.
 func (a *Weighted) Grant(requests []bool) int {
 	if len(requests) != len(a.weights) {
 		panic(fmt.Sprintf("arbiter: got %d requests, expected %d", len(requests), len(a.weights)))
 	}
-	var candidates []int
+	candidates := a.candScratch[:0]
 	for i, r := range requests {
 		if r {
 			candidates = append(candidates, i)
@@ -185,7 +213,10 @@ func (a *Weighted) Grant(requests []bool) int {
 			}
 		}
 	}
-	tied := make([]bool, len(a.weights))
+	tied := a.tieScratch
+	for i := range tied {
+		tied[i] = false
+	}
 	anyTied := false
 	for _, c := range candidates {
 		if a.counts[c] == best {

@@ -1,0 +1,232 @@
+// Equivalence tests for the active-set engine: every simulation observable
+// (delivered counts, per-flow latency samplers, cycle counts, and even the
+// per-cycle buffer/credit microstate) must be identical to the full-scan
+// reference engine for every design point, traffic pattern and seed. These
+// are the regression tests that let the active-set scheduling be trusted to
+// keep golden outputs byte-identical.
+package network_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// buildGen constructs one instance of the named generator; each engine run
+// gets its own instance so the pseudo-random state is consumed identically.
+func buildGen(t *testing.T, pattern string, d mesh.Dim, seed int64) traffic.Generator {
+	t.Helper()
+	var gen traffic.Generator
+	var err error
+	switch pattern {
+	case "hotspot":
+		gen, err = traffic.NewHotspot(d, mesh.Node{X: 0, Y: 0}, seed, 40, traffic.RequestPayloadBits, 300)
+	case "uniform":
+		gen, err = traffic.NewUniformRandom(d, seed, 80, traffic.CacheLinePayloadBits, 300)
+	case "transpose":
+		gen, err = traffic.NewPermutation(d, traffic.Transpose, traffic.CacheLinePayloadBits, 8, 20)
+	case "neighbor":
+		gen, err = traffic.NewPermutation(d, traffic.NearestNeighbor, traffic.RequestPayloadBits, 8, 10)
+	default:
+		t.Fatalf("unknown pattern %q", pattern)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// runEngine drives the pattern through a fresh network built on the given
+// engine until drained.
+func runEngine(t *testing.T, e network.Engine, d mesh.Dim, design network.Design, pattern string, seed int64) *network.Network {
+	t.Helper()
+	cfg := network.DefaultConfig(d, design)
+	cfg.Engine = e
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := buildGen(t, pattern, d, seed)
+	if _, done := traffic.Drive(net, gen, 1_000_000); !done {
+		t.Fatalf("%v/%v/%s/seed=%d did not drain", e, design, pattern, seed)
+	}
+	return net
+}
+
+func samplerKey(s *stats.Sampler) string {
+	return fmt.Sprintf("n=%d sum=%v min=%v max=%v std=%v", s.Count(), s.Sum(), s.Min(), s.Max(), s.StdDev())
+}
+
+// flowFingerprint renders every per-flow statistic in a deterministic order.
+func flowFingerprint(net *network.Network) string {
+	fss := net.AllFlowStats()
+	sort.Slice(fss, func(i, j int) bool {
+		a, b := fss[i].Flow, fss[j].Flow
+		if a.Src != b.Src {
+			return a.Src.Y*1000+a.Src.X < b.Src.Y*1000+b.Src.X
+		}
+		return a.Dst.Y*1000+a.Dst.X < b.Dst.Y*1000+b.Dst.X
+	})
+	out := ""
+	for _, fs := range fss {
+		out += fmt.Sprintf("%v msgs=%d lat{%s} netlat{%s}\n",
+			fs.Flow, fs.Messages, samplerKey(&fs.Latency), samplerKey(&fs.NetworkLatency))
+	}
+	return out
+}
+
+// TestEnginesEquivalent checks that the active-set engine reproduces the
+// full-scan engine's results exactly — delivered counts, cycle counts and
+// every per-flow latency sampler — across all four design points, several
+// traffic patterns and seeds, on square and rectangular meshes.
+func TestEnginesEquivalent(t *testing.T) {
+	designs := []network.Design{
+		network.DesignRegular, network.DesignWaWWaP,
+		network.DesignWaWOnly, network.DesignWaPOnly,
+	}
+	dims := []mesh.Dim{mesh.MustDim(4, 4), mesh.MustDim(4, 2)}
+	patterns := []string{"hotspot", "uniform", "transpose", "neighbor"}
+	seeds := []int64{1, 7}
+	for _, d := range dims {
+		for _, design := range designs {
+			for _, pattern := range patterns {
+				for _, seed := range seeds {
+					name := fmt.Sprintf("%v/%v/%s/seed=%d", d, design, pattern, seed)
+					t.Run(name, func(t *testing.T) {
+						ref := runEngine(t, network.EngineFullScan, d, design, pattern, seed)
+						act := runEngine(t, network.EngineActiveSet, d, design, pattern, seed)
+						if ref.Cycle() != act.Cycle() {
+							t.Errorf("cycles: full-scan %d, active-set %d", ref.Cycle(), act.Cycle())
+						}
+						if ref.TotalInjectedFlits() != act.TotalInjectedFlits() {
+							t.Errorf("injected flits: full-scan %d, active-set %d",
+								ref.TotalInjectedFlits(), act.TotalInjectedFlits())
+						}
+						if ref.TotalDeliveredMessages() != act.TotalDeliveredMessages() {
+							t.Errorf("delivered: full-scan %d, active-set %d",
+								ref.TotalDeliveredMessages(), act.TotalDeliveredMessages())
+						}
+						if rf, af := flowFingerprint(ref), flowFingerprint(act); rf != af {
+							t.Errorf("flow stats differ:\nfull-scan:\n%s\nactive-set:\n%s", rf, af)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesLockstepMicrostate steps both engines side by side under a
+// congested hotspot and compares the complete observable microstate — every
+// input-buffer occupancy and every credit counter of every router — after
+// every cycle. This pins the active-set scheduling to the reference engine
+// at cycle granularity, not just at drain time.
+func TestEnginesLockstepMicrostate(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		t.Run(design.String(), func(t *testing.T) {
+			mk := func(e network.Engine) *network.Network {
+				cfg := network.DefaultConfig(d, design)
+				cfg.Engine = e
+				return network.MustNew(cfg)
+			}
+			ref, act := mk(network.EngineFullScan), mk(network.EngineActiveSet)
+			genRef := buildGen(t, "hotspot", d, 3)
+			genAct := buildGen(t, "hotspot", d, 3)
+			for cycle := 0; cycle < 3000; cycle++ {
+				for _, msg := range genRef.Tick(ref.Cycle()) {
+					if _, err := ref.Send(msg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, msg := range genAct.Tick(act.Cycle()) {
+					if _, err := act.Send(msg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ref.Step()
+				act.Step()
+				for _, nd := range d.AllNodes() {
+					rr, ra := ref.Router(nd), act.Router(nd)
+					for _, dir := range mesh.Directions {
+						if ro, ao := rr.InputOccupancy(dir), ra.InputOccupancy(dir); ro != ao {
+							t.Fatalf("cycle %d node %v input %v occupancy: full-scan %d, active-set %d",
+								cycle, nd, dir, ro, ao)
+						}
+						if rr.HasOutput(dir) && rr.Credits(dir) != ra.Credits(dir) {
+							t.Fatalf("cycle %d node %v output %v credits: full-scan %d, active-set %d",
+								cycle, nd, dir, rr.Credits(dir), ra.Credits(dir))
+						}
+					}
+				}
+				if ref.TotalDeliveredMessages() != act.TotalDeliveredMessages() {
+					t.Fatalf("cycle %d delivered: full-scan %d, active-set %d",
+						cycle, ref.TotalDeliveredMessages(), act.TotalDeliveredMessages())
+				}
+				if ref.Drained() != act.Drained() {
+					t.Fatalf("cycle %d drained: full-scan %v, active-set %v", cycle, ref.Drained(), act.Drained())
+				}
+				if genRef.Done() && ref.Drained() && act.Drained() {
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkLatencyExcludesSourceQueueing is the regression test for the
+// latency-accounting bugfix: FlowStats.NetworkLatency must measure
+// injection-to-delivery, so with a burst of back-to-back messages queueing
+// at one source NIC the network latency is strictly below the total latency
+// (which includes the source-queueing time), while a solitary message keeps
+// the two nearly equal.
+func TestNetworkLatencyExcludesSourceQueueing(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	net := network.MustNew(network.DefaultConfig(d, network.DesignRegular))
+	flow := flit.FlowID{Src: mesh.Node{X: 3, Y: 3}, Dst: mesh.Node{X: 0, Y: 0}}
+	// Queue several multi-flit messages at once: all are created at cycle 0
+	// but the later ones wait in the injection queue behind the earlier.
+	const burst = 5
+	for i := 0; i < burst; i++ {
+		msg := &flit.Message{Flow: flow, Class: flit.ClassData, PayloadBits: traffic.CacheLinePayloadBits}
+		if _, err := net.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !net.RunUntilDrained(100_000) {
+		t.Fatal("network did not drain")
+	}
+	fs := net.FlowStatsFor(flow)
+	if fs == nil || fs.Messages != burst {
+		t.Fatalf("flow stats missing or incomplete: %+v", fs)
+	}
+	if fs.NetworkLatency.Count() != burst {
+		t.Fatalf("network latency samples = %d, want %d", fs.NetworkLatency.Count(), burst)
+	}
+	// Every message: network latency <= total latency.
+	if fs.NetworkLatency.Max() > fs.Latency.Max() || fs.NetworkLatency.Mean() > fs.Latency.Mean() {
+		t.Errorf("network latency exceeds total latency: net %v vs total %v",
+			fs.NetworkLatency.String(), fs.Latency.String())
+	}
+	// The last message of the burst queued behind the earlier ones, so the
+	// aggregate network latency must be STRICTLY below the total latency —
+	// this is exactly what the old DeliveredAt-CreatedAt accounting got
+	// wrong (it made the two samplers identical).
+	if fs.NetworkLatency.Sum() >= fs.Latency.Sum() {
+		t.Errorf("network latency not strictly below total latency under source queueing: net sum %v, total sum %v",
+			fs.NetworkLatency.Sum(), fs.Latency.Sum())
+	}
+	// The first message of the burst injects immediately, so the smallest
+	// network latency should differ from total latency by at most the
+	// single-cycle injection offset.
+	if fs.Latency.Min()-fs.NetworkLatency.Min() > float64(fs.Messages) {
+		t.Errorf("min network latency %v implausibly far from min total latency %v",
+			fs.NetworkLatency.Min(), fs.Latency.Min())
+	}
+}

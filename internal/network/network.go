@@ -26,6 +26,7 @@ package network
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/arbiter"
 	"repro/internal/flit"
@@ -35,6 +36,35 @@ import (
 	"repro/internal/router"
 	"repro/internal/stats"
 )
+
+// Engine selects the Step scheduling strategy of a Network.
+type Engine int
+
+const (
+	// EngineActiveSet is the default engine: each cycle it only visits the
+	// routers that can make progress or whose WaW arbitration counters are
+	// still replenishing, and the NICs that hold pending injection traffic.
+	// Its observable behaviour (every flit movement, timestamp, arbitration
+	// decision and delivery order) is identical to EngineFullScan; only the
+	// wall-clock cost of idle nodes differs.
+	EngineActiveSet Engine = iota
+	// EngineFullScan visits every router and NIC every cycle — the
+	// straightforward engine the repository started with, kept as the
+	// executable reference that the active-set engine is validated against.
+	EngineFullScan
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineActiveSet:
+		return "active-set"
+	case EngineFullScan:
+		return "full-scan"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
 
 // Design selects the NoC design point evaluated in the paper.
 type Design int
@@ -93,6 +123,10 @@ type Config struct {
 	Router router.Config
 	Link   flit.LinkConfig
 
+	// Engine selects the simulation scheduling strategy; the zero value is
+	// the active-set engine. The engine is fixed at construction time.
+	Engine Engine
+
 	// CustomWeights optionally overrides the topology-derived WaW weights
 	// with an application-specific weight table (see
 	// flows.WeightTableFromSet). Only meaningful for designs with weighted
@@ -124,6 +158,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Link.Validate(); err != nil {
 		return err
+	}
+	if c.Engine != EngineActiveSet && c.Engine != EngineFullScan {
+		return fmt.Errorf("network: unknown engine %v", c.Engine)
 	}
 	if c.Router.Arbitration != c.Design.Arbitration() {
 		return fmt.Errorf("network: design %v requires %v arbitration, config says %v",
@@ -159,6 +196,25 @@ type Network struct {
 	routers []*router.Router // indexed by Dim.Index
 	nics    []*nic.NIC       // indexed by Dim.Index
 
+	// neighborIdx precomputes, per router index and port direction, the
+	// dense index of the neighbouring router (-1 outside the mesh), so the
+	// per-cycle loop never recomputes Dim.NodeAt/Dim.Neighbor/Dim.Index.
+	neighborIdx [][mesh.NumDirections]int32
+
+	// Active-set engine state. routerActive marks routers present in
+	// activeList or activated; activeList is the sorted visit list of the
+	// current cycle; retained and activated are per-cycle scratch.
+	// nicActive/nicList track the NICs with pending injection flits.
+	routerActive []bool
+	activeList   []int32
+	retained     []int32
+	activated    []int32
+	nicActive    []bool
+	nicList      []int32
+
+	// creditScratch is the reusable end-of-cycle credit-return buffer.
+	creditScratch []creditReturn
+
 	cycle uint64
 
 	flowStats map[flit.FlowID]*FlowStats
@@ -176,11 +232,16 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nodes := cfg.Dim.Nodes()
 	n := &Network{
-		cfg:       cfg,
-		routers:   make([]*router.Router, cfg.Dim.Nodes()),
-		nics:      make([]*nic.NIC, cfg.Dim.Nodes()),
-		flowStats: make(map[flit.FlowID]*FlowStats),
+		cfg:          cfg,
+		routers:      make([]*router.Router, nodes),
+		nics:         make([]*nic.NIC, nodes),
+		neighborIdx:  make([][mesh.NumDirections]int32, nodes),
+		routerActive: make([]bool, nodes),
+		activeList:   make([]int32, nodes),
+		nicActive:    make([]bool, nodes),
+		flowStats:    make(map[flit.FlowID]*FlowStats),
 	}
 	var weightTable *flows.WeightTable
 	if cfg.Design.Arbitration() == arbiter.KindWeighted {
@@ -207,6 +268,19 @@ func New(cfg Config) (*Network, error) {
 		n.routers[idx] = r
 		n.nics[idx] = ni
 	}
+	for idx := 0; idx < nodes; idx++ {
+		node := cfg.Dim.NodeAt(idx)
+		for _, dir := range mesh.Directions {
+			n.neighborIdx[idx][dir] = -1
+			if nb, ok := cfg.Dim.Neighbor(node, dir); ok {
+				n.neighborIdx[idx][dir] = int32(cfg.Dim.Index(nb))
+			}
+		}
+		// Every router starts in the active set; the quiescent ones drop
+		// out after the first Step visit.
+		n.routerActive[idx] = true
+		n.activeList[idx] = int32(idx)
+	}
 	return n, nil
 }
 
@@ -232,7 +306,9 @@ func (n *Network) Router(nd mesh.Node) *router.Router { return n.routers[n.cfg.D
 func (n *Network) NIC(nd mesh.Node) *nic.NIC { return n.nics[n.cfg.Dim.Index(nd)] }
 
 // Send queues a message for transmission from its source node's NIC at the
-// current cycle and returns the assigned message identifier.
+// current cycle and returns the assigned message identifier. Traffic must
+// enter the network through Send (not by calling the NIC directly): Send is
+// what registers the source NIC with the active-set engine's injection list.
 func (n *Network) Send(msg *flit.Message) (uint64, error) {
 	if msg == nil {
 		return 0, fmt.Errorf("network: nil message")
@@ -240,86 +316,207 @@ func (n *Network) Send(msg *flit.Message) (uint64, error) {
 	if !n.cfg.Dim.Contains(msg.Flow.Src) || !n.cfg.Dim.Contains(msg.Flow.Dst) {
 		return 0, fmt.Errorf("network: flow %v outside %v mesh", msg.Flow, n.cfg.Dim)
 	}
-	return n.NIC(msg.Flow.Src).Send(msg, n.cycle)
+	idx := n.cfg.Dim.Index(msg.Flow.Src)
+	id, err := n.nics[idx].Send(msg, n.cycle)
+	if err == nil {
+		n.activateNIC(int32(idx))
+	}
+	return id, err
 }
 
-// creditReturn records that the router at node owes a credit back on output
-// port dir (applied at the end of the cycle).
+// creditReturn records that the router at dense index `router` owes a credit
+// back on output port dir (applied at the end of the cycle).
 type creditReturn struct {
-	node mesh.Node
-	dir  mesh.Direction
+	router int32
+	dir    mesh.Direction
+}
+
+// activateRouter ensures the router joins the next cycle's active set.
+func (n *Network) activateRouter(idx int32) {
+	if !n.routerActive[idx] {
+		n.routerActive[idx] = true
+		n.activated = append(n.activated, idx)
+	}
+}
+
+// activateNIC ensures the NIC is on the pending-injection list.
+func (n *Network) activateNIC(idx int32) {
+	if !n.nicActive[idx] {
+		n.nicActive[idx] = true
+		n.nicList = append(n.nicList, idx)
+	}
+}
+
+// stepRouter computes and applies the transfers of one router: pops the
+// forwarded flits, stages them downstream (activating the receiving router),
+// delivers ejected flits to the local NIC and queues credit returns.
+func (n *Network) stepRouter(idx int32) {
+	r := n.routers[idx]
+	transfers := r.ComputeTransfers()
+	for i := range transfers {
+		t := transfers[i]
+		f := r.ApplyTransfer(t)
+		// Return the freed buffer slot to whoever filled it.
+		if t.In != mesh.Local {
+			// The flit travelling in direction t.In came from the
+			// neighbour on the opposite side; that neighbour's output
+			// port named t.In tracks this buffer's occupancy.
+			up := n.neighborIdx[idx][t.In.Opposite()]
+			if up < 0 {
+				panic(fmt.Sprintf("network: no upstream neighbour for %v input %v", r.Node, t.In))
+			}
+			n.creditScratch = append(n.creditScratch, creditReturn{router: up, dir: t.In})
+		}
+		if t.Out == mesh.Local {
+			// Ejection: deliver to the local NIC.
+			msg, err := n.nics[idx].Receive(f, n.cycle)
+			if err != nil {
+				panic(fmt.Sprintf("network: ejection at %v: %v", r.Node, err))
+			}
+			if msg != nil {
+				n.recordDelivery(msg)
+			}
+			continue
+		}
+		down := n.neighborIdx[idx][t.Out]
+		if down < 0 {
+			panic(fmt.Sprintf("network: no downstream neighbour for %v output %v", r.Node, t.Out))
+		}
+		if err := n.routers[down].StageArrival(t.Out, f); err != nil {
+			panic(fmt.Sprintf("network: %v", err))
+		}
+		n.activateRouter(down)
+	}
+}
+
+// stepNIC injects at most one flit from the NIC into the local router and
+// reports whether the NIC still holds pending injection flits.
+func (n *Network) stepNIC(idx int32) bool {
+	ni := n.nics[idx]
+	if ni.PendingFlits() == 0 {
+		return false
+	}
+	r := n.routers[idx]
+	if r.InputSpace(mesh.Local) == 0 {
+		return true
+	}
+	f := ni.PopFlit(n.cycle)
+	if f == nil {
+		return false
+	}
+	if err := r.StageArrival(mesh.Local, f); err != nil {
+		panic(fmt.Sprintf("network: injection at %v: %v", r.Node, err))
+	}
+	n.activateRouter(idx)
+	n.totalInjected++
+	return ni.PendingFlits() > 0
 }
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
-	var creditReturns []creditReturn
+	if n.cfg.Engine == EngineFullScan {
+		n.stepFullScan()
+	} else {
+		n.stepActiveSet()
+	}
+}
+
+// stepFullScan is the reference engine: every router and NIC is visited
+// every cycle, exactly as the original simulator did.
+func (n *Network) stepFullScan() {
+	n.creditScratch = n.creditScratch[:0]
 
 	// Phase 1: router transfers.
-	for idx, r := range n.routers {
-		node := n.cfg.Dim.NodeAt(idx)
-		transfers := r.ComputeTransfers()
-		for _, t := range transfers {
-			f := r.ApplyTransfer(t)
-			// Return the freed buffer slot to whoever filled it.
-			if t.In != mesh.Local {
-				// The flit travelling in direction t.In came from the
-				// neighbour on the opposite side; that neighbour's output
-				// port named t.In tracks this buffer's occupancy.
-				up, ok := n.cfg.Dim.Neighbor(node, t.In.Opposite())
-				if !ok {
-					panic(fmt.Sprintf("network: no upstream neighbour for %v input %v", node, t.In))
-				}
-				creditReturns = append(creditReturns, creditReturn{node: up, dir: t.In})
-			}
-			if t.Out == mesh.Local {
-				// Ejection: deliver to the local NIC.
-				msg, err := n.nics[idx].Receive(f, n.cycle)
-				if err != nil {
-					panic(fmt.Sprintf("network: ejection at %v: %v", node, err))
-				}
-				if msg != nil {
-					n.recordDelivery(msg)
-				}
-				continue
-			}
-			down, ok := n.cfg.Dim.Neighbor(node, t.Out)
-			if !ok {
-				panic(fmt.Sprintf("network: no downstream neighbour for %v output %v", node, t.Out))
-			}
-			if err := n.routers[n.cfg.Dim.Index(down)].StageArrival(t.Out, f); err != nil {
-				panic(fmt.Sprintf("network: %v", err))
-			}
-		}
+	for idx := range n.routers {
+		n.stepRouter(int32(idx))
 	}
-
 	// Phase 2: NIC injection (at most one flit per NIC per cycle).
-	for idx, ni := range n.nics {
-		if ni.PendingFlits() == 0 {
-			continue
-		}
-		r := n.routers[idx]
-		if r.InputSpace(mesh.Local) == 0 {
-			continue
-		}
-		f := ni.PopFlit(n.cycle)
-		if f == nil {
-			continue
-		}
-		if err := r.StageArrival(mesh.Local, f); err != nil {
-			panic(fmt.Sprintf("network: injection at %v: %v", n.cfg.Dim.NodeAt(idx), err))
-		}
-		n.totalInjected++
+	for idx := range n.nics {
+		n.stepNIC(int32(idx))
 	}
-
 	// Phase 3: commit arrivals and credit returns.
 	for _, r := range n.routers {
 		r.CommitArrivals()
 	}
-	for _, cr := range creditReturns {
-		n.routers[n.cfg.Dim.Index(cr.node)].ReturnCredit(cr.dir)
+	for _, cr := range n.creditScratch {
+		n.routers[cr.router].ReturnCredit(cr.dir)
+	}
+	n.cycle++
+}
+
+// stepActiveSet advances one cycle visiting only the nodes that can make
+// progress. The engine maintains the invariant that every router whose
+// full-scan visit would NOT be a no-op is in the active set: a router enters
+// the set when a flit is staged into one of its input buffers or when a
+// credit returns to one of its output ports, and leaves it when it reports
+// Quiescent (empty input FIFOs and idle-stable arbiters). Skipped visits are
+// provably no-ops — see router.Quiescent — so the cycle-by-cycle state
+// evolution is identical to stepFullScan's.
+func (n *Network) stepActiveSet() {
+	n.creditScratch = n.creditScratch[:0]
+	n.activated = n.activated[:0]
+	n.retained = n.retained[:0]
+
+	// Phase 1: router transfers, in ascending index order — the order the
+	// full scan uses — so deliveries and DeliveryHook calls are identical.
+	for _, idx := range n.activeList {
+		n.stepRouter(idx)
+		if n.routers[idx].Quiescent() {
+			n.routerActive[idx] = false
+		} else {
+			n.retained = append(n.retained, idx)
+		}
 	}
 
+	// Phase 2: NIC injection, visiting only NICs with pending traffic and
+	// compacting the list in place.
+	live := n.nicList[:0]
+	for _, idx := range n.nicList {
+		if n.stepNIC(idx) {
+			live = append(live, idx)
+		} else {
+			n.nicActive[idx] = false
+		}
+	}
+	n.nicList = live
+
+	// Phase 3: credit returns first (they can re-activate quiescent
+	// routers), then the next cycle's visit list, then arrival commits for
+	// exactly the routers that may hold staged flits — every staging event
+	// activated its target, so the merged list covers them all.
+	for _, cr := range n.creditScratch {
+		n.routers[cr.router].ReturnCredit(cr.dir)
+		n.activateRouter(cr.router)
+	}
+	n.mergeActive()
+	for _, idx := range n.activeList {
+		n.routers[idx].CommitArrivals()
+	}
 	n.cycle++
+}
+
+// mergeActive rebuilds activeList for the next cycle from the routers that
+// stayed active after their visit (already in ascending order) and the
+// routers activated during the cycle (sorted here). The two sets are
+// disjoint by construction of the routerActive flag.
+func (n *Network) mergeActive() {
+	if len(n.activated) > 1 {
+		slices.Sort(n.activated)
+	}
+	out := n.activeList[:0]
+	i, j := 0, 0
+	for i < len(n.retained) && j < len(n.activated) {
+		if n.retained[i] < n.activated[j] {
+			out = append(out, n.retained[i])
+			i++
+		} else {
+			out = append(out, n.activated[j])
+			j++
+		}
+	}
+	out = append(out, n.retained[i:]...)
+	out = append(out, n.activated[j:]...)
+	n.activeList = out
 }
 
 func (n *Network) recordDelivery(msg *flit.Message) {
@@ -331,10 +528,10 @@ func (n *Network) recordDelivery(msg *flit.Message) {
 	}
 	fs.Messages++
 	fs.Latency.AddUint(msg.DeliveredAt - msg.CreatedAt)
-	// The destination NIC recorded the injection-relative latency in its
-	// delivered list; recompute from the message timestamps to stay
-	// self-contained.
-	fs.NetworkLatency.AddUint(msg.DeliveredAt - msg.CreatedAt)
+	// Network latency runs from the injection of the message's first flit
+	// (stamped by the destination NIC during reassembly) to the delivery of
+	// its last, excluding the source-queueing time included in Latency.
+	fs.NetworkLatency.AddUint(msg.DeliveredAt - msg.InjectedAt)
 	if n.DeliveryHook != nil {
 		n.DeliveryHook(msg, n.cycle)
 	}

@@ -356,6 +356,7 @@ func (n *NIC) Receive(f *flit.Flit, now uint64) (*flit.Message, error) {
 		Class:       r.class,
 		PayloadBits: r.payloadBits,
 		CreatedAt:   r.createdAt,
+		InjectedAt:  r.firstInjected,
 		DeliveredAt: now,
 	}
 	n.delivered = append(n.delivered, DeliveredMessage{

@@ -79,6 +79,12 @@ type Router struct {
 	inputs [mesh.NumDirections][]*flit.Flit // committed input FIFOs
 	staged [mesh.NumDirections][]*flit.Flit // arrivals of the current cycle
 	out    [mesh.NumDirections]*outputPort
+
+	// transferScratch backs the slice returned by ComputeTransfers and
+	// reqScratch the per-output request mask, so the steady-state
+	// arbitration loop performs no heap allocations.
+	transferScratch []Transfer
+	reqScratch      [mesh.NumDirections]bool
 }
 
 // New builds a router at node n of a mesh with dimensions d. For WaW
@@ -269,9 +275,10 @@ func (r *Router) desiredOutput(f *flit.Flit) mesh.Direction {
 // input port. The decision mutates only the arbitration state and the
 // wormhole locks; the caller must then apply each transfer with
 // ApplyTransfer (or equivalent calls to PopInput/ConsumeCredit) and deliver
-// the flit downstream.
+// the flit downstream. The returned slice is backed by a per-router scratch
+// buffer and is only valid until the next ComputeTransfers call.
 func (r *Router) ComputeTransfers() []Transfer {
-	var transfers []Transfer
+	transfers := r.transferScratch[:0]
 	inputBusy := [mesh.NumDirections]bool{}
 
 	for _, outDir := range mesh.Directions {
@@ -304,9 +311,10 @@ func (r *Router) ComputeTransfers() []Transfer {
 		}
 		// Free port: arbitrate among the input ports whose head-of-line flit
 		// is a head flit routed to this output.
-		requests := make([]bool, mesh.NumDirections)
+		requests := r.reqScratch[:]
 		any := false
 		for _, inDir := range mesh.Directions {
+			requests[int(inDir)] = false
 			if inputBusy[int(inDir)] {
 				continue
 			}
@@ -342,7 +350,41 @@ func (r *Router) ComputeTransfers() []Transfer {
 			op.lockedTo = in
 		}
 	}
+	r.transferScratch = transfers[:0]
 	return transfers
+}
+
+// Quiescent reports whether a ComputeTransfers call would neither produce a
+// transfer nor change any router state, i.e. whether the network's
+// active-set engine can skip this router until an external event (a staged
+// arrival or a returned credit) re-activates it. A router is quiescent when
+//
+//   - every input FIFO is empty (committed and staged), so no flit can move
+//     and no arbitration request can form, and
+//   - every existing, unlocked output port's arbiter is idle-stable: a
+//     request-less Grant would be a no-op. Locked ports never consult their
+//     arbiter, and a WaW arbiter whose flit counters are still replenishing
+//     keeps the router active until the counters saturate at their weights,
+//     reproducing the hardware's idle-cycle replenishment rule exactly.
+//
+// Credits deliberately do not appear in the predicate: a zero-credit port
+// skips its arbiter in ComputeTransfers, so visiting such a router remains a
+// no-op either way, and the router is re-activated when the credit returns.
+func (r *Router) Quiescent() bool {
+	for i := range r.inputs {
+		if len(r.inputs[i]) > 0 || len(r.staged[i]) > 0 {
+			return false
+		}
+	}
+	for _, op := range r.out {
+		if !op.exists || op.locked {
+			continue
+		}
+		if !op.arb.IdleStable() {
+			return false
+		}
+	}
+	return true
 }
 
 // ApplyTransfer removes the transferred flit from its input FIFO, consumes a

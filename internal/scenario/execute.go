@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/flit"
 	"repro/internal/manycore"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/wcet"
 	"repro/internal/workload"
@@ -22,7 +24,19 @@ const (
 	defaultPermInterval   = 100
 	defaultSimMessages    = 2000
 	defaultPermRounds     = 10
+
+	// Load-curve windows: per rate point, warmup cycles are simulated and
+	// discarded, measurement cycles contribute samples, and the network is
+	// then given one more measurement window to drain in-flight messages.
+	defaultLoadCurveWarmup  = 2_000
+	defaultLoadCurveMeasure = 10_000
 )
+
+// defaultLoadCurveRates is the injection-rate ladder (messages per node per
+// 1000 cycles) swept when the spec lists none: log-ish spacing through the
+// region where mesh NoCs under uniform-random traffic transition from
+// contention-free latency to saturation.
+var defaultLoadCurveRates = []int{25, 50, 100, 150, 200, 300, 400, 500}
 
 // Execute runs one concrete scenario to completion and returns its Result.
 // Execution is deterministic: the same spec always yields the same result,
@@ -58,6 +72,9 @@ func Execute(s Spec) (Result, error) {
 	case ModeWCETMap:
 		res.Workload = s.Workload
 		err = executeWCETMap(s, d, &res)
+	case ModeLoadCurve:
+		res.Seed = s.Seed
+		err = executeLoadCurve(s, d, &res)
 	default:
 		err = fmt.Errorf("scenario: unknown mode %v", s.Mode)
 	}
@@ -158,6 +175,105 @@ func buildGenerator(s Spec, d mesh.Dim) (traffic.Generator, error) {
 	default:
 		return nil, fmt.Errorf("unknown traffic pattern %q", t.Pattern)
 	}
+}
+
+// executeLoadCurve runs the saturation study of ModeLoadCurve: for every
+// injection rate a fresh network is driven with sustained uniform-random
+// traffic through a warmup window (discarded), a measurement window
+// (sampled) and a bounded drain. Execution is single-threaded and seeded,
+// so the produced curve is deterministic; the sweep engine parallelises
+// across scenarios, not within one.
+func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
+	t := s.Traffic
+	rates := t.Rates
+	if len(rates) == 0 {
+		rates = defaultLoadCurveRates
+	}
+	warmup := t.WarmupCycles
+	if warmup == 0 {
+		warmup = defaultLoadCurveWarmup
+	}
+	measure := t.MeasureCycles
+	if measure == 0 {
+		measure = defaultLoadCurveMeasure
+	}
+	payload := t.PayloadBits
+	if payload == 0 {
+		payload = traffic.RequestPayloadBits
+	}
+	lc := &LoadCurveResult{WarmupCycles: warmup, MeasureCycles: measure}
+	for _, rate := range rates {
+		pt, err := runLoadCurvePoint(s, d, rate, warmup, measure, payload)
+		if err != nil {
+			return fmt.Errorf("load-curve rate %d: %w", rate, err)
+		}
+		lc.Points = append(lc.Points, pt)
+	}
+	res.LoadCurve = lc
+	return nil
+}
+
+func runLoadCurvePoint(s Spec, d mesh.Dim, rate, warmup, measure, payload int) (LoadCurvePoint, error) {
+	net, err := network.New(network.DefaultConfig(d, s.Design))
+	if err != nil {
+		return LoadCurvePoint{}, err
+	}
+	// The generator is open-loop: the message budget just needs to exceed
+	// anything the windows can produce.
+	gen, err := traffic.NewUniformRandom(d, s.Seed, rate, payload, int(^uint32(0)>>1))
+	if err != nil {
+		return LoadCurvePoint{}, err
+	}
+	var lat, netLat stats.Sampler
+	var delivered, deliveredInWindow uint64
+	start, stop := uint64(warmup), uint64(warmup+measure)
+	net.DeliveryHook = func(msg *flit.Message, at uint64) {
+		// Throughput is the steady-state accepted rate: deliveries whose
+		// completion falls inside the measurement window, regardless of
+		// when the message was created.
+		if at >= start && at < stop {
+			deliveredInWindow++
+		}
+		// Latency samples cover the messages created inside the window
+		// (completions during the drain included); warmup transients are
+		// discarded.
+		if msg.CreatedAt < start {
+			return
+		}
+		delivered++
+		lat.AddUint(msg.DeliveredAt - msg.CreatedAt)
+		netLat.AddUint(msg.DeliveredAt - msg.InjectedAt)
+	}
+	offered := 0
+	for cycle := 0; cycle < warmup+measure; cycle++ {
+		for _, msg := range gen.Tick(net.Cycle()) {
+			if _, err := net.Send(msg); err != nil {
+				return LoadCurvePoint{}, err
+			}
+			if cycle >= warmup {
+				offered++
+			}
+		}
+		net.Step()
+	}
+	// Injection stops; give in-flight messages one more measurement window
+	// to complete. Past saturation the network will not drain — the
+	// latency samples are then censored to the delivered subset, which the
+	// Drained flag makes visible.
+	drained := net.RunUntilDrained(measure)
+	return LoadCurvePoint{
+		RatePerMil:         rate,
+		Offered:            offered,
+		Delivered:          delivered,
+		Throughput:         float64(deliveredInWindow) / float64(d.Nodes()) / float64(measure) * 1000,
+		MinLatency:         lat.Min(),
+		MeanLatency:        lat.Mean(),
+		MaxLatency:         lat.Max(),
+		StdDevLatency:      lat.StdDev(),
+		MeanNetworkLatency: netLat.Mean(),
+		MaxNetworkLatency:  netLat.Max(),
+		Drained:            drained,
+	}, nil
 }
 
 func executeManycore(s Spec, d mesh.Dim, res *Result) error {

@@ -25,6 +25,8 @@ type Result struct {
 	WCET     *WCETResult     `json:"wcet,omitempty"`
 	// WCETMap is the per-core map of ModeWCETMap, indexed [y][x].
 	WCETMap [][]float64 `json:"wcet_map,omitempty"`
+	// LoadCurve is the latency/throughput curve of ModeLoadCurve.
+	LoadCurve *LoadCurveResult `json:"load_curve,omitempty"`
 }
 
 // WCTTResult summarises the analytical one-flit WCTT bounds over every
@@ -45,6 +47,44 @@ type SimResult struct {
 	MeanLatency   float64 `json:"mean_latency"`
 	MaxLatency    float64 `json:"max_latency"`
 	InjectedFlits uint64  `json:"injected_flits"`
+}
+
+// LoadCurveResult reports a latency-vs-injection-rate saturation study:
+// one point per sustained uniform-random injection rate, all simulated on
+// the same design point and mesh.
+type LoadCurveResult struct {
+	WarmupCycles  int              `json:"warmup_cycles"`
+	MeasureCycles int              `json:"measure_cycles"`
+	Points        []LoadCurvePoint `json:"points"`
+}
+
+// LoadCurvePoint is one rate sample of a load curve. Latency statistics
+// cover the messages created during the measurement window and delivered
+// before the end of the bounded drain; Drained reports whether the network
+// emptied within the drain budget (it stops being true past saturation).
+type LoadCurvePoint struct {
+	// RatePerMil is the offered injection rate in messages per node per
+	// 1000 cycles.
+	RatePerMil int `json:"rate_per_mil"`
+	// Offered counts the messages injected during the measurement window;
+	// Delivered counts how many of them completed by the end of the
+	// bounded drain (their ratio is the completion rate at this load).
+	Offered   int    `json:"offered"`
+	Delivered uint64 `json:"delivered"`
+	// Throughput is the steady-state accepted traffic in messages per node
+	// per 1000 cycles: deliveries completing inside the measurement window
+	// (whenever created), divided by the window length.
+	Throughput float64 `json:"throughput"`
+	// Total message latency statistics (creation to reassembly), cycles.
+	MinLatency    float64 `json:"min_latency"`
+	MeanLatency   float64 `json:"mean_latency"`
+	MaxLatency    float64 `json:"max_latency"`
+	StdDevLatency float64 `json:"stddev_latency"`
+	// Network latency statistics (first-flit injection to reassembly,
+	// excluding source queueing), cycles.
+	MeanNetworkLatency float64 `json:"mean_network_latency"`
+	MaxNetworkLatency  float64 `json:"max_network_latency"`
+	Drained            bool    `json:"drained"`
 }
 
 // ManycoreResult reports a full-platform workload run.

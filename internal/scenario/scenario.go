@@ -48,6 +48,13 @@ const (
 	// over the EEMBC suite); with a Workload it is the absolute per-core
 	// WCET of that kernel under the scenario's design.
 	ModeWCETMap
+	// ModeLoadCurve sweeps sustained uniform-random injection rates
+	// through the cycle-accurate simulator and reports one
+	// latency/throughput point per rate — the classical NoC saturation
+	// study. Each rate runs a warmup window, a measurement window and a
+	// bounded drain; only messages created during the measurement window
+	// contribute samples.
+	ModeLoadCurve
 )
 
 // String names the mode.
@@ -63,6 +70,8 @@ func (m Mode) String() string {
 		return "parallel-wcet"
 	case ModeWCETMap:
 		return "wcet-map"
+	case ModeLoadCurve:
+		return "load-curve"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -81,8 +90,10 @@ func ParseMode(s string) (Mode, error) {
 		return ModeParallelWCET, nil
 	case "wcet-map", "eembc":
 		return ModeWCETMap, nil
+	case "load-curve", "loadcurve", "saturation":
+		return ModeLoadCurve, nil
 	default:
-		return 0, fmt.Errorf("scenario: unknown mode %q (want wctt, simulate, manycore, parallel-wcet or wcet-map)", s)
+		return 0, fmt.Errorf("scenario: unknown mode %q (want wctt, simulate, manycore, parallel-wcet, wcet-map or load-curve)", s)
 	}
 }
 
@@ -123,7 +134,14 @@ func ParseDesigns(s string) ([]network.Design, error) {
 
 // ParseSizes converts a size-list string to square mesh sizes. It accepts
 // comma-separated values and inclusive ranges: "2..8", "2,4,8", "2..4,8".
-func ParseSizes(s string) ([]int, error) {
+func ParseSizes(s string) ([]int, error) { return parseIntList(s, "size") }
+
+// ParseRates converts an injection-rate list string (messages per node per
+// 1000 cycles) for the load-curve mode, with the same syntax as ParseSizes.
+func ParseRates(s string) ([]int, error) { return parseIntList(s, "rate") }
+
+// parseIntList parses comma-separated integers and inclusive a..b ranges.
+func parseIntList(s, what string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -133,14 +151,14 @@ func ParseSizes(s string) ([]int, error) {
 		if lo, hi, ok := strings.Cut(part, ".."); ok {
 			a, err := strconv.Atoi(strings.TrimSpace(lo))
 			if err != nil {
-				return nil, fmt.Errorf("scenario: bad size range %q: %v", part, err)
+				return nil, fmt.Errorf("scenario: bad %s range %q: %v", what, part, err)
 			}
 			b, err := strconv.Atoi(strings.TrimSpace(hi))
 			if err != nil {
-				return nil, fmt.Errorf("scenario: bad size range %q: %v", part, err)
+				return nil, fmt.Errorf("scenario: bad %s range %q: %v", what, part, err)
 			}
 			if a > b {
-				return nil, fmt.Errorf("scenario: empty size range %q", part)
+				return nil, fmt.Errorf("scenario: empty %s range %q", what, part)
 			}
 			for v := a; v <= b; v++ {
 				out = append(out, v)
@@ -149,12 +167,12 @@ func ParseSizes(s string) ([]int, error) {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: bad size %q: %v", part, err)
+			return nil, fmt.Errorf("scenario: bad %s %q: %v", what, part, err)
 		}
 		out = append(out, v)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("scenario: empty size list %q", s)
+		return nil, fmt.Errorf("scenario: empty %s list %q", what, s)
 	}
 	return out, nil
 }
@@ -178,6 +196,16 @@ type Traffic struct {
 	PayloadBits int `json:"payload_bits,omitempty"`
 	// Target is the hotspot destination.
 	Target mesh.Node `json:"target"`
+
+	// Rates lists the sustained uniform-random injection rates (messages
+	// per node per 1000 cycles) swept by ModeLoadCurve; empty selects the
+	// default rate ladder.
+	Rates []int `json:"rates,omitempty"`
+	// WarmupCycles and MeasureCycles bound the per-rate windows of
+	// ModeLoadCurve; 0 selects the mode defaults. Only messages created
+	// during the measurement window contribute latency samples.
+	WarmupCycles  int `json:"warmup_cycles,omitempty"`
+	MeasureCycles int `json:"measure_cycles,omitempty"`
 }
 
 // Spec declares one experiment, or — through the Sizes/Designs/Workloads
@@ -301,6 +329,29 @@ func (s Spec) Validate() error {
 	case ModeManycore:
 		if s.Workload == "" {
 			return fmt.Errorf("scenario: manycore scenario %q needs a workload", s.Name)
+		}
+	case ModeLoadCurve:
+		switch s.Traffic.Pattern {
+		case "", "uniform":
+		default:
+			return fmt.Errorf("scenario: load-curve sweeps uniform-random traffic; pattern %q is not supported", s.Traffic.Pattern)
+		}
+		for _, r := range s.Traffic.Rates {
+			if r <= 0 {
+				return fmt.Errorf("scenario: load-curve rate must be positive, got %d", r)
+			}
+			// The uniform-random generator injects at most one message per
+			// node per cycle, so rates past 1000 per-mil would all offer the
+			// same load and mislabel the curve's x-axis.
+			if r > 1000 {
+				return fmt.Errorf("scenario: load-curve rate %d exceeds 1000 msgs/node/kcycle, the generator's offered-load ceiling", r)
+			}
+		}
+		if s.Traffic.WarmupCycles < 0 || s.Traffic.MeasureCycles < 0 {
+			return fmt.Errorf("scenario: negative load-curve window in %+v", s.Traffic)
+		}
+		if s.Traffic.PayloadBits < 0 {
+			return fmt.Errorf("scenario: negative traffic parameter in %+v", s.Traffic)
 		}
 	default:
 		return fmt.Errorf("scenario: unknown mode %v", s.Mode)

@@ -206,6 +206,92 @@ func TestExecuteSimulatePatterns(t *testing.T) {
 	}
 }
 
+func TestExecuteLoadCurveDeterministic(t *testing.T) {
+	spec := Spec{
+		Mode:   ModeLoadCurve,
+		Width:  3,
+		Height: 3,
+		Design: network.DesignWaWWaP,
+		Seed:   11,
+		Traffic: Traffic{
+			Rates:         []int{50, 200, 600},
+			WarmupCycles:  500,
+			MeasureCycles: 2000,
+		},
+	}
+	a, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same spec produced different load curves:\n%+v\n%+v", a, b)
+	}
+	lc := a.LoadCurve
+	if lc == nil || len(lc.Points) != 3 {
+		t.Fatalf("load curve malformed: %+v", a)
+	}
+	if lc.WarmupCycles != 500 || lc.MeasureCycles != 2000 {
+		t.Errorf("window fields wrong: %+v", lc)
+	}
+	for i, p := range lc.Points {
+		if p.Offered == 0 || p.Delivered == 0 || p.Throughput <= 0 {
+			t.Errorf("point %d empty: %+v", i, p)
+		}
+		if p.MeanNetworkLatency > p.MeanLatency {
+			t.Errorf("point %d: network latency %v exceeds total latency %v", i, p.MeanNetworkLatency, p.MeanLatency)
+		}
+		if p.MinLatency <= 0 || p.MaxLatency < p.MeanLatency || p.MeanLatency < p.MinLatency {
+			t.Errorf("point %d: inconsistent latency stats: %+v", i, p)
+		}
+	}
+	// Offered load and mean latency grow along the rate ladder.
+	if lc.Points[0].Offered >= lc.Points[2].Offered {
+		t.Errorf("offered load did not grow with the rate: %+v", lc.Points)
+	}
+	if lc.Points[0].MeanLatency > lc.Points[2].MeanLatency {
+		t.Errorf("mean latency shrank while approaching saturation: %+v", lc.Points)
+	}
+}
+
+func TestLoadCurveDefaultsAndValidation(t *testing.T) {
+	r, err := Execute(Spec{
+		Mode:   ModeLoadCurve,
+		Width:  2,
+		Height: 2,
+		Design: network.DesignRegular,
+		Seed:   1,
+		Traffic: Traffic{
+			Rates:         []int{100},
+			WarmupCycles:  200,
+			MeasureCycles: 500,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "load-curve" || r.LoadCurve == nil || len(r.LoadCurve.Points) != 1 {
+		t.Fatalf("result malformed: %+v", r)
+	}
+	bad := []Spec{
+		{Mode: ModeLoadCurve, Width: 2, Height: 2, Traffic: Traffic{Pattern: "hotspot"}},
+		{Mode: ModeLoadCurve, Width: 2, Height: 2, Traffic: Traffic{Rates: []int{0}}},
+		{Mode: ModeLoadCurve, Width: 2, Height: 2, Traffic: Traffic{Rates: []int{-5}}},
+		// Above 1000 per-mil the generator cannot offer more load, so the
+		// rate label would lie about the curve's x-axis.
+		{Mode: ModeLoadCurve, Width: 2, Height: 2, Traffic: Traffic{Rates: []int{1500}}},
+		{Mode: ModeLoadCurve, Width: 2, Height: 2, Traffic: Traffic{WarmupCycles: -1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, s)
+		}
+	}
+}
+
 func TestExecuteManycore(t *testing.T) {
 	r, err := Execute(Spec{
 		Mode:     ModeManycore,

@@ -15,9 +15,15 @@ import (
 type Sampler struct {
 	count uint64
 	sum   float64
-	sumSq float64
 	min   float64
 	max   float64
+	// mean and m2 are Welford's online accumulators: mean is the running
+	// arithmetic mean and m2 the sum of squared deviations from it. Unlike
+	// the textbook E[x²]−E[x]² formula they do not suffer catastrophic
+	// cancellation when the variance is small relative to the magnitude of
+	// the samples.
+	mean float64
+	m2   float64
 }
 
 // Add records one sample.
@@ -34,7 +40,9 @@ func (s *Sampler) Add(v float64) {
 	}
 	s.count++
 	s.sum += v
-	s.sumSq += v * v
+	delta := v - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (v - s.mean)
 }
 
 // AddUint records one unsigned integer sample (convenience for cycle counts).
@@ -71,13 +79,14 @@ func (s *Sampler) Mean() float64 {
 }
 
 // StdDev returns the population standard deviation, or 0 when fewer than two
-// samples have been recorded.
+// samples have been recorded. It is computed with Welford's online algorithm,
+// so large-magnitude samples with small spread do not collapse into the
+// catastrophic cancellation of the naive E[x²]−E[x]² formula.
 func (s *Sampler) StdDev() float64 {
 	if s.count < 2 {
 		return 0
 	}
-	mean := s.Mean()
-	variance := s.sumSq/float64(s.count) - mean*mean
+	variance := s.m2 / float64(s.count)
 	if variance < 0 {
 		variance = 0 // numerical noise
 	}
@@ -85,7 +94,8 @@ func (s *Sampler) StdDev() float64 {
 }
 
 // Merge adds every sample of other into s (as if they had been recorded on
-// s directly).
+// s directly). The deviation accumulators combine with the parallel variant
+// of Welford's algorithm (Chan et al.).
 func (s *Sampler) Merge(other *Sampler) {
 	if other == nil || other.count == 0 {
 		return
@@ -100,9 +110,12 @@ func (s *Sampler) Merge(other *Sampler) {
 	if other.max > s.max {
 		s.max = other.max
 	}
+	na, nb := float64(s.count), float64(other.count)
+	delta := other.mean - s.mean
+	s.m2 += other.m2 + delta*delta*na*nb/(na+nb)
+	s.mean += delta * nb / (na + nb)
 	s.count += other.count
 	s.sum += other.sum
-	s.sumSq += other.sumSq
 }
 
 // String summarises the sampler.

@@ -80,6 +80,32 @@ func TestSamplerMerge(t *testing.T) {
 	}
 }
 
+// TestSamplerStdDevLargeMagnitude is the regression test for the
+// catastrophic-cancellation bugfix: with samples offset by 1e9 the naive
+// E[x²]−E[x]² formula loses every significant digit of the variance (the
+// two terms agree to ~18 digits while their difference is below 1), whereas
+// Welford's algorithm keeps full precision.
+func TestSamplerStdDevLargeMagnitude(t *testing.T) {
+	const offset = 1e9
+	var s Sampler
+	for _, v := range []float64{offset, offset + 1, offset + 2} {
+		s.Add(v)
+	}
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {0,1,2}
+	if got := s.StdDev(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("stddev of large-magnitude samples = %v, want %v", got, want)
+	}
+	// The same property must survive a merge of large-magnitude samplers.
+	var a, b Sampler
+	a.Add(offset)
+	a.Add(offset + 1)
+	b.Add(offset + 2)
+	a.Merge(&b)
+	if got := a.StdDev(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("stddev after merge = %v, want %v", got, want)
+	}
+}
+
 // Property: merging two samplers is equivalent to adding all samples to one.
 func TestSamplerMergeProperty(t *testing.T) {
 	// Samples are mapped into a bounded range (the sampler is used for

@@ -77,6 +77,42 @@ func TestSimulateDeterminismAcrossJobCounts(t *testing.T) {
 	}
 }
 
+// TestLoadCurveDeterminismAcrossJobCounts extends the determinism promise to
+// the load-curve mode: a grid of saturation studies aggregates to
+// byte-identical curves for one worker and for eight.
+func TestLoadCurveDeterminismAcrossJobCounts(t *testing.T) {
+	spec := scenario.Spec{
+		Name:    "lc-det",
+		Mode:    scenario.ModeLoadCurve,
+		Sizes:   []int{2, 3, 4},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Seed:    5,
+		Traffic: scenario.Traffic{
+			Rates:         []int{50, 300},
+			WarmupCycles:  300,
+			MeasureCycles: 1500,
+		},
+	}
+	one, err := Expand(context.Background(), spec, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Expand(context.Background(), spec, Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(one)
+	b, _ := json.Marshal(many)
+	if string(a) != string(b) {
+		t.Errorf("load-curve sweep not deterministic across job counts:\n%s\n%s", a, b)
+	}
+	for _, r := range one {
+		if r.LoadCurve == nil || len(r.LoadCurve.Points) != 2 {
+			t.Errorf("scenario %q missing load-curve points: %+v", r.Name, r)
+		}
+	}
+}
+
 func TestCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

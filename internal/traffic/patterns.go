@@ -16,10 +16,17 @@ import (
 // Permutation maps every source node to a fixed destination node.
 type Permutation func(d mesh.Dim, src mesh.Node) mesh.Node
 
-// Transpose maps node (x, y) to node (y, x). On non-square meshes the
-// coordinates are wrapped into range.
+// Transpose maps node (x, y) to node (y, x) on square meshes. On
+// rectangular meshes the bare coordinate swap would leave the mesh (or,
+// with wrapped coordinates, collapse several sources onto one destination,
+// losing the permutation property), so the map generalises through the
+// linearisation that realises the swap: the node's column-major index
+// x*Height + y is re-read as a row-major index. The result is a bijection
+// on any mesh and reduces to the classical (y, x) transpose when
+// Width == Height.
 func Transpose(d mesh.Dim, src mesh.Node) mesh.Node {
-	return mesh.Node{X: src.Y % d.Width, Y: src.X % d.Height}
+	i := src.X*d.Height + src.Y
+	return mesh.Node{X: i % d.Width, Y: i / d.Width}
 }
 
 // BitComplement maps node (x, y) to (Width-1-x, Height-1-y), i.e. the node
@@ -38,6 +45,7 @@ func NearestNeighbor(d mesh.Dim, src mesh.Node) mesh.Node {
 // permutation pattern, one message per node per interval cycles.
 type PermutationGenerator struct {
 	dim      mesh.Dim
+	nodes    []mesh.Node // AllNodes, precomputed once
 	perm     Permutation
 	payload  int
 	interval uint64
@@ -63,6 +71,7 @@ func NewPermutation(d mesh.Dim, perm Permutation, payload, rounds int, interval 
 	}
 	return &PermutationGenerator{
 		dim:      d,
+		nodes:    d.AllNodes(),
 		perm:     perm,
 		payload:  payload,
 		interval: interval,
@@ -77,7 +86,7 @@ func (p *PermutationGenerator) Tick(cycle uint64) []*flit.Message {
 	}
 	p.issued++
 	var out []*flit.Message
-	for _, src := range p.dim.AllNodes() {
+	for _, src := range p.nodes {
 		dst := p.perm(p.dim, src)
 		if dst == src || !p.dim.Contains(dst) {
 			continue

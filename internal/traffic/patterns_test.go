@@ -46,6 +46,40 @@ func TestTransposeDiagonalFixedPoints(t *testing.T) {
 	}
 }
 
+// TestTransposeIsPermutationOnRectangularMeshes is the regression test for
+// the rectangular-mesh transpose bug: the old coordinate-wrapping map
+// (y%W, x%H) sent several sources to the same destination on non-square
+// meshes (on 4x2 both (1,0) and (3,0) targeted (0,1)), so it was no longer
+// a permutation. The generalised map must be a bijection on every mesh and
+// reduce to the classical (y, x) swap on square ones.
+func TestTransposeIsPermutationOnRectangularMeshes(t *testing.T) {
+	for _, d := range []mesh.Dim{
+		mesh.MustDim(4, 2), mesh.MustDim(2, 4), mesh.MustDim(3, 5),
+		mesh.MustDim(1, 6), mesh.MustDim(4, 4), mesh.MustDim(8, 8),
+	} {
+		seen := make(map[mesh.Node]mesh.Node, d.Nodes())
+		for _, src := range d.AllNodes() {
+			dst := Transpose(d, src)
+			if !d.Contains(dst) {
+				t.Errorf("%v: Transpose(%v) = %v outside the mesh", d, src, dst)
+				continue
+			}
+			if prev, dup := seen[dst]; dup {
+				t.Errorf("%v: Transpose is not a permutation: %v and %v both map to %v", d, prev, src, dst)
+			}
+			seen[dst] = src
+			if d.Width == d.Height {
+				if want := (mesh.Node{X: src.Y, Y: src.X}); dst != want {
+					t.Errorf("%v: square-mesh Transpose(%v) = %v, want %v", d, src, dst, want)
+				}
+			}
+		}
+		if len(seen) != d.Nodes() {
+			t.Errorf("%v: transpose image covers %d of %d nodes", d, len(seen), d.Nodes())
+		}
+	}
+}
+
 func TestNewPermutationValidation(t *testing.T) {
 	d := mesh.MustDim(4, 4)
 	if _, err := NewPermutation(mesh.Dim{}, Transpose, 64, 1, 1); err == nil {

@@ -48,6 +48,7 @@ func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // per cycle, approximated at message granularity).
 type UniformRandom struct {
 	dim        mesh.Dim
+	nodes      []mesh.Node // AllNodes, precomputed once
 	rng        *rand.Rand
 	ratePerMil int // messages per node per 1000 cycles
 	payload    int
@@ -69,6 +70,7 @@ func NewUniformRandom(dim mesh.Dim, seed int64, ratePerMil, payload, total int) 
 	}
 	return &UniformRandom{
 		dim:        dim,
+		nodes:      dim.AllNodes(),
 		rng:        Rand(seed),
 		ratePerMil: ratePerMil,
 		payload:    payload,
@@ -82,14 +84,14 @@ func (u *UniformRandom) Tick(uint64) []*flit.Message {
 		return nil
 	}
 	var out []*flit.Message
-	for _, src := range u.dim.AllNodes() {
+	for _, src := range u.nodes {
 		if u.remaining <= 0 {
 			break
 		}
 		if u.rng.Intn(1000) >= u.ratePerMil {
 			continue
 		}
-		dst := u.dim.NodeAt(u.rng.Intn(u.dim.Nodes()))
+		dst := u.nodes[u.rng.Intn(len(u.nodes))]
 		if dst == src {
 			continue
 		}
@@ -110,6 +112,7 @@ func (u *UniformRandom) Done() bool { return u.remaining <= 0 }
 // memory controller pattern of the paper's platform).
 type Hotspot struct {
 	dim       mesh.Dim
+	nodes     []mesh.Node // AllNodes, precomputed once
 	target    mesh.Node
 	rng       *rand.Rand
 	ratePct   int // probability (percent) that a node issues a request each cycle
@@ -135,6 +138,7 @@ func NewHotspot(dim mesh.Dim, target mesh.Node, seed int64, ratePct, payload, to
 	}
 	return &Hotspot{
 		dim:       dim,
+		nodes:     dim.AllNodes(),
 		target:    target,
 		rng:       Rand(seed),
 		ratePct:   ratePct,
@@ -149,7 +153,7 @@ func (h *Hotspot) Tick(uint64) []*flit.Message {
 		return nil
 	}
 	var out []*flit.Message
-	for _, src := range h.dim.AllNodes() {
+	for _, src := range h.nodes {
 		if h.remaining <= 0 {
 			break
 		}
