@@ -333,6 +333,9 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkEngine compares the active-set engine against the full-scan
 // reference on an 8x8 mesh under low uniform-random load — the ns/op ratio
 // is the scheduling win on the workload where most nodes idle most cycles.
+// The time-leap sub-benchmark measures the event-horizon scheduling on the
+// workload it targets: bursts separated by long idle windows plus an idle
+// tail, where the leaping engine's cost is O(events) instead of O(cycles).
 func BenchmarkEngine(b *testing.B) {
 	for _, e := range []network.Engine{network.EngineActiveSet, network.EngineFullScan} {
 		b.Run(e.String(), func(b *testing.B) {
@@ -357,6 +360,79 @@ func BenchmarkEngine(b *testing.B) {
 			b.ReportMetric(float64(net.TotalInjectedFlits())/float64(b.N), "flits/cycle")
 		})
 	}
+
+	// time-leap: ten all-node permutation bursts 10k cycles apart (the
+	// network drains in a few hundred cycles, then idles), followed by a
+	// 100k-cycle idle tail — one op simulates ~200k cycles, almost all of
+	// them leapt over. The -stepped twin runs the identical workload with a
+	// plain cycle-by-cycle loop; the ns/op ratio is the leap win.
+	leapWorkload := func(b *testing.B, net *network.Network, leap bool) uint64 {
+		gen, err := traffic.NewPermutation(mesh.MustDim(8, 8), traffic.Transpose, traffic.CacheLinePayloadBits, 10, 10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if leap {
+			if _, done := traffic.Drive(net, gen, 1_000_000); !done {
+				b.Fatal("pattern did not drain")
+			}
+		} else {
+			for {
+				for _, msg := range gen.Tick(net.Cycle()) {
+					if _, err := net.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if gen.Done() && net.Drained() {
+					break
+				}
+				net.Step()
+			}
+		}
+		idle := 100_000 + 10_000*10 - int(net.Cycle()) // same final cycle either way
+		if leap {
+			net.Run(idle)
+		} else {
+			for i := 0; i < idle; i++ {
+				net.Step()
+			}
+		}
+		return net.Cycle()
+	}
+	for _, leap := range []bool{true, false} {
+		name := "time-leap"
+		if !leap {
+			name = "time-leap-stepped"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := network.MustNew(network.DefaultConfig(mesh.MustDim(8, 8), network.DesignWaWWaP))
+			var cycles uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Reset()
+				cycles = leapWorkload(b, net, leap)
+			}
+			b.ReportMetric(float64(cycles), "cycles-simulated/op")
+		})
+	}
+}
+
+// BenchmarkWCTT tracks the analytical WCET table generation; tableiii is the
+// per-core × per-benchmark loop that now runs on the sweep worker pool.
+func BenchmarkWCTT(b *testing.B) {
+	b.Run("tableiii", func(b *testing.B) {
+		p := wcet.DefaultPlatform()
+		suite := workload.EEMBCAutomotive()
+		var far float64
+		for i := 0; i < b.N; i++ {
+			table, err := p.TableIII(suite)
+			if err != nil {
+				b.Fatal(err)
+			}
+			far = table[7][7]
+		}
+		b.ReportMetric(far, "normalized-wcet-far-core")
+	})
 }
 
 // BenchmarkPacketization measures the WaP slicing overhead accounting (the

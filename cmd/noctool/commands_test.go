@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -121,5 +123,38 @@ func TestCmdEEMBC(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Table III") {
 		t.Errorf("eembc output malformed:\n%s", out.String())
+	}
+}
+
+func TestCmdSweepProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	err := cmdSweep([]string{
+		"-mode", "wctt", "-sizes", "2,3", "-designs", "regular",
+		"-cpuprofile", cpu, "-memprofile", mem, "-format", "csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	if !strings.Contains(out.String(), "2x2") {
+		t.Errorf("sweep output missing results:\n%s", out.String())
+	}
+	// Unwritable profile paths must fail up front, before any compute.
+	if err := cmdSweep([]string{"-sizes", "2", "-cpuprofile", filepath.Join(dir, "no", "such", "dir", "p")}, &out); err == nil {
+		t.Error("unwritable cpuprofile path should fail")
+	}
+	if err := cmdSweep([]string{"-sizes", "2", "-memprofile", filepath.Join(dir, "no", "such", "dir", "p")}, &out); err == nil {
+		t.Error("unwritable memprofile path should fail")
 	}
 }

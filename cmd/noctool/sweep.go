@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/scenario"
@@ -37,6 +39,8 @@ func cmdSweep(args []string, w io.Writer) error {
 	placement := fs.String("placement", "", "thread placement P0-P3 (parallel-wcet mode)")
 	maxPacket := fs.Int("max-packet-flits", 0, "maximum packet size in flits (parallel-wcet mode)")
 	progress := fs.Bool("progress", false, "report per-scenario completion on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile taken after the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,9 +134,44 @@ func cmdSweep(args []string, w io.Writer) error {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s\n", done, total, r.Name)
 		}
 	}
+
+	// Profiling covers exactly the sweep execution (not flag parsing or
+	// rendering), so perf work on the simulator can profile any workload the
+	// CLI can express without patching the tool. Both output files are
+	// created up front so a bad path fails before any compute is spent.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("sweep: cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("sweep: cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var memOut *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("sweep: heap profile: %w", err)
+		}
+		defer f.Close()
+		memOut = f
+	}
 	results, err := sweep.Expand(context.Background(), spec, opts)
+	// Stop explicitly before rendering so the profile really covers only
+	// the sweep (the deferred stop only backstops early error returns;
+	// StopCPUProfile is a no-op when no profile is active).
+	pprof.StopCPUProfile()
 	if err != nil {
 		return err
+	}
+	if memOut != nil {
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(memOut); err != nil {
+			return fmt.Errorf("sweep: heap profile: %w", err)
+		}
 	}
 
 	if f == tablegen.FormatJSON {

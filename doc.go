@@ -36,16 +36,26 @@
 //     output is byte-identical for 1 worker and for N.
 //
 // The cycle-accurate simulator (internal/network) schedules its cycle loop
-// with an active-set engine: Step only visits routers with occupied input
-// buffers or still-replenishing WaW arbitration counters, and NICs with
-// pending injection flits. A router enters the active set when a flit is
-// staged into one of its inputs or a credit returns to one of its outputs,
-// and leaves it when quiescent (empty inputs, idle-stable arbiters on all
-// unlocked output ports), so skipped visits are provably no-ops and the
-// engine is cycle-for-cycle identical to the full per-node scan — which is
-// retained as network.EngineFullScan and pinned to the active-set engine by
-// equivalence tests. Per-router neighbour indices are precomputed and every
-// per-cycle buffer is reused, making the steady-state loop allocation-free.
+// with an active-set engine: Step only visits routers holding flits and
+// NICs with pending injection flits. A router enters the active set when a
+// flit is staged into one of its inputs and leaves it as soon as its input
+// FIFOs are empty; the idle-cycle WaW replenishment it still owes is
+// tracked lazily and replayed in bulk when the router wakes. Because the
+// active set empties the moment no flit exists anywhere, Run,
+// RunUntilDrained and traffic.Drive leap over event-idle windows in O(1)
+// (time-leap scheduling): a leap is legal iff no component's
+// earliest-possible-action horizon — the traffic generator's next issue
+// cycle (traffic.EventSource), a WaW counter still replenishing, a staged
+// transfer — precedes the target cycle. Skipped visits and leapt cycles
+// are provably no-ops, so the engine is cycle-for-cycle identical to the
+// full per-node scan — retained as network.EngineFullScan and pinned by
+// equivalence, lockstep-microstate and leap-vs-step tests. Each network
+// owns a flit.Pool from which generators draw messages and NICs draw
+// flits, with every consumed object recycled (delivery callbacks must not
+// retain their *Message), and Network.Reset rewinds a network in place so
+// the scenario layer reuses one constructed topology per worker across
+// sweep points — together making the steady-state cycle loop free of heap
+// allocations, injection included.
 // The load-curve scenario mode builds the classical saturation study on top
 // of this engine: per injection rate it runs warmup, measurement and drain
 // windows of sustained uniform-random traffic and reports throughput plus

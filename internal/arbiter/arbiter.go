@@ -31,6 +31,14 @@ type Arbiter interface {
 	// counter has replenished back to its weight. The active-set simulator
 	// engine uses this to decide when an idle router can safely be skipped.
 	IdleStable() bool
+	// Replenish applies cycles request-less Grant calls in one step: it is
+	// the bulk form of the idle-cycle replenishment rule, used by the
+	// simulator's lazy-replenishment/time-leap scheduling to advance an
+	// idle arbiter over a whole idle window at once. For a round-robin
+	// arbiter it is a no-op; for a WaW arbiter every flit counter is
+	// raised by cycles, saturating at its weight — exactly the state a
+	// cycle-by-cycle sequence of empty Grant calls would reach.
+	Replenish(cycles uint64)
 }
 
 // RoundRobin is the conventional rotating-priority round-robin arbiter used
@@ -61,16 +69,30 @@ func (a *RoundRobin) Reset() { a.next = 0 }
 // round-robin pointer.
 func (a *RoundRobin) IdleStable() bool { return true }
 
+// Replenish implements Arbiter: idle cycles never move the round-robin
+// pointer, so the bulk form is a no-op too.
+func (a *RoundRobin) Replenish(uint64) {}
+
 // Grant returns the requesting input with the highest current priority, or -1
-// when none request. The priority pointer rotates past the winner.
+// when none request. The priority pointer rotates past the winner. The scan
+// runs as two straight passes (from the priority pointer to the end, then
+// the wrap-around) so the per-candidate work is a plain indexed load.
 func (a *RoundRobin) Grant(requests []bool) int {
 	if len(requests) != a.n {
 		panic(fmt.Sprintf("arbiter: got %d requests, expected %d", len(requests), a.n))
 	}
-	for i := 0; i < a.n; i++ {
-		idx := (a.next + i) % a.n
+	for idx := a.next; idx < a.n; idx++ {
 		if requests[idx] {
-			a.next = (idx + 1) % a.n
+			a.next = idx + 1
+			if a.next == a.n {
+				a.next = 0
+			}
+			return idx
+		}
+	}
+	for idx := 0; idx < a.next; idx++ {
+		if requests[idx] {
+			a.next = idx + 1
 			return idx
 		}
 	}
@@ -98,6 +120,12 @@ type Weighted struct {
 	weights []int
 	counts  []int
 	rr      *RoundRobin
+
+	// deficits counts the inputs whose flit counter sits below its weight.
+	// It makes the saturated steady state O(1): IdleStable and Replenish —
+	// the operations the simulator issues every idle cycle — return
+	// immediately once every counter is full.
+	deficits int
 
 	// candScratch and tieScratch are reusable per-Grant buffers so that
 	// steady-state arbitration performs no heap allocations.
@@ -144,6 +172,7 @@ func (a *Weighted) Reset() {
 	for i := range a.counts {
 		a.counts[i] = a.weights[i]
 	}
+	a.deficits = 0
 	a.rr.Reset()
 }
 
@@ -156,13 +185,27 @@ func (a *Weighted) Count(i int) int { return a.counts[i] }
 
 // IdleStable implements Arbiter: the request-less replenishment rule is a
 // no-op exactly when every flit counter already sits at its weight.
-func (a *Weighted) IdleStable() bool {
-	for i, c := range a.counts {
-		if c != a.weights[i] {
-			return false
+func (a *Weighted) IdleStable() bool { return a.deficits == 0 }
+
+// Replenish implements Arbiter: cycles idle Grant calls each raise every
+// flit counter by one, saturating at the input's weight. Once saturated
+// (the steady state of an idle port) the call returns in O(1).
+func (a *Weighted) Replenish(cycles uint64) {
+	if cycles == 0 || a.deficits == 0 {
+		return
+	}
+	for i := range a.counts {
+		deficit := a.weights[i] - a.counts[i]
+		if deficit <= 0 {
+			continue
+		}
+		if cycles < uint64(deficit) {
+			a.counts[i] += int(cycles)
+		} else {
+			a.counts[i] = a.weights[i]
+			a.deficits--
 		}
 	}
-	return true
 }
 
 // Grant applies the WaW arbitration rule described above.
@@ -179,11 +222,7 @@ func (a *Weighted) Grant(requests []bool) int {
 	switch len(candidates) {
 	case 0:
 		// No demand: replenish every counter up to its weight.
-		for i := range a.counts {
-			if a.counts[i] < a.weights[i] {
-				a.counts[i]++
-			}
-		}
+		a.Replenish(1)
 		return -1
 	case 1:
 		// Unique candidate: granted, counter unaltered.
@@ -206,6 +245,7 @@ func (a *Weighted) Grant(requests []bool) int {
 		for i := range a.counts {
 			a.counts[i] = a.weights[i]
 		}
+		a.deficits = 0
 		best = 0
 		for _, c := range candidates {
 			if a.counts[c] > best {
@@ -229,6 +269,9 @@ func (a *Weighted) Grant(requests []bool) int {
 	}
 	winner := a.rr.Grant(tied)
 	if winner >= 0 && a.counts[winner] > 0 {
+		if a.counts[winner] == a.weights[winner] {
+			a.deficits++
+		}
 		a.counts[winner]--
 	}
 	return winner

@@ -259,3 +259,49 @@ func TestPacketSize(t *testing.T) {
 		t.Errorf("Size = %d, want 3", p.Size())
 	}
 }
+
+// Pool ownership rules: pool-born objects recycle (and come back zeroed),
+// caller-owned objects are ignored by Put.
+func TestPoolRecycling(t *testing.T) {
+	var p Pool
+	m := p.GetMessage()
+	if !m.Pooled() {
+		t.Fatal("pool message must report Pooled")
+	}
+	m.ID = 42
+	m.Flow = FlowID{Src: mesh.Node{X: 1}, Dst: mesh.Node{Y: 1}}
+	p.PutMessage(m)
+	m2 := p.GetMessage()
+	if m2 != m {
+		t.Error("pool should hand back the recycled message")
+	}
+	if m2.ID != 0 || m2.Flow != (FlowID{}) || !m2.Pooled() {
+		t.Errorf("recycled message not zeroed: %+v", m2)
+	}
+
+	own := &Message{ID: 7}
+	p.PutMessage(own)
+	if own.ID != 7 {
+		t.Error("Put must not touch caller-owned messages")
+	}
+	if got := p.GetMessage(); got == own {
+		t.Error("caller-owned message must not enter the pool")
+	}
+
+	f := p.GetFlit()
+	if !f.Pooled() {
+		t.Fatal("pool flit must report Pooled")
+	}
+	f.Seq = 3
+	p.PutFlit(f)
+	f2 := p.GetFlit()
+	if f2 != f || f2.Seq != 0 || !f2.Pooled() {
+		t.Errorf("flit not recycled/zeroed: %+v", f2)
+	}
+	p.PutFlit(&Flit{Seq: 9}) // ignored
+	if got := p.GetFlit(); got.Seq != 0 {
+		t.Error("caller-owned flit must not enter the pool")
+	}
+	p.PutMessage(nil) // must not panic
+	p.PutFlit(nil)
+}

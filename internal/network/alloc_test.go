@@ -1,0 +1,83 @@
+// Allocation-regression tests for the zero-allocation cycle loop: the
+// drained-network Step and the full steady-state injection loop (generator
+// tick, Send, Step) must stay at 0 allocs/op, so the flit/message pooling
+// and the scratch-buffer reuse cannot silently regress. Under -race the
+// workloads still run (data-race coverage for the pooled paths) but the
+// alloc counts are not asserted — the race instrumentation allocates.
+package network_test
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/traffic"
+)
+
+// assertAllocsPerRun runs fn through testing.AllocsPerRun and asserts the
+// average is zero (outside -race builds).
+func assertAllocsPerRun(t *testing.T, what string, runs int, fn func()) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(runs, fn)
+	if raceEnabled {
+		t.Logf("%s: %v allocs/op (not asserted under -race)", what, allocs)
+		return
+	}
+	if allocs != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", what, allocs)
+	}
+}
+
+// TestStepZeroAllocsDrained: stepping an empty network must not allocate,
+// for both engines.
+func TestStepZeroAllocsDrained(t *testing.T) {
+	for _, e := range []network.Engine{network.EngineActiveSet, network.EngineFullScan} {
+		t.Run(e.String(), func(t *testing.T) {
+			cfg := network.DefaultConfig(mesh.MustDim(8, 8), network.DesignWaWWaP)
+			cfg.Engine = e
+			net := network.MustNew(cfg)
+			net.Step() // settle the initial all-active visit list
+			assertAllocsPerRun(t, "drained Step", 1000, func() { net.Step() })
+		})
+	}
+}
+
+// TestStepZeroAllocsSteadyState drives a sustained pooled-injection workload
+// to steady state and then asserts the whole per-cycle loop — generator
+// tick, message Send and network Step — performs no heap allocations: the
+// pool recycles every message and flit, the NIC queues and router FIFOs
+// reuse their backing arrays, and the per-flow statistics are already
+// populated.
+func TestStepZeroAllocsSteadyState(t *testing.T) {
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		t.Run(design.String(), func(t *testing.T) {
+			d := mesh.MustDim(4, 4)
+			net := network.MustNew(network.DefaultConfig(d, design))
+			// The rate must keep the all-to-one pattern below saturation
+			// (the ejection port drains one flit per cycle) or the source
+			// queues grow without bound and never reach a steady state.
+			gen, err := traffic.NewHotspot(d, mesh.Node{X: 0, Y: 0}, 11, 1, traffic.CacheLinePayloadBits, 1<<30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traffic.AttachNetworkPool(gen, net)
+			cycle := func() {
+				for _, msg := range gen.Tick(net.Cycle()) {
+					if _, err := net.Send(msg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				net.Step()
+			}
+			// Warm up: cover every flow, grow every queue and scratch buffer
+			// to its steady-state capacity, and fill the pools.
+			for i := 0; i < 5000; i++ {
+				cycle()
+			}
+			assertAllocsPerRun(t, "steady-state tick+send+step", 2000, cycle)
+			if net.TotalDeliveredMessages() == 0 {
+				t.Fatal("workload delivered nothing; the assertion covered an idle loop")
+			}
+		})
+	}
+}

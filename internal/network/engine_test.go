@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/arbiter"
 	"repro/internal/flit"
 	"repro/internal/mesh"
 	"repro/internal/network"
@@ -228,5 +229,203 @@ func TestNetworkLatencyExcludesSourceQueueing(t *testing.T) {
 	if fs.Latency.Min()-fs.NetworkLatency.Min() > float64(fs.Messages) {
 		t.Errorf("min network latency %v implausibly far from min total latency %v",
 			fs.NetworkLatency.Min(), fs.Latency.Min())
+	}
+}
+
+// stepEngine drives the pattern through a fresh active-set network with a
+// plain cycle-by-cycle loop — no Drive, no leaping — as the per-cycle
+// reference for the time-leap scheduling.
+func stepEngine(t *testing.T, d mesh.Dim, design network.Design, pattern string, seed int64) *network.Network {
+	t.Helper()
+	net := network.MustNew(network.DefaultConfig(d, design))
+	gen := buildGen(t, pattern, d, seed)
+	for i := 0; i < 1_000_000; i++ {
+		for _, msg := range gen.Tick(net.Cycle()) {
+			if _, err := net.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if gen.Done() && net.Drained() {
+			return net
+		}
+		net.Step()
+	}
+	t.Fatalf("%v/%s/seed=%d did not drain", design, pattern, seed)
+	return nil
+}
+
+// TestLeapMatchesStep pins the time-leap scheduling to the per-cycle loop:
+// traffic.Drive (which leaps over event-idle windows, e.g. the gaps between
+// permutation rounds) must reach exactly the same final cycle, delivery
+// counts and per-flow statistics as stepping every cycle. The permutation
+// patterns have long idle gaps, so this exercises real leaps; the random
+// patterns pin the no-leap-while-live rule.
+func TestLeapMatchesStep(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		for _, pattern := range []string{"transpose", "neighbor", "hotspot", "uniform"} {
+			t.Run(design.String()+"/"+pattern, func(t *testing.T) {
+				ref := stepEngine(t, d, design, pattern, 5)
+				leap := runEngine(t, network.EngineActiveSet, d, design, pattern, 5)
+				if ref.Cycle() != leap.Cycle() {
+					t.Errorf("cycles: stepped %d, leaping Drive %d", ref.Cycle(), leap.Cycle())
+				}
+				if ref.TotalDeliveredMessages() != leap.TotalDeliveredMessages() {
+					t.Errorf("delivered: stepped %d, leaping Drive %d",
+						ref.TotalDeliveredMessages(), leap.TotalDeliveredMessages())
+				}
+				if rf, lf := flowFingerprint(ref), flowFingerprint(leap); rf != lf {
+					t.Errorf("flow stats differ:\nstepped:\n%s\nleaping:\n%s", rf, lf)
+				}
+			})
+		}
+	}
+}
+
+// TestRunLeapsIdleWindow checks the Run/RunUntilDrained leap directly: an
+// idle active-set network must cross an arbitrarily long window in one jump
+// (cycle counter advanced, WaW counters settled lazily) with state identical
+// to the stepped full-scan reference.
+func TestRunLeapsIdleWindow(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	mk := func(e network.Engine) *network.Network {
+		cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+		cfg.Engine = e
+		return network.MustNew(cfg)
+	}
+	ref, act := mk(network.EngineFullScan), mk(network.EngineActiveSet)
+	for _, net := range []*network.Network{ref, act} {
+		// One multi-flit burst so arbiters move off their power-on state.
+		msg := &flit.Message{
+			Flow:        flit.FlowID{Src: mesh.Node{X: 3, Y: 3}, Dst: mesh.Node{X: 0, Y: 0}},
+			Class:       flit.ClassData,
+			PayloadBits: traffic.CacheLinePayloadBits,
+		}
+		if _, err := net.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if !net.RunUntilDrained(10_000) {
+			t.Fatal("burst did not drain")
+		}
+	}
+	if ref.Cycle() != act.Cycle() {
+		t.Fatalf("drain cycle differs: full-scan %d, active-set %d", ref.Cycle(), act.Cycle())
+	}
+	// A long idle window: the active-set engine leaps it, the full-scan
+	// reference steps it; the resulting states must agree exactly.
+	const idle = 250_000
+	ref.Run(idle)
+	act.Run(idle)
+	if ref.Cycle() != act.Cycle() {
+		t.Fatalf("idle window cycle differs: full-scan %d, active-set %d", ref.Cycle(), act.Cycle())
+	}
+	act.FlushReplenishment()
+	compareArbiterState(t, d, ref, act, int(ref.Cycle()))
+}
+
+// compareArbiterState asserts every WaW flit counter of every router matches
+// between the two networks (the active-set one must be flushed first).
+func compareArbiterState(t *testing.T, d mesh.Dim, ref, act *network.Network, cycle int) {
+	t.Helper()
+	for _, nd := range d.AllNodes() {
+		rr, ra := ref.Router(nd), act.Router(nd)
+		for _, dir := range mesh.Directions {
+			wr, okR := rr.Arbiter(dir).(*arbiter.Weighted)
+			wa, okA := ra.Arbiter(dir).(*arbiter.Weighted)
+			if okR != okA {
+				t.Fatalf("cycle %d node %v output %v: arbiter kinds differ", cycle, nd, dir)
+			}
+			if !okR {
+				continue
+			}
+			for i := 0; i < wr.NumInputs(); i++ {
+				if wr.Count(i) != wa.Count(i) {
+					t.Fatalf("cycle %d node %v output %v input %d: WaW counter full-scan %d, active-set %d",
+						cycle, nd, dir, i, wr.Count(i), wa.Count(i))
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesLockstepArbiterState steps both engines side by side and, after
+// every cycle, flushes the active-set engine's lazy replenishment and
+// compares every WaW flit counter against the full-scan reference. This pins
+// the lazy-replenishment bookkeeping (and its credit/lock gating) to the
+// hardware rule at cycle granularity.
+func TestEnginesLockstepArbiterState(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	mk := func(e network.Engine) *network.Network {
+		cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+		cfg.Engine = e
+		return network.MustNew(cfg)
+	}
+	ref, act := mk(network.EngineFullScan), mk(network.EngineActiveSet)
+	genRef := buildGen(t, "uniform", d, 9)
+	genAct := buildGen(t, "uniform", d, 9)
+	for cycle := 0; cycle < 4000; cycle++ {
+		for _, msg := range genRef.Tick(ref.Cycle()) {
+			if _, err := ref.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, msg := range genAct.Tick(act.Cycle()) {
+			if _, err := act.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref.Step()
+		act.Step()
+		act.FlushReplenishment()
+		compareArbiterState(t, d, ref, act, cycle)
+		if genRef.Done() && ref.Drained() && act.Drained() {
+			break
+		}
+	}
+}
+
+// TestResetMatchesFresh pins Network.Reset: after running an arbitrary
+// workload, a reset network must reproduce a fresh network's behaviour
+// exactly — same deliveries, same cycle counts, same per-flow statistics —
+// across designs and patterns. This is what makes the scenario layer's
+// network reuse safe.
+func TestResetMatchesFresh(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	for _, design := range []network.Design{
+		network.DesignRegular, network.DesignWaWWaP,
+		network.DesignWaWOnly, network.DesignWaPOnly,
+	} {
+		for _, pattern := range []string{"hotspot", "uniform", "transpose"} {
+			t.Run(design.String()+"/"+pattern, func(t *testing.T) {
+				fresh := runEngine(t, network.EngineActiveSet, d, design, pattern, 3)
+
+				reused := network.MustNew(network.DefaultConfig(d, design))
+				// Dirty the network with a different workload, then rewind.
+				dirty := buildGen(t, "uniform", d, 99)
+				if _, done := traffic.Drive(reused, dirty, 1_000_000); !done {
+					t.Fatal("dirtying run did not drain")
+				}
+				reused.Reset()
+				if reused.Cycle() != 0 || !reused.Drained() ||
+					reused.TotalInjectedFlits() != 0 || reused.TotalDeliveredMessages() != 0 ||
+					len(reused.AllFlowStats()) != 0 {
+					t.Fatal("Reset did not rewind the network to its initial state")
+				}
+				gen := buildGen(t, pattern, d, 3)
+				if _, done := traffic.Drive(reused, gen, 1_000_000); !done {
+					t.Fatal("reused run did not drain")
+				}
+				if fresh.Cycle() != reused.Cycle() {
+					t.Errorf("cycles: fresh %d, reused %d", fresh.Cycle(), reused.Cycle())
+				}
+				if fresh.TotalDeliveredMessages() != reused.TotalDeliveredMessages() {
+					t.Errorf("delivered: fresh %d, reused %d",
+						fresh.TotalDeliveredMessages(), reused.TotalDeliveredMessages())
+				}
+				if ff, rf := flowFingerprint(fresh), flowFingerprint(reused); ff != rf {
+					t.Errorf("flow stats differ:\nfresh:\n%s\nreused:\n%s", ff, rf)
+				}
+			})
+		}
 	}
 }

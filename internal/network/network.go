@@ -42,11 +42,13 @@ type Engine int
 
 const (
 	// EngineActiveSet is the default engine: each cycle it only visits the
-	// routers that can make progress or whose WaW arbitration counters are
-	// still replenishing, and the NICs that hold pending injection traffic.
-	// Its observable behaviour (every flit movement, timestamp, arbitration
-	// decision and delivery order) is identical to EngineFullScan; only the
-	// wall-clock cost of idle nodes differs.
+	// routers that hold flits and the NICs that hold pending injection
+	// traffic. Idle WaW counter replenishment is tracked lazily (see
+	// replenishFrom) and settled in bulk when a router wakes, and Run,
+	// RunUntilDrained and traffic.Drive leap over event-idle windows in
+	// O(1). Its observable behaviour (every flit movement, timestamp,
+	// arbitration decision and delivery order) is identical to
+	// EngineFullScan; only the wall-clock cost of idle nodes differs.
 	EngineActiveSet Engine = iota
 	// EngineFullScan visits every router and NIC every cycle — the
 	// straightforward engine the repository started with, kept as the
@@ -212,6 +214,22 @@ type Network struct {
 	nicActive    []bool
 	nicList      []int32
 
+	// replenishFrom implements lazy WaW replenishment: for a router that
+	// has left the active set (empty input FIFOs), it records the first
+	// cycle whose request-less arbitration the router has not yet applied.
+	// The owed cycles are replayed in bulk (Router.CatchUpIdle) when the
+	// router is woken by a staged arrival or a returned credit — the only
+	// events that can change the inputs, credits or locks the idle replay
+	// depends on. This keeps replenishing-but-idle routers out of the
+	// per-cycle loop entirely and is what makes time leaps O(1).
+	replenishFrom []uint64
+
+	// pool is the network-owned message/flit free list; generators and the
+	// NICs draw from it and every consumed object returns to it, making the
+	// steady-state cycle loop allocation-free (see flit.Pool for the
+	// ownership rules).
+	pool *flit.Pool
+
 	// creditScratch is the reusable end-of-cycle credit-return buffer.
 	creditScratch []creditReturn
 
@@ -234,14 +252,16 @@ func New(cfg Config) (*Network, error) {
 	}
 	nodes := cfg.Dim.Nodes()
 	n := &Network{
-		cfg:          cfg,
-		routers:      make([]*router.Router, nodes),
-		nics:         make([]*nic.NIC, nodes),
-		neighborIdx:  make([][mesh.NumDirections]int32, nodes),
-		routerActive: make([]bool, nodes),
-		activeList:   make([]int32, nodes),
-		nicActive:    make([]bool, nodes),
-		flowStats:    make(map[flit.FlowID]*FlowStats),
+		cfg:           cfg,
+		routers:       make([]*router.Router, nodes),
+		nics:          make([]*nic.NIC, nodes),
+		neighborIdx:   make([][mesh.NumDirections]int32, nodes),
+		routerActive:  make([]bool, nodes),
+		activeList:    make([]int32, nodes),
+		nicActive:     make([]bool, nodes),
+		replenishFrom: make([]uint64, nodes),
+		flowStats:     make(map[flit.FlowID]*FlowStats),
+		pool:          &flit.Pool{},
 	}
 	var weightTable *flows.WeightTable
 	if cfg.Design.Arbitration() == arbiter.KindWeighted {
@@ -264,6 +284,7 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
+		ni.AttachPool(n.pool)
 		idx := cfg.Dim.Index(node)
 		n.routers[idx] = r
 		n.nics[idx] = ni
@@ -296,6 +317,11 @@ func MustNew(cfg Config) *Network {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// Pool returns the network-owned message/flit free list. Traffic generators
+// attach to it so their messages are recycled once consumed; see flit.Pool
+// for the ownership rules.
+func (n *Network) Pool() *flit.Pool { return n.pool }
+
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() uint64 { return n.cycle }
 
@@ -320,6 +346,10 @@ func (n *Network) Send(msg *flit.Message) (uint64, error) {
 	id, err := n.nics[idx].Send(msg, n.cycle)
 	if err == nil {
 		n.activateNIC(int32(idx))
+		// The NIC has packetized the message; a pool-owned message is
+		// fully consumed at this point and can be recycled (a no-op for
+		// caller-owned messages).
+		n.pool.PutMessage(msg)
 	}
 	return id, err
 }
@@ -331,12 +361,28 @@ type creditReturn struct {
 	dir    mesh.Direction
 }
 
-// activateRouter ensures the router joins the next cycle's active set.
-func (n *Network) activateRouter(idx int32) {
-	if !n.routerActive[idx] {
-		n.routerActive[idx] = true
-		n.activated = append(n.activated, idx)
+// owed returns the number of cycles in the inclusive range [from, through]
+// (zero when the range is empty).
+func owed(from, through uint64) uint64 {
+	if through < from {
+		return 0
 	}
+	return through - from + 1
+}
+
+// activateRouter wakes the router into the next cycle's active set, first
+// settling the idle replenishment it is owed for the cycles it was skipped —
+// including the currently executing cycle, which the full-scan engine would
+// have visited but the active set will not.
+func (n *Network) activateRouter(idx int32) {
+	if n.routerActive[idx] {
+		return
+	}
+	if k := owed(n.replenishFrom[idx], n.cycle); k > 0 {
+		n.routers[idx].CatchUpIdle(k)
+	}
+	n.routerActive[idx] = true
+	n.activated = append(n.activated, idx)
 }
 
 // activateNIC ensures the NIC is on the pending-injection list.
@@ -445,13 +491,14 @@ func (n *Network) stepFullScan() {
 }
 
 // stepActiveSet advances one cycle visiting only the nodes that can make
-// progress. The engine maintains the invariant that every router whose
-// full-scan visit would NOT be a no-op is in the active set: a router enters
-// the set when a flit is staged into one of its input buffers or when a
-// credit returns to one of its output ports, and leaves it when it reports
-// Quiescent (empty input FIFOs and idle-stable arbiters). Skipped visits are
-// provably no-ops — see router.Quiescent — so the cycle-by-cycle state
-// evolution is identical to stepFullScan's.
+// progress. The engine maintains the invariant that every router holding a
+// flit — the only routers whose full-scan visit could produce a transfer —
+// is in the active set: a router enters the set when a flit is staged into
+// one of its input buffers and leaves it as soon as its input FIFOs are
+// empty. A dropped router may still owe request-less WaW replenishment; that
+// debt is tracked in replenishFrom and replayed in bulk when the router is
+// woken (lazy replenishment), so the cycle-by-cycle state evolution remains
+// identical to stepFullScan's.
 func (n *Network) stepActiveSet() {
 	n.creditScratch = n.creditScratch[:0]
 	n.activated = n.activated[:0]
@@ -461,8 +508,12 @@ func (n *Network) stepActiveSet() {
 	// full scan uses — so deliveries and DeliveryHook calls are identical.
 	for _, idx := range n.activeList {
 		n.stepRouter(idx)
-		if n.routers[idx].Quiescent() {
+		if n.routers[idx].InputsEmpty() {
+			// The router can neither move a flit nor form a request until
+			// something arrives; its remaining per-cycle work is pure idle
+			// replenishment, deferred to wake-up time.
 			n.routerActive[idx] = false
+			n.replenishFrom[idx] = n.cycle + 1
 		} else {
 			n.retained = append(n.retained, idx)
 		}
@@ -480,17 +531,29 @@ func (n *Network) stepActiveSet() {
 	}
 	n.nicList = live
 
-	// Phase 3: credit returns first (they can re-activate quiescent
-	// routers), then the next cycle's visit list, then arrival commits for
-	// exactly the routers that may hold staged flits — every staging event
-	// activated its target, so the merged list covers them all.
+	// Phase 3: credit returns, then the next cycle's visit list, then
+	// arrival commits for exactly the routers that may hold staged flits —
+	// every staging event activated its target, so the merged list covers
+	// them all. A credit returning to a sleeping router cannot give it work
+	// (its inputs are empty), so the router stays out of the active set;
+	// but the return changes the credit state the idle replay depends on,
+	// so the owed cycles are settled first, against the pre-return credits
+	// the full-scan engine would have seen this cycle.
 	for _, cr := range n.creditScratch {
-		n.routers[cr.router].ReturnCredit(cr.dir)
-		n.activateRouter(cr.router)
+		r := n.routers[cr.router]
+		if !n.routerActive[cr.router] {
+			if k := owed(n.replenishFrom[cr.router], n.cycle); k > 0 {
+				r.CatchUpIdle(k)
+			}
+			n.replenishFrom[cr.router] = n.cycle + 1
+		}
+		r.ReturnCredit(cr.dir)
 	}
 	n.mergeActive()
 	for _, idx := range n.activeList {
-		n.routers[idx].CommitArrivals()
+		if r := n.routers[idx]; r.HasStaged() {
+			r.CommitArrivals()
+		}
 	}
 	n.cycle++
 }
@@ -535,11 +598,50 @@ func (n *Network) recordDelivery(msg *flit.Message) {
 	if n.DeliveryHook != nil {
 		n.DeliveryHook(msg, n.cycle)
 	}
+	// The delivery has been fully reported; a pool-owned message is
+	// recycled here, which is why delivery hooks must not retain it.
+	n.pool.PutMessage(msg)
 }
 
-// Run advances the simulation by cycles steps.
+// Leapable reports whether the network is event-idle: no router holds or is
+// owed a flit, no NIC holds pending injection flits, and therefore stepping
+// any number of cycles would only accumulate idle WaW replenishment — which
+// the lazy-replenishment bookkeeping tracks without per-cycle work. A leap
+// is legal iff no component's earliest-possible-action cycle precedes the
+// target, and for an event-idle network that horizon is "never" until new
+// traffic is Sent; only the full-scan engine (which must visit every node
+// every cycle by definition) is never leapable.
+func (n *Network) Leapable() bool {
+	return n.cfg.Engine == EngineActiveSet && len(n.activeList) == 0 && len(n.nicList) == 0
+}
+
+// LeapTo advances an event-idle network directly to the given cycle, in O(1):
+// the skipped cycles owe nothing but idle replenishment, which is settled
+// lazily when a router next wakes. It panics when the network is not
+// Leapable or the target precedes the current cycle.
+func (n *Network) LeapTo(target uint64) {
+	if !n.Leapable() {
+		panic("network: LeapTo on a network with pending work")
+	}
+	if target < n.cycle {
+		panic(fmt.Sprintf("network: LeapTo(%d) behind cycle %d", target, n.cycle))
+	}
+	n.cycle = target
+}
+
+// Run advances the simulation by cycles steps, leaping over the tail of the
+// window in O(1) once the network goes event-idle (no new traffic can appear
+// during Run, so an event-idle network stays idle to the end).
 func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
+	if cycles <= 0 {
+		return
+	}
+	end := n.cycle + uint64(cycles)
+	for n.cycle < end {
+		if n.Leapable() {
+			n.cycle = end
+			return
+		}
 		n.Step()
 	}
 }
@@ -547,14 +649,78 @@ func (n *Network) Run(cycles int) {
 // RunUntilDrained steps the simulation until no flits remain in any NIC
 // injection queue, router buffer or partial reassembly, or until maxCycles
 // additional cycles have elapsed. It returns true when the network drained.
+// An event-idle network that still is not drained (a reassembly waiting for
+// flits that no longer exist anywhere) can never drain, so the budget is
+// leapt over instead of stepped through.
 func (n *Network) RunUntilDrained(maxCycles int) bool {
-	for i := 0; i < maxCycles; i++ {
+	if maxCycles <= 0 {
+		return n.Drained()
+	}
+	end := n.cycle + uint64(maxCycles)
+	for n.cycle < end {
 		if n.Drained() {
 			return true
+		}
+		if n.Leapable() {
+			n.cycle = end
+			break
 		}
 		n.Step()
 	}
 	return n.Drained()
+}
+
+// FlushReplenishment settles the idle WaW replenishment every sleeping
+// router is still owed, bringing all arbiter counters up to the state the
+// full-scan engine would show after the same number of cycles. The engines'
+// observable behaviour never depends on this — woken routers settle their
+// debt automatically — but out-of-band inspection of arbiter state (tests,
+// checkpoints) must flush first.
+func (n *Network) FlushReplenishment() {
+	if n.cycle == 0 {
+		return
+	}
+	through := n.cycle - 1 // last fully executed cycle
+	for idx := range n.routers {
+		if n.routerActive[idx] {
+			continue
+		}
+		if k := owed(n.replenishFrom[idx], through); k > 0 {
+			n.routers[idx].CatchUpIdle(k)
+		}
+		n.replenishFrom[idx] = n.cycle
+	}
+}
+
+// Reset rewinds the network to its just-constructed state in place: every
+// router and NIC is rewound (buffers, credits, wormhole locks, arbiters,
+// identifier counters), the statistics and the delivery hook are cleared and
+// the cycle counter returns to zero. The topology, the design point, the
+// precomputed weight tables and the message/flit pool are all retained, so a
+// sweep worker can reuse one constructed network across scenario points
+// instead of rebuilding the topology per point. A reset network behaves
+// identically to a freshly constructed one.
+func (n *Network) Reset() {
+	for idx := range n.routers {
+		n.routers[idx].Reset()
+		n.nics[idx].Reset()
+		n.routerActive[idx] = true
+		n.nicActive[idx] = false
+		n.replenishFrom[idx] = 0
+	}
+	n.activeList = n.activeList[:0]
+	for idx := range n.routers {
+		n.activeList = append(n.activeList, int32(idx))
+	}
+	n.retained = n.retained[:0]
+	n.activated = n.activated[:0]
+	n.nicList = n.nicList[:0]
+	n.creditScratch = n.creditScratch[:0]
+	n.cycle = 0
+	clear(n.flowStats)
+	n.DeliveryHook = nil
+	n.totalInjected = 0
+	n.totalDelivered = 0
 }
 
 // Drained reports whether the network holds no traffic: no pending injection

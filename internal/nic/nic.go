@@ -187,13 +187,28 @@ type NIC struct {
 
 	packetizer *Packetizer
 
+	// pool, when attached, supplies the flits the NIC packetizes and the
+	// messages it reassembles, and receives absorbed flits back. A pooled
+	// NIC does not retain delivered messages (Delivered stays empty);
+	// consumers must observe deliveries through the network's delivery
+	// callback instead.
+	pool *flit.Pool
+
 	nextPacketID uint64
 	nextMsgID    uint64
 
+	// injectQueue is consumed through injectHead (a head index) so the
+	// backing array is reused instead of being re-sliced away: combined
+	// with the compaction in Send this keeps steady-state injection free
+	// of heap allocations.
 	injectQueue []*flit.Flit
+	injectHead  int
 
-	// reassembly state per message id
-	pending map[uint64]*reassembly
+	// reassembly state per message id, with a free list so completed
+	// reassemblies recycle their bookkeeping (including the per-packet
+	// flit-count map) instead of reallocating it per message.
+	pending        map[uint64]*reassembly
+	freeReassembly []*reassembly
 
 	delivered []DeliveredMessage
 
@@ -240,6 +255,51 @@ func MustNew(node mesh.Node, scheme Scheme, link flit.LinkConfig) *NIC {
 // Packetizer returns the NIC's packetizer (shared configuration).
 func (n *NIC) Packetizer() *Packetizer { return n.packetizer }
 
+// AttachPool connects the NIC to a message/flit free-list pool (normally the
+// owning network's). See the NIC.pool field and flit.Pool for the ownership
+// rules; attaching a pool disables the Delivered history.
+func (n *NIC) AttachPool(p *flit.Pool) { n.pool = p }
+
+// Reset rewinds the NIC to its just-constructed state: injection queue and
+// reassembly table emptied, delivered history dropped, statistics and
+// message/packet identifier counters cleared. Backing buffers and the
+// attached pool are retained so a reset NIC allocates nothing when reused.
+func (n *NIC) Reset() {
+	clear(n.injectQueue)
+	n.injectQueue = n.injectQueue[:0]
+	n.injectHead = 0
+	for id, r := range n.pending {
+		n.putReassembly(r)
+		delete(n.pending, id)
+	}
+	n.delivered = nil
+	n.nextPacketID = 0
+	n.nextMsgID = 0
+	n.injectedFlits = 0
+	n.ejectedFlits = 0
+	n.sentMessages = 0
+}
+
+// getReassembly returns a cleared reassembly record, reusing a recycled one
+// when available.
+func (n *NIC) getReassembly() *reassembly {
+	if k := len(n.freeReassembly); k > 0 {
+		r := n.freeReassembly[k-1]
+		n.freeReassembly[k-1] = nil
+		n.freeReassembly = n.freeReassembly[:k-1]
+		return r
+	}
+	return &reassembly{gotFlits: make(map[uint64]int)}
+}
+
+// putReassembly recycles a completed reassembly record.
+func (n *NIC) putReassembly(r *reassembly) {
+	gf := r.gotFlits
+	clear(gf)
+	*r = reassembly{gotFlits: gf}
+	n.freeReassembly = append(n.freeReassembly, r)
+}
+
 // Send accepts a message for transmission at cycle now. The message's source
 // must be the NIC's node. The message is packetized immediately and its
 // flits are appended to the injection queue. Send assigns the message an
@@ -259,24 +319,88 @@ func (n *NIC) Send(msg *flit.Message, now uint64) (uint64, error) {
 		msg.ID = uint64(n.Node.X+1)<<48 | uint64(n.Node.Y+1)<<40 | n.nextMsgID
 	}
 	msg.CreatedAt = now
-	packets := n.packetizer.Packetize(msg, n.allocPacketIDs(1))
-	// allocPacketIDs reserved a single id; reserve the rest now that the
-	// count is known.
-	if len(packets) > 1 {
-		n.allocPacketIDs(len(packets) - 1)
-		for i, pkt := range packets {
-			want := packets[0].ID + uint64(i)
-			pkt.ID = want
-			for _, f := range pkt.Flits {
-				f.PacketID = want
-			}
-		}
-	}
-	for _, pkt := range packets {
-		n.injectQueue = append(n.injectQueue, pkt.Flits...)
-	}
+	n.enqueueFlits(msg)
 	n.sentMessages++
 	return msg.ID, nil
+}
+
+// enqueueFlits packetizes the message straight into the injection queue: the
+// same slicing and flit layout Packetize produces (identical packet ids,
+// types, sequence numbers and payload attribution), but without building
+// intermediate Packet values so that — with a pool attached — a Send on the
+// hot path performs no heap allocations.
+func (n *NIC) enqueueFlits(msg *flit.Message) {
+	p := n.packetizer
+	maxFlits := p.maxFlitsPerPacket()
+	perPacketPayload := 0
+	if maxFlits > 0 {
+		perPacketPayload = maxFlits*p.Link.WidthBits - p.Link.ControlBitsPerPacket
+	}
+	payload := msg.PayloadBits
+	if payload < 0 {
+		payload = 0
+	}
+	packets := 1
+	if maxFlits != 0 && perPacketPayload > 0 && payload > perPacketPayload {
+		packets = (payload + perPacketPayload - 1) / perPacketPayload
+	}
+	firstID := n.allocPacketIDs(packets)
+
+	// Make room up front: if the consumed head has stranded capacity,
+	// compact the live flits to the front of the backing array.
+	if n.injectHead > 0 {
+		q := n.injectQueue
+		live := copy(q, q[n.injectHead:])
+		clear(q[live:])
+		n.injectQueue = q[:live]
+		n.injectHead = 0
+	}
+
+	remaining := payload
+	for i := 0; i < packets; i++ {
+		chunk := remaining
+		if packets > 1 && i < packets-1 {
+			chunk = perPacketPayload
+		}
+		remaining -= chunk
+		nflits := p.Link.FlitsForPayload(chunk)
+		if p.Scheme == SchemeWaP && nflits < p.Link.MinPacketFlits {
+			nflits = p.Link.MinPacketFlits
+		}
+		pktID := firstID + uint64(i)
+		for s := 0; s < nflits; s++ {
+			typ := flit.Body
+			switch {
+			case nflits == 1:
+				typ = flit.HeadTail
+			case s == 0:
+				typ = flit.Head
+			case s == nflits-1:
+				typ = flit.Tail
+			}
+			payloadBits := 0
+			if s == 0 {
+				payloadBits = chunk
+			}
+			var f *flit.Flit
+			if n.pool != nil {
+				f = n.pool.GetFlit()
+			} else {
+				f = &flit.Flit{}
+			}
+			f.Type = typ
+			f.Flow = msg.Flow
+			f.PacketID = pktID
+			f.MsgID = msg.ID
+			f.Seq = s
+			f.PacketIndex = i
+			f.PacketsInMsg = packets
+			f.PayloadBits = payloadBits
+			f.CreatedAt = msg.CreatedAt
+			f.Class = msg.Class
+			n.injectQueue = append(n.injectQueue, f)
+		}
+	}
 }
 
 func (n *NIC) allocPacketIDs(count int) uint64 {
@@ -288,25 +412,30 @@ func (n *NIC) allocPacketIDs(count int) uint64 {
 }
 
 // PendingFlits returns the number of flits waiting in the injection queue.
-func (n *NIC) PendingFlits() int { return len(n.injectQueue) }
+func (n *NIC) PendingFlits() int { return len(n.injectQueue) - n.injectHead }
 
 // PeekFlit returns the next flit to inject without removing it, or nil when
 // the queue is empty.
 func (n *NIC) PeekFlit() *flit.Flit {
-	if len(n.injectQueue) == 0 {
+	if n.PendingFlits() == 0 {
 		return nil
 	}
-	return n.injectQueue[0]
+	return n.injectQueue[n.injectHead]
 }
 
 // PopFlit removes and returns the next flit to inject, stamping its
 // injection cycle. It returns nil when the queue is empty.
 func (n *NIC) PopFlit(now uint64) *flit.Flit {
-	if len(n.injectQueue) == 0 {
+	if n.PendingFlits() == 0 {
 		return nil
 	}
-	f := n.injectQueue[0]
-	n.injectQueue = n.injectQueue[1:]
+	f := n.injectQueue[n.injectHead]
+	n.injectQueue[n.injectHead] = nil // release the slot's reference
+	n.injectHead++
+	if n.injectHead == len(n.injectQueue) {
+		n.injectQueue = n.injectQueue[:0]
+		n.injectHead = 0
+	}
 	f.InjectedAt = now
 	n.injectedFlits++
 	return f
@@ -327,14 +456,12 @@ func (n *NIC) Receive(f *flit.Flit, now uint64) (*flit.Message, error) {
 
 	r, ok := n.pending[f.MsgID]
 	if !ok {
-		r = &reassembly{
-			flow:          f.Flow,
-			class:         f.Class,
-			createdAt:     f.CreatedAt,
-			firstInjected: f.InjectedAt,
-			expectedPkts:  f.PacketsInMsg,
-			gotFlits:      make(map[uint64]int),
-		}
+		r = n.getReassembly()
+		r.flow = f.Flow
+		r.class = f.Class
+		r.createdAt = f.CreatedAt
+		r.firstInjected = f.InjectedAt
+		r.expectedPkts = f.PacketsInMsg
 		n.pending[f.MsgID] = r
 	}
 	if f.InjectedAt < r.firstInjected {
@@ -342,28 +469,44 @@ func (n *NIC) Receive(f *flit.Flit, now uint64) (*flit.Message, error) {
 	}
 	r.payloadBits += f.PayloadBits
 	r.gotFlits[f.PacketID]++
+	done := false
 	if f.Type.IsTail() {
 		r.donePkts++
+		done = r.donePkts >= r.expectedPkts
 	}
-	if r.donePkts < r.expectedPkts {
+	msgID := f.MsgID
+	if n.pool != nil {
+		n.pool.PutFlit(f) // the flit has been fully absorbed
+	}
+	if !done {
 		return nil, nil
 	}
 	// Message complete.
-	delete(n.pending, f.MsgID)
-	msg := &flit.Message{
-		ID:          f.MsgID,
-		Flow:        r.flow,
-		Class:       r.class,
-		PayloadBits: r.payloadBits,
-		CreatedAt:   r.createdAt,
-		InjectedAt:  r.firstInjected,
-		DeliveredAt: now,
+	delete(n.pending, msgID)
+	var msg *flit.Message
+	if n.pool != nil {
+		msg = n.pool.GetMessage()
+	} else {
+		msg = &flit.Message{}
 	}
-	n.delivered = append(n.delivered, DeliveredMessage{
-		Msg:            msg,
-		Latency:        now - r.createdAt,
-		NetworkLatency: now - r.firstInjected,
-	})
+	msg.ID = msgID
+	msg.Flow = r.flow
+	msg.Class = r.class
+	msg.PayloadBits = r.payloadBits
+	msg.CreatedAt = r.createdAt
+	msg.InjectedAt = r.firstInjected
+	msg.DeliveredAt = now
+	if n.pool == nil {
+		// Pooled NICs cannot retain delivered messages (the network
+		// recycles them after the delivery callback), so the history is
+		// only kept for standalone NICs.
+		n.delivered = append(n.delivered, DeliveredMessage{
+			Msg:            msg,
+			Latency:        now - r.createdAt,
+			NetworkLatency: now - r.firstInjected,
+		})
+	}
+	n.putReassembly(r)
 	return msg, nil
 }
 

@@ -383,3 +383,75 @@ func TestNICUniqueMessageIDsAcrossNodes(t *testing.T) {
 		seen[idA], seen[idB] = true, true
 	}
 }
+
+// Reset must rewind a NIC to its just-constructed state: queue, reassembly
+// table, history, statistics and identifier counters, so a reused NIC
+// assigns the same message ids a fresh one would.
+func TestNICReset(t *testing.T) {
+	n := MustNew(mesh.Node{X: 1, Y: 1}, SchemeRegular, flit.DefaultLinkConfig())
+	msg := &flit.Message{Flow: flit.FlowID{Src: mesh.Node{X: 1, Y: 1}, Dst: mesh.Node{X: 0, Y: 0}}, PayloadBits: 512}
+	firstID, err := n.Send(msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.PendingFlits() == 0 || n.SentMessages() != 1 {
+		t.Fatal("send did not enqueue")
+	}
+	n.PopFlit(4)
+	n.Reset()
+	if n.PendingFlits() != 0 || n.PendingReassemblies() != 0 || n.SentMessages() != 0 ||
+		n.InjectedFlits() != 0 || n.EjectedFlits() != 0 || len(n.Delivered()) != 0 {
+		t.Fatalf("Reset left state behind: %+v", n)
+	}
+	again := &flit.Message{Flow: msg.Flow, PayloadBits: 512}
+	secondID, err := n.Send(again, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondID != firstID {
+		t.Errorf("message ids after Reset must restart: first %d, after reset %d", firstID, secondID)
+	}
+}
+
+// A NIC attached to a pool recycles absorbed flits and reassembled
+// messages; the delivered history is disabled (the owner recycles messages
+// right after its delivery callback, so retaining them would dangle).
+func TestNICPooledReceive(t *testing.T) {
+	var pool flit.Pool
+	src := MustNew(mesh.Node{X: 1, Y: 0}, SchemeRegular, flit.DefaultLinkConfig())
+	dst := MustNew(mesh.Node{X: 0, Y: 0}, SchemeRegular, flit.DefaultLinkConfig())
+	src.AttachPool(&pool)
+	dst.AttachPool(&pool)
+	msg := pool.GetMessage()
+	msg.Flow = flit.FlowID{Src: mesh.Node{X: 1, Y: 0}, Dst: mesh.Node{X: 0, Y: 0}}
+	msg.PayloadBits = 512
+	if _, err := src.Send(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	var out *flit.Message
+	for cycle := uint64(1); ; cycle++ {
+		f := src.PopFlit(cycle)
+		if f == nil {
+			break
+		}
+		m, err := dst.Receive(f, cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			out = m
+		}
+	}
+	if out == nil {
+		t.Fatal("message did not reassemble")
+	}
+	if !out.Pooled() {
+		t.Error("reassembled message should come from the pool")
+	}
+	if out.PayloadBits != 512 {
+		t.Errorf("payload = %d, want 512", out.PayloadBits)
+	}
+	if len(dst.Delivered()) != 0 {
+		t.Error("pooled NIC must not retain delivered messages")
+	}
+}

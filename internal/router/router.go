@@ -15,6 +15,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/arbiter"
 	"repro/internal/flit"
@@ -66,6 +67,11 @@ type outputPort struct {
 	credits   int
 	unlimited bool // the local ejection port is never back-pressured
 
+	// weighted caches the concrete WaW arbiter (nil for round-robin ports)
+	// so the per-cycle idle replenishment is a direct, inlinable call — and
+	// skipped entirely on round-robin ports, whose idle Grant is a no-op.
+	weighted *arbiter.Weighted
+
 	// Forwarded counts the flits sent through this output (statistics).
 	Forwarded uint64
 }
@@ -76,9 +82,32 @@ type Router struct {
 	Node mesh.Node
 	cfg  Config
 
-	inputs [mesh.NumDirections][]*flit.Flit // committed input FIFOs
+	// downstreamDepth is the credit budget each non-local output port was
+	// constructed with (the input-buffer depth of the neighbouring
+	// routers); Reset restores the counters to it.
+	downstreamDepth int
+
+	// inputs are the committed input FIFOs. Each queue is consumed through
+	// inHead (a head index) instead of re-slicing so the backing array is
+	// reused forever: popping never strands capacity behind the slice
+	// pointer and the steady-state forwarding loop performs no heap
+	// allocations once the arrays have grown to the buffer depth.
+	inputs [mesh.NumDirections][]*flit.Flit
+	inHead [mesh.NumDirections]int
 	staged [mesh.NumDirections][]*flit.Flit // arrivals of the current cycle
 	out    [mesh.NumDirections]*outputPort
+
+	// occupied and stagedMask are per-direction occupancy bitmasks (bit i =
+	// direction i non-empty) mirroring inputs and staged. They turn the
+	// per-cycle emptiness checks — the dominant work of a router carrying a
+	// single transiting flit — into O(1) mask tests.
+	occupied   uint8
+	stagedMask uint8
+
+	// lockedMask mirrors the locked flag of the output ports (bit i =
+	// output i reserved by an in-flight packet). lockedMask == 0 is the
+	// key that unlocks ComputeTransfers' single-flit fast path.
+	lockedMask uint8
 
 	// transferScratch backs the slice returned by ComputeTransfers and
 	// reqScratch the per-output request mask, so the steady-state
@@ -105,7 +134,7 @@ func New(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts, downstre
 	if downstreamDepth < 1 {
 		downstreamDepth = cfg.BufferDepth
 	}
-	r := &Router{Dim: d, Node: n, cfg: cfg}
+	r := &Router{Dim: d, Node: n, cfg: cfg, downstreamDepth: downstreamDepth}
 	for _, dir := range mesh.Directions {
 		op := &outputPort{exists: mesh.OutputExists(d, n, dir)}
 		if op.exists {
@@ -117,7 +146,9 @@ func New(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts, downstre
 				for _, in := range mesh.Directions {
 					weights[int(in)] = counts.CounterMax(in, dir)
 				}
-				op.arb = arbiter.NewWeighted(weights)
+				w := arbiter.NewWeighted(weights)
+				op.arb = w
+				op.weighted = w
 			}
 			if dir == mesh.Local {
 				op.unlimited = true
@@ -170,12 +201,14 @@ func (r *Router) Forwarded(dir mesh.Direction) uint64 { return r.out[int(dir)].F
 
 // InputOccupancy returns the number of committed flits waiting in the input
 // FIFO of port dir (staged arrivals of the current cycle are not counted).
-func (r *Router) InputOccupancy(dir mesh.Direction) int { return len(r.inputs[int(dir)]) }
+func (r *Router) InputOccupancy(dir mesh.Direction) int {
+	return len(r.inputs[int(dir)]) - r.inHead[int(dir)]
+}
 
 // InputSpace returns the number of free slots of the input FIFO of port dir,
 // accounting for arrivals already staged this cycle.
 func (r *Router) InputSpace(dir mesh.Direction) int {
-	used := len(r.inputs[int(dir)]) + len(r.staged[int(dir)])
+	used := r.InputOccupancy(dir) + len(r.staged[int(dir)])
 	space := r.cfg.BufferDepth - used
 	if space < 0 {
 		return 0
@@ -187,10 +220,10 @@ func (r *Router) InputSpace(dir mesh.Direction) int {
 // when the FIFO is empty.
 func (r *Router) Front(dir mesh.Direction) *flit.Flit {
 	q := r.inputs[int(dir)]
-	if len(q) == 0 {
+	if r.inHead[int(dir)] == len(q) {
 		return nil
 	}
-	return q[0]
+	return q[r.inHead[int(dir)]]
 }
 
 // StageArrival places a flit arriving on input port dir into the staging
@@ -205,6 +238,7 @@ func (r *Router) StageArrival(dir mesh.Direction, f *flit.Flit) error {
 		return fmt.Errorf("router %v: input buffer %v overflow (flow-control violation)", r.Node, dir)
 	}
 	r.staged[int(dir)] = append(r.staged[int(dir)], f)
+	r.stagedMask |= 1 << uint(dir)
 	return nil
 }
 
@@ -212,25 +246,54 @@ func (r *Router) StageArrival(dir mesh.Direction, f *flit.Flit) error {
 // input FIFOs. The network calls it once per cycle, after every router has
 // computed and applied its transfers.
 func (r *Router) CommitArrivals() {
+	if r.stagedMask == 0 {
+		return
+	}
+	r.commitStaged()
+}
+
+// HasStaged reports whether any arrival is staged for commit this cycle; it
+// is small enough to inline, letting the network skip the CommitArrivals
+// call for the common staged-nothing router.
+func (r *Router) HasStaged() bool { return r.stagedMask != 0 }
+
+func (r *Router) commitStaged() {
 	for i := range r.staged {
 		if len(r.staged[i]) == 0 {
 			continue
 		}
-		r.inputs[i] = append(r.inputs[i], r.staged[i]...)
+		q := r.inputs[i]
+		if r.inHead[i] > 0 && len(q)+len(r.staged[i]) > cap(q) {
+			// Compact the live flits to the front of the backing array
+			// instead of letting append reallocate past the consumed head.
+			n := copy(q, q[r.inHead[i]:])
+			q = q[:n]
+			r.inHead[i] = 0
+		}
+		r.inputs[i] = append(q, r.staged[i]...)
 		r.staged[i] = r.staged[i][:0]
+		r.occupied |= 1 << uint(i)
 	}
+	r.stagedMask = 0
 }
 
 // PopInput removes and returns the flit at the head of the input FIFO of
 // port dir. It panics if the FIFO is empty (which would indicate a bug in
 // the transfer logic).
 func (r *Router) PopInput(dir mesh.Direction) *flit.Flit {
-	q := r.inputs[int(dir)]
-	if len(q) == 0 {
+	d := int(dir)
+	q := r.inputs[d]
+	if r.inHead[d] == len(q) {
 		panic(fmt.Sprintf("router %v: pop from empty input %v", r.Node, dir))
 	}
-	f := q[0]
-	r.inputs[int(dir)] = q[1:]
+	f := q[r.inHead[d]]
+	q[r.inHead[d]] = nil // drop the reference so the slot does not pin the flit
+	r.inHead[d]++
+	if r.inHead[d] == len(q) {
+		r.inputs[d] = q[:0]
+		r.inHead[d] = 0
+		r.occupied &^= 1 << uint(d)
+	}
 	return f
 }
 
@@ -281,6 +344,73 @@ func (r *Router) ComputeTransfers() []Transfer {
 	transfers := r.transferScratch[:0]
 	inputBusy := [mesh.NumDirections]bool{}
 
+	// Pass 1: the head-of-line routing demand of every input port, computed
+	// once per cycle. Nothing pops an input FIFO while the decision is being
+	// made, so the fronts are stable for the whole output loop and each
+	// output's arbitration reduces to array lookups instead of re-scanning
+	// every FIFO head.
+	var wantOut [mesh.NumDirections]mesh.Direction
+	var wantHead [mesh.NumDirections]bool
+	var wantCount [mesh.NumDirections]int8 // head inputs demanding each output
+	wantTotal, lastIn := 0, -1
+	for occ := r.occupied; occ != 0; occ &= occ - 1 {
+		in := bits.TrailingZeros8(occ)
+		if f := r.inputs[in][r.inHead[in]]; f.Type.IsHead() {
+			out := r.desiredOutput(f)
+			wantOut[in] = out
+			wantHead[in] = true
+			wantCount[int(out)]++
+			wantTotal++
+			lastIn = in
+		}
+	}
+
+	// Fast path for the dominant low-load shape: exactly one head flit in
+	// the router and no wormhole lock held (lockedMask == 0 also guarantees
+	// no body/tail flit waits at any front — a mid-packet flit implies its
+	// packet's lock at this router). Only the demanded output arbitrates;
+	// every other port performs exactly the idle replenishment the general
+	// loop would, so the resulting state is identical.
+	if r.lockedMask == 0 && wantTotal == 1 {
+		in := mesh.Direction(lastIn)
+		outDir := wantOut[lastIn]
+		if mesh.LegalTurn(in, outDir) {
+			for _, d := range mesh.Directions {
+				op := r.out[int(d)]
+				if !op.exists {
+					continue
+				}
+				if !op.unlimited && op.credits <= 0 {
+					continue // downstream full: neither grant nor replenish
+				}
+				if d != outDir {
+					if op.weighted != nil {
+						op.weighted.Replenish(1)
+					}
+					continue
+				}
+				requests := r.reqScratch[:]
+				for i := range requests {
+					requests[i] = false
+				}
+				requests[int(in)] = true
+				winner := op.arb.Grant(requests)
+				if winner < 0 {
+					continue
+				}
+				f := r.Front(in)
+				transfers = append(transfers, Transfer{Out: outDir, In: in, Flit: f})
+				if !f.Type.IsTail() {
+					op.locked = true
+					op.lockedTo = in
+					r.lockedMask |= 1 << uint(outDir)
+				}
+			}
+			r.transferScratch = transfers[:0]
+			return transfers
+		}
+	}
+
 	for _, outDir := range mesh.Directions {
 		op := r.out[int(outDir)]
 		if !op.exists {
@@ -306,35 +436,33 @@ func (r *Router) ComputeTransfers() []Transfer {
 			inputBusy[int(in)] = true
 			if f.Type.IsTail() {
 				op.locked = false
+				r.lockedMask &^= 1 << uint(outDir)
 			}
 			continue
 		}
 		// Free port: arbitrate among the input ports whose head-of-line flit
-		// is a head flit routed to this output.
+		// is a head flit routed to this output. An undemanded port skips the
+		// request-mask construction entirely — a request-less Grant is
+		// exactly a one-cycle Replenish, the hardware's idle-cycle rule.
+		if wantCount[int(outDir)] == 0 {
+			if op.weighted != nil {
+				op.weighted.Replenish(1)
+			}
+			continue
+		}
 		requests := r.reqScratch[:]
 		any := false
 		for _, inDir := range mesh.Directions {
-			requests[int(inDir)] = false
-			if inputBusy[int(inDir)] {
-				continue
-			}
-			f := r.Front(inDir)
-			if f == nil || !f.Type.IsHead() {
-				continue
-			}
-			if r.desiredOutput(f) != outDir {
-				continue
-			}
-			if !mesh.LegalTurn(inDir, outDir) {
-				continue
-			}
-			requests[int(inDir)] = true
-			any = true
+			requests[int(inDir)] = wantHead[int(inDir)] &&
+				wantOut[int(inDir)] == outDir &&
+				!inputBusy[int(inDir)] &&
+				mesh.LegalTurn(inDir, outDir)
+			any = any || requests[int(inDir)]
 		}
 		if !any {
-			// Let the WaW counters replenish on idle cycles, as in the
-			// hardware rule.
-			op.arb.Grant(requests)
+			if op.weighted != nil {
+				op.weighted.Replenish(1)
+			}
 			continue
 		}
 		winner := op.arb.Grant(requests)
@@ -348,6 +476,7 @@ func (r *Router) ComputeTransfers() []Transfer {
 		if !f.Type.IsTail() {
 			op.locked = true
 			op.lockedTo = in
+			r.lockedMask |= 1 << uint(outDir)
 		}
 	}
 	r.transferScratch = transfers[:0]
@@ -355,9 +484,11 @@ func (r *Router) ComputeTransfers() []Transfer {
 }
 
 // Quiescent reports whether a ComputeTransfers call would neither produce a
-// transfer nor change any router state, i.e. whether the network's
-// active-set engine can skip this router until an external event (a staged
-// arrival or a returned credit) re-activates it. A router is quiescent when
+// transfer nor change any router state. (The active-set engine's drop
+// predicate is the weaker InputsEmpty — it defers the remaining
+// replenishment to CatchUpIdle instead of waiting for it — but Quiescent
+// remains the exact "visit is a no-op" characterisation, used by tests and
+// by state inspection.) A router is quiescent when
 //
 //   - every input FIFO is empty (committed and staged), so no flit can move
 //     and no arbitration request can form, and
@@ -371,10 +502,8 @@ func (r *Router) ComputeTransfers() []Transfer {
 // skips its arbiter in ComputeTransfers, so visiting such a router remains a
 // no-op either way, and the router is re-activated when the credit returns.
 func (r *Router) Quiescent() bool {
-	for i := range r.inputs {
-		if len(r.inputs[i]) > 0 || len(r.staged[i]) > 0 {
-			return false
-		}
+	if !r.InputsEmpty() {
+		return false
 	}
 	for _, op := range r.out {
 		if !op.exists || op.locked {
@@ -385,6 +514,79 @@ func (r *Router) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// InputsEmpty reports whether every input FIFO — committed and staged — is
+// empty, i.e. whether the router can neither forward a flit nor form an
+// arbitration request this cycle or the next. It is the active-set engine's
+// drop predicate: an inputs-empty router's per-cycle visit reduces to the
+// request-less replenishment of its arbiters, which CatchUpIdle can replay
+// in bulk when an external event (a staged arrival or a returned credit)
+// wakes the router again.
+func (r *Router) InputsEmpty() bool { return r.occupied == 0 && r.stagedMask == 0 }
+
+// CatchUpIdle replays `cycles` idle cycles of output-port arbitration in one
+// step: every existing output port that a per-cycle visit would have
+// consulted — unlocked, and with credits available (the local ejection port
+// is never back-pressured) — has its arbiter replenished by the same number
+// of request-less Grant calls the full-scan engine would have issued. The
+// caller (the network's lazy-replenishment bookkeeping) guarantees that the
+// router's inputs were empty and that no credit or lock changed over the
+// replayed window, which is what makes the bulk replay exact.
+func (r *Router) CatchUpIdle(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	for _, op := range r.out {
+		if op.weighted == nil || op.locked {
+			continue
+		}
+		if !op.unlimited && op.credits <= 0 {
+			continue
+		}
+		op.weighted.Replenish(cycles)
+	}
+}
+
+// Arbiter exposes the arbiter of the output port in direction dir (nil when
+// the port does not exist) for tests and state inspection. Callers must not
+// Grant through it; the router owns the arbitration schedule.
+func (r *Router) Arbiter(dir mesh.Direction) arbiter.Arbiter {
+	op := r.out[int(dir)]
+	if !op.exists {
+		return nil
+	}
+	return op.arb
+}
+
+// Reset rewinds the router to its just-constructed state: input FIFOs and
+// staging areas emptied, wormhole locks released, credit counters restored
+// to the downstream buffer depth, arbiters back to their power-on state and
+// forwarding statistics cleared. The backing buffers are retained so a reset
+// router allocates nothing when it is reused.
+func (r *Router) Reset() {
+	for i := range r.inputs {
+		clear(r.inputs[i]) // release flit references held by the backing array
+		r.inputs[i] = r.inputs[i][:0]
+		r.inHead[i] = 0
+		clear(r.staged[i])
+		r.staged[i] = r.staged[i][:0]
+	}
+	r.occupied = 0
+	r.stagedMask = 0
+	r.lockedMask = 0
+	for _, op := range r.out {
+		if !op.exists {
+			continue
+		}
+		op.locked = false
+		op.lockedTo = 0
+		op.Forwarded = 0
+		if !op.unlimited {
+			op.credits = r.downstreamDepth
+		}
+		op.arb.Reset()
+	}
 }
 
 // ApplyTransfer removes the transferred flit from its input FIFO, consumes a

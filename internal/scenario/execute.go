@@ -103,10 +103,11 @@ func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
 }
 
 func executeSimulate(s Spec, d mesh.Dim, res *Result) error {
-	net, err := network.New(network.DefaultConfig(d, s.Design))
+	net, err := acquireNetwork(network.DefaultConfig(d, s.Design))
 	if err != nil {
 		return err
 	}
+	defer releaseNetwork(net)
 	gen, err := buildGenerator(s, d)
 	if err != nil {
 		return err
@@ -177,12 +178,15 @@ func buildGenerator(s Spec, d mesh.Dim) (traffic.Generator, error) {
 	}
 }
 
-// executeLoadCurve runs the saturation study of ModeLoadCurve: for every
-// injection rate a fresh network is driven with sustained uniform-random
-// traffic through a warmup window (discarded), a measurement window
-// (sampled) and a bounded drain. Execution is single-threaded and seeded,
-// so the produced curve is deterministic; the sweep engine parallelises
-// across scenarios, not within one.
+// executeLoadCurve runs the saturation study of ModeLoadCurve: every
+// injection rate drives sustained uniform-random traffic through a warmup
+// window (discarded), a measurement window (sampled) and a bounded drain.
+// One network is constructed (or taken from the worker-shared cache) for the
+// whole curve and rewound in place between rate points — Network.Reset makes
+// a reused network indistinguishable from a fresh one, so the curve is
+// byte-identical to the build-per-point implementation. Execution is
+// single-threaded and seeded, so the produced curve is deterministic; the
+// sweep engine parallelises across scenarios, not within one.
 func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
 	t := s.Traffic
 	rates := t.Rates
@@ -201,9 +205,17 @@ func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
 	if payload == 0 {
 		payload = traffic.RequestPayloadBits
 	}
+	net, err := acquireNetwork(network.DefaultConfig(d, s.Design))
+	if err != nil {
+		return err
+	}
+	defer releaseNetwork(net)
 	lc := &LoadCurveResult{WarmupCycles: warmup, MeasureCycles: measure}
-	for _, rate := range rates {
-		pt, err := runLoadCurvePoint(s, d, rate, warmup, measure, payload)
+	for i, rate := range rates {
+		if i > 0 {
+			net.Reset()
+		}
+		pt, err := runLoadCurvePoint(net, s, d, rate, warmup, measure, payload)
 		if err != nil {
 			return fmt.Errorf("load-curve rate %d: %w", rate, err)
 		}
@@ -213,17 +225,14 @@ func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
 	return nil
 }
 
-func runLoadCurvePoint(s Spec, d mesh.Dim, rate, warmup, measure, payload int) (LoadCurvePoint, error) {
-	net, err := network.New(network.DefaultConfig(d, s.Design))
-	if err != nil {
-		return LoadCurvePoint{}, err
-	}
+func runLoadCurvePoint(net *network.Network, s Spec, d mesh.Dim, rate, warmup, measure, payload int) (LoadCurvePoint, error) {
 	// The generator is open-loop: the message budget just needs to exceed
 	// anything the windows can produce.
 	gen, err := traffic.NewUniformRandom(d, s.Seed, rate, payload, int(^uint32(0)>>1))
 	if err != nil {
 		return LoadCurvePoint{}, err
 	}
+	traffic.AttachNetworkPool(gen, net)
 	var lat, netLat stats.Sampler
 	var delivered, deliveredInWindow uint64
 	start, stop := uint64(warmup), uint64(warmup+measure)

@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// netCache pools constructed networks per configuration so that sweep
+// workers reuse one topology (routers, NICs, precomputed WaW weight tables,
+// message/flit pools) across scenario executions and load-curve rate points
+// instead of reallocating it per point. Network.Reset guarantees a reused
+// network behaves identically to a freshly constructed one, so cache hits
+// cannot change any result — the sweep determinism tests run the same grids
+// with different worker counts (and therefore different reuse patterns) and
+// require byte-identical output.
+//
+// The map is keyed by the configuration's identity and holds one sync.Pool
+// per key; sync.Pool gives per-P caching (no lock contention between sweep
+// workers) and lets idle networks be reclaimed by the garbage collector.
+var netCache sync.Map // netKey -> *sync.Pool
+
+type netKey struct {
+	width, height int
+	design        network.Design
+	engine        network.Engine
+}
+
+// cacheable reports whether the configuration is covered by the cache key:
+// the default platform parameters for its mesh/design/engine, with no custom
+// weight table. Anything else is built directly.
+func cacheable(cfg network.Config) bool {
+	want := network.DefaultConfig(cfg.Dim, cfg.Design)
+	want.Engine = cfg.Engine
+	return cfg == want
+}
+
+// acquireNetwork returns a reset network for the default configuration of
+// the given mesh and design, reusing a previously released one when
+// available. Callers must hand the network back with releaseNetwork.
+func acquireNetwork(cfg network.Config) (*network.Network, error) {
+	if !cacheable(cfg) {
+		return network.New(cfg)
+	}
+	key := netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine}
+	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
+	pool := entry.(*sync.Pool)
+	if cached, ok := pool.Get().(*network.Network); ok {
+		if cached.Config().Design != cfg.Design || cached.Config().Dim != cfg.Dim {
+			panic(fmt.Sprintf("scenario: network cache returned %v/%v for %v/%v",
+				cached.Config().Dim, cached.Config().Design, cfg.Dim, cfg.Design))
+		}
+		cached.Reset()
+		return cached, nil
+	}
+	return network.New(cfg)
+}
+
+// releaseNetwork returns a network obtained from acquireNetwork to the cache.
+// The network is reset before it is cached so an idle pool entry retains no
+// caller state (in particular no delivery-hook closure); the reset on the
+// acquire side stays as a second line of defence.
+func releaseNetwork(net *network.Network) {
+	if net == nil || !cacheable(net.Config()) {
+		return
+	}
+	net.Reset()
+	cfg := net.Config()
+	key := netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine}
+	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
+	entry.(*sync.Pool).Put(net)
+}

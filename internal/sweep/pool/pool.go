@@ -1,0 +1,82 @@
+// Package pool provides the bounded worker pool underlying the sweep
+// engine, extracted so that other embarrassingly parallel loops — e.g. the
+// per-core WCET computation of wcet.Platform.TableIII — share the same
+// dispatch mechanics instead of growing their own. The pool dispatches
+// indices, not values: callers keep results in index-addressed slots, which
+// is what makes aggregation deterministic (spec-ordered) no matter how many
+// workers run or in which order they finish.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Jobs resolves a worker-count option: values < 1 select GOMAXPROCS.
+func Jobs(jobs int) int {
+	if jobs < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// ForEach invokes fn(i) for every index in [0, total) across min(jobs,
+// total) worker goroutines and returns once all invocations finished.
+// Indices are fed in ascending order; fn must be safe for concurrent calls
+// on distinct indices and is responsible for its own error recording (an
+// index-addressed error slice keeps that deterministic too).
+//
+// When ctx is cancelled, indices not yet handed to a worker are not invoked;
+// skip (may be nil) is called synchronously for each of them instead, after
+// which ForEach drains the in-flight work and returns. Indices already
+// dispatched still run — fn should check ctx itself if mid-flight
+// cancellation matters.
+func ForEach(ctx context.Context, total, jobs int, fn func(i int), skip func(i int)) {
+	if total <= 0 {
+		return
+	}
+	workers := min(Jobs(jobs), total)
+	if workers == 1 {
+		// The serial case runs inline: no goroutines, no channel, exactly
+		// the loop a non-parallel implementation would write.
+		for i := 0; i < total; i++ {
+			if ctx.Err() != nil {
+				if skip != nil {
+					skip(i)
+				}
+				continue
+			}
+			fn(i)
+		}
+		return
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				fn(i)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < total; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			for j := i; j < total; j++ {
+				if skip != nil {
+					skip(j)
+				}
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+}

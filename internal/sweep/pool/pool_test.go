@@ -1,0 +1,51 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// Every index must be invoked exactly once, for any worker count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{1, 2, 7, 0} {
+		const total = 100
+		var hits [total]int32
+		ForEach(context.Background(), total, jobs, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		}, nil)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: index %d invoked %d times", jobs, i, h)
+			}
+		}
+	}
+}
+
+// Cancellation must route every undispatched index through skip, never
+// through fn, and the two sets must partition the index space.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const total = 50
+	var ran, skipped atomic.Int32
+	ForEach(ctx, total, 1, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	}, func(i int) {
+		skipped.Add(1)
+	})
+	if got := ran.Load() + skipped.Load(); got != total {
+		t.Fatalf("fn (%d) + skip (%d) = %d, want %d", ran.Load(), skipped.Load(), got, total)
+	}
+	if skipped.Load() == 0 {
+		t.Error("cancellation should have skipped the tail of the index space")
+	}
+}
+
+func TestForEachEmptyAndNilSkip(t *testing.T) {
+	ForEach(context.Background(), 0, 4, func(int) { t.Fatal("fn called for empty range") }, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ForEach(ctx, 5, 1, func(int) { t.Fatal("fn called on cancelled context") }, nil)
+}

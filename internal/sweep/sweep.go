@@ -12,10 +12,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/scenario"
+	"repro/internal/sweep/pool"
 )
 
 // Options tunes a sweep run.
@@ -33,18 +33,12 @@ type Options struct {
 	Progress func(done, total int, r scenario.Result)
 }
 
-// jobs resolves the worker count.
-func (o Options) jobs() int {
-	if o.Jobs < 1 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Jobs
-}
-
 // Run executes every spec and returns the results in spec order. All specs
 // are attempted even if some fail; the returned error joins the individual
 // failures in spec order (and includes ctx's error if the sweep was
 // cancelled). Results of failed or skipped scenarios are zero-valued.
+// The worker-pool mechanics live in the sweep/pool subpackage, shared with
+// the other parallel loops of the repository.
 func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.Result, error) {
 	results := make([]scenario.Result, len(specs))
 	errs := make([]error, len(specs))
@@ -52,8 +46,6 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.R
 		return results, nil
 	}
 
-	indices := make(chan int)
-	var wg sync.WaitGroup
 	var mu sync.Mutex
 	done := 0
 	report := func(r scenario.Result) {
@@ -66,42 +58,23 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.R
 		mu.Unlock()
 	}
 
-	workers := min(opts.jobs(), len(specs))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				if err := ctx.Err(); err != nil {
-					errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, err)
-					report(scenario.Result{Name: specs[i].Name})
-					continue
-				}
-				r, err := scenario.Execute(specs[i])
-				if err != nil {
-					errs[i] = err
-					report(scenario.Result{Name: specs[i].Name})
-					continue
-				}
-				results[i] = r
-				report(r)
-			}
-		}()
-	}
-
-feed:
-	for i := range specs {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			for j := i; j < len(specs); j++ {
-				errs[j] = fmt.Errorf("sweep: scenario %d skipped: %w", j, ctx.Err())
-			}
-			break feed
+	pool.ForEach(ctx, len(specs), opts.Jobs, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, err)
+			report(scenario.Result{Name: specs[i].Name})
+			return
 		}
-	}
-	close(indices)
-	wg.Wait()
+		r, err := scenario.Execute(specs[i])
+		if err != nil {
+			errs[i] = err
+			report(scenario.Result{Name: specs[i].Name})
+			return
+		}
+		results[i] = r
+		report(r)
+	}, func(i int) {
+		errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, ctx.Err())
+	})
 
 	return results, errors.Join(errs...)
 }

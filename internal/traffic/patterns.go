@@ -52,6 +52,8 @@ type PermutationGenerator struct {
 	rounds   int
 
 	issued int
+	pool   *flit.Pool
+	out    []*flit.Message // reused Tick result buffer
 }
 
 // NewPermutation builds a permutation-pattern generator. interval is the
@@ -79,26 +81,43 @@ func NewPermutation(d mesh.Dim, perm Permutation, payload, rounds int, interval 
 	}, nil
 }
 
+// AttachPool implements PoolAware.
+func (p *PermutationGenerator) AttachPool(pool *flit.Pool) { p.pool = pool }
+
 // Tick implements Generator.
 func (p *PermutationGenerator) Tick(cycle uint64) []*flit.Message {
 	if p.issued >= p.rounds || cycle%p.interval != 0 {
 		return nil
 	}
 	p.issued++
-	var out []*flit.Message
+	out := p.out[:0]
 	for _, src := range p.nodes {
 		dst := p.perm(p.dim, src)
 		if dst == src || !p.dim.Contains(dst) {
 			continue
 		}
-		out = append(out, &flit.Message{
-			Flow:        flit.FlowID{Src: src, Dst: dst},
-			Class:       flit.ClassData,
-			PayloadBits: p.payload,
-		})
+		msg := newMessage(p.pool)
+		msg.Flow = flit.FlowID{Src: src, Dst: dst}
+		msg.Class = flit.ClassData
+		msg.PayloadBits = p.payload
+		out = append(out, msg)
 	}
+	p.out = out
 	return out
 }
 
 // Done implements Generator.
 func (p *PermutationGenerator) Done() bool { return p.issued >= p.rounds }
+
+// NextEvent implements EventSource: rounds are issued at multiples of the
+// interval, and Tick calls between rounds neither produce messages nor
+// mutate generator state, so they can be leapt over.
+func (p *PermutationGenerator) NextEvent(now uint64) (uint64, bool) {
+	if p.issued >= p.rounds {
+		return 0, false
+	}
+	if rem := now % p.interval; rem != 0 {
+		return now + (p.interval - rem), true
+	}
+	return now, true
+}

@@ -34,14 +34,82 @@ const (
 // Generator produces messages to inject at given cycles.
 type Generator interface {
 	// Tick returns the messages to inject at the given cycle. The returned
-	// messages have their Flow, Class and PayloadBits fields set.
+	// messages have their Flow, Class and PayloadBits fields set. The
+	// returned slice is only valid until the next Tick call: generators
+	// reuse it to keep the injection loop allocation-free.
 	Tick(cycle uint64) []*flit.Message
 	// Done reports whether the generator will never produce messages again.
 	Done() bool
 }
 
+// EventSource is implemented by generators that can bound their next action,
+// enabling time-leap scheduling: NextEvent returns the earliest cycle >= now
+// at which a Tick call may return messages or mutate generator state, and
+// false when no such cycle exists. Cycles strictly before the returned one
+// can be skipped without calling Tick — the skipped calls are provably
+// no-ops. Generators that consume pseudo-random state on every Tick (the
+// rate-driven ones) must return now itself while they are live: for them
+// every cycle is an event, because skipping a Tick would desynchronise the
+// deterministic random stream.
+type EventSource interface {
+	Generator
+	NextEvent(now uint64) (uint64, bool)
+}
+
+// PoolAware is implemented by generators that can draw their messages from a
+// message/flit free-list pool (normally the target network's, see
+// flit.Pool). Attaching a pool makes steady-state injection allocation-free;
+// the network recycles each pooled message as soon as its flits have been
+// enqueued at the source NIC.
+type PoolAware interface {
+	AttachPool(p *flit.Pool)
+}
+
+// AttachNetworkPool connects gen to net's message pool when the generator
+// supports pooling (a no-op otherwise).
+func AttachNetworkPool(gen Generator, net *network.Network) {
+	if pa, ok := gen.(PoolAware); ok {
+		pa.AttachPool(net.Pool())
+	}
+}
+
+// newMessage draws a message from the pool when one is attached.
+func newMessage(p *flit.Pool) *flit.Message {
+	if p != nil {
+		return p.GetMessage()
+	}
+	return &flit.Message{}
+}
+
 // Rand is the deterministic pseudo-random source used by the generators.
 func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// drawSource is a devirtualized replica of math/rand's bounded-draw path:
+// it applies exactly the Rand.Intn/Int31n algorithm to the raw Source, so
+// the produced stream is bit-identical to rand.New(rand.NewSource(seed))
+// (pinned by TestDrawSourceMatchesMathRand) while skipping the three layers
+// of non-inlined method calls the wrapper pays per draw. Generators draw
+// millions of per-node, per-cycle decisions; this is their hot path.
+type drawSource struct {
+	src rand.Source
+}
+
+func newDrawSource(seed int64) drawSource { return drawSource{src: rand.NewSource(seed)} }
+
+// intn returns a uniform draw in [0, n) for 0 < n <= MaxInt32, consuming the
+// same source values as math/rand.(*Rand).Intn.
+func (d drawSource) intn(n int) int {
+	n32 := int32(n)
+	if n32&(n32-1) == 0 { // n is a power of two
+		return int(int32(d.src.Int63()>>32) & (n32 - 1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n32))
+	v := int32(d.src.Int63() >> 32)
+	for v > max {
+		v = int32(d.src.Int63() >> 32)
+	}
+	return int(v % n32)
+}
 
 // UniformRandom injects requests from every node to uniformly random
 // destinations at a fixed per-node injection rate (flit-equivalents per node
@@ -49,10 +117,12 @@ func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 type UniformRandom struct {
 	dim        mesh.Dim
 	nodes      []mesh.Node // AllNodes, precomputed once
-	rng        *rand.Rand
+	rng        drawSource
 	ratePerMil int // messages per node per 1000 cycles
 	payload    int
 	remaining  int
+	pool       *flit.Pool
+	out        []*flit.Message // reused Tick result buffer
 }
 
 // NewUniformRandom builds a uniform-random generator producing `total`
@@ -71,42 +141,55 @@ func NewUniformRandom(dim mesh.Dim, seed int64, ratePerMil, payload, total int) 
 	return &UniformRandom{
 		dim:        dim,
 		nodes:      dim.AllNodes(),
-		rng:        Rand(seed),
+		rng:        newDrawSource(seed),
 		ratePerMil: ratePerMil,
 		payload:    payload,
 		remaining:  total,
 	}, nil
 }
 
+// AttachPool implements PoolAware.
+func (u *UniformRandom) AttachPool(p *flit.Pool) { u.pool = p }
+
 // Tick implements Generator.
 func (u *UniformRandom) Tick(uint64) []*flit.Message {
 	if u.remaining <= 0 {
 		return nil
 	}
-	var out []*flit.Message
+	out := u.out[:0]
 	for _, src := range u.nodes {
 		if u.remaining <= 0 {
 			break
 		}
-		if u.rng.Intn(1000) >= u.ratePerMil {
+		if u.rng.intn(1000) >= u.ratePerMil {
 			continue
 		}
-		dst := u.nodes[u.rng.Intn(len(u.nodes))]
+		dst := u.nodes[u.rng.intn(len(u.nodes))]
 		if dst == src {
 			continue
 		}
-		out = append(out, &flit.Message{
-			Flow:        flit.FlowID{Src: src, Dst: dst},
-			Class:       flit.ClassData,
-			PayloadBits: u.payload,
-		})
+		msg := newMessage(u.pool)
+		msg.Flow = flit.FlowID{Src: src, Dst: dst}
+		msg.Class = flit.ClassData
+		msg.PayloadBits = u.payload
+		out = append(out, msg)
 		u.remaining--
 	}
+	u.out = out
 	return out
 }
 
 // Done implements Generator.
 func (u *UniformRandom) Done() bool { return u.remaining <= 0 }
+
+// NextEvent implements EventSource: while live, every cycle consumes
+// pseudo-random draws, so no cycle can be skipped.
+func (u *UniformRandom) NextEvent(now uint64) (uint64, bool) {
+	if u.remaining <= 0 {
+		return 0, false
+	}
+	return now, true
+}
 
 // Hotspot sends requests from every node towards a single hotspot node (the
 // memory controller pattern of the paper's platform).
@@ -114,10 +197,12 @@ type Hotspot struct {
 	dim       mesh.Dim
 	nodes     []mesh.Node // AllNodes, precomputed once
 	target    mesh.Node
-	rng       *rand.Rand
+	rng       drawSource
 	ratePct   int // probability (percent) that a node issues a request each cycle
 	payload   int
 	remaining int
+	pool      *flit.Pool
+	out       []*flit.Message // reused Tick result buffer
 }
 
 // NewHotspot builds an all-to-one generator towards target producing `total`
@@ -140,19 +225,22 @@ func NewHotspot(dim mesh.Dim, target mesh.Node, seed int64, ratePct, payload, to
 		dim:       dim,
 		nodes:     dim.AllNodes(),
 		target:    target,
-		rng:       Rand(seed),
+		rng:       newDrawSource(seed),
 		ratePct:   ratePct,
 		payload:   payload,
 		remaining: total,
 	}, nil
 }
 
+// AttachPool implements PoolAware.
+func (h *Hotspot) AttachPool(p *flit.Pool) { h.pool = p }
+
 // Tick implements Generator.
 func (h *Hotspot) Tick(uint64) []*flit.Message {
 	if h.remaining <= 0 {
 		return nil
 	}
-	var out []*flit.Message
+	out := h.out[:0]
 	for _, src := range h.nodes {
 		if h.remaining <= 0 {
 			break
@@ -160,21 +248,31 @@ func (h *Hotspot) Tick(uint64) []*flit.Message {
 		if src == h.target {
 			continue
 		}
-		if h.rng.Intn(100) >= h.ratePct {
+		if h.rng.intn(100) >= h.ratePct {
 			continue
 		}
-		out = append(out, &flit.Message{
-			Flow:        flit.FlowID{Src: src, Dst: h.target},
-			Class:       flit.ClassRequest,
-			PayloadBits: h.payload,
-		})
+		msg := newMessage(h.pool)
+		msg.Flow = flit.FlowID{Src: src, Dst: h.target}
+		msg.Class = flit.ClassRequest
+		msg.PayloadBits = h.payload
+		out = append(out, msg)
 		h.remaining--
 	}
+	h.out = out
 	return out
 }
 
 // Done implements Generator.
 func (h *Hotspot) Done() bool { return h.remaining <= 0 }
+
+// NextEvent implements EventSource: while live, every cycle consumes
+// pseudo-random draws, so no cycle can be skipped.
+func (h *Hotspot) NextEvent(now uint64) (uint64, bool) {
+	if h.remaining <= 0 {
+		return 0, false
+	}
+	return now, true
+}
 
 // Trace replays an explicit list of (cycle, message) events, e.g. extracted
 // from an application communication trace.
@@ -217,12 +315,39 @@ func (t *Trace) Tick(cycle uint64) []*flit.Message {
 // Done implements Generator.
 func (t *Trace) Done() bool { return t.next >= len(t.events) }
 
+// NextEvent implements EventSource: the next event's cycle (immediately, for
+// overdue events), or false once the trace is exhausted.
+func (t *Trace) NextEvent(now uint64) (uint64, bool) {
+	if t.next >= len(t.events) {
+		return 0, false
+	}
+	if c := t.events[t.next].Cycle; c > now {
+		return c, true
+	}
+	return now, true
+}
+
 // Drive runs the generator against the network until the generator is done
 // and the network has drained, or until maxCycles have elapsed. It returns
 // the number of messages injected and whether the run completed.
+//
+// Drive attaches pool-aware generators to the network's message pool, and it
+// is time-leap aware: whenever the network is event-idle (Network.Leapable)
+// and the generator can bound its next action (EventSource), the skipped
+// cycles are leapt over in O(1) instead of stepped through. The observable
+// outcome — every injection cycle, every delivery, the final cycle count and
+// the return values — is identical to the cycle-by-cycle loop, because only
+// provably no-op cycles are skipped; idle, warmup and drain windows just
+// cost O(events) instead of O(cycles).
 func Drive(net *network.Network, gen Generator, maxCycles int) (int, bool) {
+	AttachNetworkPool(gen, net)
 	injected := 0
-	for i := 0; i < maxCycles; i++ {
+	if maxCycles <= 0 {
+		return injected, gen.Done() && net.Drained()
+	}
+	es, _ := gen.(EventSource)
+	deadline := net.Cycle() + uint64(maxCycles)
+	for net.Cycle() < deadline {
 		for _, msg := range gen.Tick(net.Cycle()) {
 			if _, err := net.Send(msg); err == nil {
 				injected++
@@ -230,6 +355,17 @@ func Drive(net *network.Network, gen Generator, maxCycles int) (int, bool) {
 		}
 		if gen.Done() && net.Drained() {
 			return injected, true
+		}
+		if es != nil && net.Leapable() {
+			// min(horizons): the generator's next event, capped by the
+			// cycle budget. No event source means no horizon bound, and a
+			// live non-EventSource generator must be ticked every cycle.
+			target := deadline
+			if next, ok := es.NextEvent(net.Cycle() + 1); ok && next < target {
+				target = next
+			}
+			net.LeapTo(target)
+			continue
 		}
 		net.Step()
 	}

@@ -189,3 +189,33 @@ func TestDriveRespectsMaxCycles(t *testing.T) {
 		t.Error("drive should not complete in 10 cycles")
 	}
 }
+
+// TestDrawSourceMatchesMathRand pins the devirtualized bounded-draw path to
+// math/rand: for the ranges the generators use (and awkward ones around
+// powers of two), drawSource must consume the source identically and return
+// the identical values, so switching the generators to it cannot change any
+// seeded traffic stream.
+func TestDrawSourceMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{1, 3, 7, 11, 42, 1 << 40} {
+		for _, n := range []int{2, 7, 16, 64, 100, 1000, 1 << 20, (1 << 31) - 1} {
+			ref := Rand(seed)
+			fast := newDrawSource(seed)
+			for i := 0; i < 2000; i++ {
+				want := ref.Intn(n)
+				got := fast.intn(n)
+				if want != got {
+					t.Fatalf("seed=%d n=%d draw %d: math/rand %d, drawSource %d", seed, n, i, want, got)
+				}
+			}
+		}
+	}
+	// Interleaved mixed ranges must stay in lockstep too (the generators
+	// alternate rate draws and destination draws on one stream).
+	ref, fast := Rand(5), newDrawSource(5)
+	for i := 0; i < 5000; i++ {
+		n := []int{1000, 64, 100, 3}[i%4]
+		if want, got := ref.Intn(n), fast.intn(n); want != got {
+			t.Fatalf("interleaved draw %d (n=%d): math/rand %d, drawSource %d", i, n, want, got)
+		}
+	}
+}

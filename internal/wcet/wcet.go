@@ -9,12 +9,15 @@
 package wcet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/flit"
 	"repro/internal/mesh"
 	"repro/internal/network"
+	"repro/internal/sweep/pool"
 	"repro/internal/workload"
 )
 
@@ -151,8 +154,19 @@ type NormalizedCell struct {
 // averaging, over the given benchmark suite, the ratio
 // WCET(WaW+WaP) / WCET(regular). Values above 1 mean the regular design is
 // better for that core; values far below 1 mean WaW+WaP is better.
-// The result is indexed [y][x].
+// The result is indexed [y][x]. The per-core loop runs on the sweep worker
+// pool with GOMAXPROCS workers; see TableIIIParallel.
 func (p Platform) TableIII(benchmarks []workload.Benchmark) ([][]float64, error) {
+	return p.TableIIIParallel(benchmarks, 0)
+}
+
+// TableIIIParallel is TableIII with an explicit worker count (values < 1
+// select GOMAXPROCS). Every core's cell — an average over the benchmark
+// suite, accumulated in the suite's fixed order — is computed independently
+// and written into its index-addressed slot, so the produced map is
+// bit-identical for one worker and for many; TestTableIIIParallelDeterminism
+// pins that.
+func (p Platform) TableIIIParallel(benchmarks []workload.Benchmark, jobs int) ([][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,23 +177,32 @@ func (p Platform) TableIII(benchmarks []workload.Benchmark) ([][]float64, error)
 	for y := range table {
 		table[y] = make([]float64, p.Dim.Width)
 	}
-	for _, core := range p.Dim.AllNodes() {
+	cores := p.Dim.AllNodes()
+	errs := make([]error, len(cores))
+	pool.ForEach(context.Background(), len(cores), jobs, func(i int) {
+		core := cores[i]
 		sum := 0.0
 		for _, b := range benchmarks {
 			reg, err := p.BenchmarkWCET(network.DesignRegular, core, b)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			waw, err := p.BenchmarkWCET(network.DesignWaWWaP, core, b)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			if reg == 0 {
-				return nil, fmt.Errorf("wcet: zero regular WCET for %s at %v", b.Name, core)
+				errs[i] = fmt.Errorf("wcet: zero regular WCET for %s at %v", b.Name, core)
+				return
 			}
 			sum += float64(waw) / float64(reg)
 		}
 		table[core.Y][core.X] = sum / float64(len(benchmarks))
+	}, nil)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return table, nil
 }

@@ -286,3 +286,30 @@ func TestVariability(t *testing.T) {
 		t.Errorf("variability = %v, want 2", got)
 	}
 }
+
+// TestTableIIIParallelDeterminism pins the parallelised Table III loop to
+// its serial output: the per-core averages accumulate in suite order inside
+// each core's task and land in index-addressed slots, so the map must be
+// bit-identical for one worker and for many.
+func TestTableIIIParallelDeterminism(t *testing.T) {
+	p := DefaultPlatform()
+	suite := workload.EEMBCAutomotive()
+	serial, err := p.TableIIIParallel(suite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 8, 0} {
+		parallel, err := p.TableIIIParallel(suite, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for y := range serial {
+			for x := range serial[y] {
+				if serial[y][x] != parallel[y][x] {
+					t.Fatalf("jobs=%d: cell (%d,%d) differs: serial %v, parallel %v",
+						jobs, x, y, serial[y][x], parallel[y][x])
+				}
+			}
+		}
+	}
+}
