@@ -8,8 +8,10 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/flit"
 	"repro/internal/mesh"
@@ -433,6 +435,40 @@ func BenchmarkWCTT(b *testing.B) {
 		}
 		b.ReportMetric(far, "normalized-wcet-far-core")
 	})
+}
+
+// BenchmarkAnalysis tracks the analytical WCTT engine itself (no sweep
+// machinery): the serial Table II study over the paper's sizes, plus the
+// large-mesh points (16x16 and 32x32) that the flat-indexed fast path opens
+// up — Table II is precisely a mesh-size scalability study, so the bench
+// family extends it beyond the paper's 8x8 ceiling.
+func BenchmarkAnalysis(b *testing.B) {
+	b.Run("tableii", func(b *testing.B) {
+		var maxWCTT uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := analysis.TableII(core.PaperTableIISizes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxWCTT = rows[len(rows)-1].Regular.Max
+		}
+		b.ReportMetric(float64(maxWCTT), "regular-8x8-max-cycles")
+	})
+	for _, size := range []int{16, 32} {
+		b.Run(fmt.Sprintf("tableii-%dx%d", size, size), func(b *testing.B) {
+			var waw uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				row, err := analysis.RowForDim(mesh.MustDim(size, size))
+				if err != nil {
+					b.Fatal(err)
+				}
+				waw = row.WaWWaP.Max
+			}
+			b.ReportMetric(float64(waw), "wawwap-max-cycles")
+		})
+	}
 }
 
 // BenchmarkPacketization measures the WaP slicing overhead accounting (the

@@ -62,6 +62,24 @@
 // total- and network-latency distributions (network latency excludes the
 // source-queueing time; see noctool sweep -mode load-curve).
 //
+// The analytical stack mirrors the simulator's flat-indexed design: WaW
+// weight tables are fixed-size arrays in a per-node-index slice shared per
+// mesh (flows.CachedWeightTable), analysis.Model precomputes per-node
+// contender counts and output shares so the WCTT bound functions walk XY
+// routes as pure index arithmetic with zero allocations (mesh.WalkXY /
+// mesh.AppendXYHops are the general-purpose allocation-free walkers), and
+// wcet.Platform.Engine compiles a platform once per (platform, packet-size)
+// value — validation once per table, per-core round-trip UBDs once per
+// design, each Table III cell pure arithmetic. The scenario layer caches
+// models per parameter set next to its network cache, and models memoise
+// MessageWCTT per (design, src, dst, payload); every cache is keyed by the
+// full parameter value and every cached object is immutable, so no
+// invalidation protocol exists. The pre-refactor implementations are kept
+// as a naive reference path (analysis.Model.Reference*, mirroring
+// network.EngineFullScan) and equivalence tests plus pre-refactor JSON
+// goldens pin the fast path bit-identical; the speedup opens the wctt and
+// wcet-map scenario axes to 16x16-32x32 meshes.
+//
 // The layering is: substrate (mesh, flit, router, network, traffic,
 // manycore, analysis, wcet, workload) -> scenario -> sweep -> facade
 // (internal/core) -> CLI/examples/benchmarks. The core package's table and

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"repro/internal/network"
@@ -63,4 +64,38 @@ func main() {
 	fmt.Printf("\nOn the 64-core mesh the regular worst case is %d cycles; WaW+WaP bounds it at %d cycles\n",
 		lastReg.WCTT.MaxCycles, lastWaw.WCTT.MaxCycles)
 	fmt.Println("(the paper reports 4,698,111 versus 310 cycles — a four-orders-of-magnitude gap).")
+
+	// Beyond the paper: the flat-indexed analytical engine makes meshes far
+	// past the paper's 8x8 ceiling practical (the O(N^2) pair enumeration is
+	// allocation-free, so a 32x32 row is ~1M bound evaluations of pure
+	// integer arithmetic). The regular chained-blocking bound overflows
+	// 64-bit arithmetic around 24x24 (the analysis saturates instead of
+	// wrapping) while the WaW+WaP bound stays in the thousands of cycles —
+	// the scalability collapse of Table II taken to its conclusion.
+	largeSizes := []int{12, 16, 24, 32}
+	large, err := sweep.Expand(context.Background(), scenario.Spec{
+		Name:    "table-ii-large",
+		Mode:    scenario.ModeWCTT,
+		Sizes:   largeSizes,
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+	}, sweep.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := tablegen.New("Beyond Table II — large-mesh WCTT (cycles; regular saturates 64-bit arithmetic)",
+		"NxM", "cores", "regular max", "WaW+WaP max", "WaW+WaP mean")
+	for i := 0; i+1 < len(large); i += 2 {
+		reg, waw := large[i].WCTT, large[i+1].WCTT
+		regMax := fmt.Sprintf("%d", reg.MaxCycles)
+		if reg.MaxCycles == math.MaxUint64 {
+			regMax = "overflow (saturated)"
+		}
+		cores := largeSizes[i/2] * largeSizes[i/2]
+		lt.AddRow(large[i].Dim, fmt.Sprintf("%d", cores), regMax,
+			fmt.Sprintf("%d", waw.MaxCycles), fmt.Sprintf("%.1f", waw.MeanCycles))
+	}
+	fmt.Println()
+	if err := lt.Render(os.Stdout, tablegen.FormatText); err != nil {
+		log.Fatal(err)
+	}
 }

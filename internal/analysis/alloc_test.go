@@ -1,0 +1,97 @@
+// Allocation-regression tests for the analytical fast path: the route walk,
+// the per-flow bounds and the whole one-flit Table II summary must stay at 0
+// allocs/op so the flat-indexed engine cannot silently regress to
+// map-and-route-materialising behaviour. Under -race the workloads still run
+// but the counts are not asserted (the instrumentation allocates), mirroring
+// the simulator's TestStepZeroAllocs* convention.
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+// assertAllocsPerRun runs fn through testing.AllocsPerRun and asserts the
+// average is zero (outside -race builds).
+func assertAllocsPerRun(t *testing.T, what string, runs int, fn func()) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(runs, fn)
+	if raceEnabled {
+		t.Logf("%s: %v allocs/op (not asserted under -race)", what, allocs)
+		return
+	}
+	if allocs != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", what, allocs)
+	}
+}
+
+// TestRouteWalkZeroAllocs: the callback walker and the caller-buffer walker
+// (with a warm buffer) must not allocate.
+func TestRouteWalkZeroAllocs(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	src, dst := mesh.Node{X: 7, Y: 7}, mesh.Node{X: 0, Y: 0}
+	hops := 0
+	assertAllocsPerRun(t, "WalkXY", 1000, func() {
+		hops = 0
+		if err := mesh.WalkXY(d, src, dst, func(mesh.Hop) bool { hops++; return true }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if hops != src.ManhattanDistance(dst)+1 {
+		t.Fatalf("walked %d hops, want %d", hops, src.ManhattanDistance(dst)+1)
+	}
+	buf := make([]mesh.Hop, 0, d.Width+d.Height)
+	assertAllocsPerRun(t, "AppendXYHops (warm buffer)", 1000, func() {
+		var err error
+		buf, err = mesh.AppendXYHops(buf[:0], d, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPacketWCTTZeroAllocs: both per-flow bounds are pure arithmetic over
+// the model's flat precomputed state.
+func TestPacketWCTTZeroAllocs(t *testing.T) {
+	m := MustNewModel(DefaultParams(mesh.MustDim(8, 8)))
+	src, dst := mesh.Node{X: 7, Y: 7}, mesh.Node{X: 0, Y: 0}
+	var sink uint64
+	assertAllocsPerRun(t, "RegularPacketWCTT", 1000, func() {
+		v, err := m.RegularPacketWCTT(src, dst, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += v
+	})
+	assertAllocsPerRun(t, "WaWPacketWCTT", 1000, func() {
+		v, err := m.WaWPacketWCTT(src, dst, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += v
+	})
+	if sink == 0 {
+		t.Fatal("bounds were zero; the assertions covered dead code")
+	}
+}
+
+// TestOneFlitSummaryZeroAllocs: the whole O(N^2) Table II cell — every
+// ordered pair of an 8x8 mesh — must run allocation-free for both designs.
+func TestOneFlitSummaryZeroAllocs(t *testing.T) {
+	m := MustNewModel(DefaultParams(mesh.MustDim(8, 8)))
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		var last WCTTSummary
+		assertAllocsPerRun(t, "SummarizeOneFlitWCTT/"+design.String(), 20, func() {
+			s, err := m.SummarizeOneFlitWCTT(design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = s
+		})
+		if last.Flows != 64*63 {
+			t.Fatalf("%v: summarised %d flows, want %d", design, last.Flows, 64*63)
+		}
+	}
+}

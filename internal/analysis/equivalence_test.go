@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+// allDesigns lists every design point the bounds dispatch over.
+var allDesigns = []network.Design{
+	network.DesignRegular, network.DesignWaWWaP, network.DesignWaWOnly, network.DesignWaPOnly,
+}
+
+// equivalenceDims covers squares, rectangles (both orientations, so the X
+// and Y walk segments are exercised asymmetrically), the degenerate 1-wide
+// meshes and a large mesh.
+func equivalenceDims(t *testing.T) []mesh.Dim {
+	t.Helper()
+	dims := []mesh.Dim{
+		mesh.MustDim(2, 2), mesh.MustDim(3, 5), mesh.MustDim(5, 3),
+		mesh.MustDim(1, 6), mesh.MustDim(6, 1), mesh.MustDim(8, 8),
+	}
+	if !testing.Short() {
+		dims = append(dims, mesh.MustDim(16, 16))
+	}
+	return dims
+}
+
+// TestPacketWCTTMatchesReference pins the geometric flat-index walks of
+// RegularPacketWCTT/WaWPacketWCTT bit-identical to the route-materialising
+// reference implementations, over every ordered node pair of each mesh and
+// several packet shapes.
+func TestPacketWCTTMatchesReference(t *testing.T) {
+	regularShapes := [][2]int{{1, 1}, {4, 4}, {1, 8}, {5, 2}}
+	wawShapes := [][2]int{{1, 1}, {5, 1}, {2, 4}, {1, 8}}
+	for _, d := range equivalenceDims(t) {
+		m := MustNewModel(DefaultParams(d))
+		for _, src := range d.AllNodes() {
+			for _, dst := range d.AllNodes() {
+				if src == dst {
+					continue
+				}
+				for _, s := range regularShapes {
+					fast, err1 := m.RegularPacketWCTT(src, dst, s[0], s[1])
+					ref, err2 := m.ReferenceRegularPacketWCTT(src, dst, s[0], s[1])
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%v %v->%v S=%d L=%d: errors %v / %v", d, src, dst, s[0], s[1], err1, err2)
+					}
+					if fast != ref {
+						t.Fatalf("%v regular %v->%v S=%d L=%d: fast %d != reference %d", d, src, dst, s[0], s[1], fast, ref)
+					}
+				}
+				for _, s := range wawShapes {
+					fast, err1 := m.WaWPacketWCTT(src, dst, s[0], s[1])
+					ref, err2 := m.ReferenceWaWPacketWCTT(src, dst, s[0], s[1])
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%v %v->%v P=%d m=%d: errors %v / %v", d, src, dst, s[0], s[1], err1, err2)
+					}
+					if fast != ref {
+						t.Fatalf("%v WaW %v->%v P=%d m=%d: fast %d != reference %d", d, src, dst, s[0], s[1], fast, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSummarizeMatchesReference pins the Table II cell computation (the
+// zero-alloc O(N^2) summary) to the reference path for every design.
+func TestSummarizeMatchesReference(t *testing.T) {
+	for _, d := range equivalenceDims(t) {
+		m := MustNewModel(DefaultParams(d))
+		for _, design := range allDesigns {
+			fast, err1 := m.SummarizeOneFlitWCTT(design)
+			ref, err2 := m.ReferenceSummarizeOneFlitWCTT(design)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%v %v: errors %v / %v", d, design, err1, err2)
+			}
+			if fast != ref {
+				t.Fatalf("%v %v: fast summary %+v != reference %+v", d, design, fast, ref)
+			}
+		}
+	}
+}
+
+// TestMessageWCTTMemo checks that memoised bounds are served bit-identical
+// to the first computation and to a fresh, memo-cold model.
+func TestMessageWCTTMemo(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	m := MustNewModel(DefaultParams(d))
+	fresh := MustNewModel(DefaultParams(d))
+	src, dst := mesh.Node{X: 7, Y: 7}, mesh.Node{X: 0, Y: 0}
+	for _, design := range allDesigns {
+		for _, bits := range []int{16, 48, 512} {
+			first, err := m.MessageWCTT(design, src, dst, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memoised, err := m.MessageWCTT(design, src, dst, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := fresh.messageWCTT(design, src, dst, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first != memoised || first != cold {
+				t.Errorf("%v %d bits: first %d, memoised %d, memo-cold %d — must all match",
+					design, bits, first, memoised, cold)
+			}
+		}
+	}
+	// Error paths bypass the memo and still fail.
+	if _, err := m.MessageWCTT(network.DesignRegular, src, mesh.Node{X: 99, Y: 99}, 48); err == nil {
+		t.Error("destination outside mesh should fail")
+	}
+	if _, err := m.MessageWCTT(network.Design(9), src, dst, 48); err == nil {
+		t.Error("unknown design should fail")
+	}
+}
+
+// TestWalkersMatchXYRoute pins the allocation-free walkers to the
+// materialised route, hop for hop.
+func TestWalkersMatchXYRoute(t *testing.T) {
+	for _, d := range []mesh.Dim{mesh.MustDim(4, 4), mesh.MustDim(3, 7)} {
+		for _, src := range d.AllNodes() {
+			for _, dst := range d.AllNodes() {
+				want := mesh.MustXYRoute(d, src, dst)
+				var got []mesh.Hop
+				if err := mesh.WalkXY(d, src, dst, func(h mesh.Hop) bool {
+					got = append(got, h)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want.Hops) {
+					t.Fatalf("%v %v->%v: walked %d hops, route has %d", d, src, dst, len(got), len(want.Hops))
+				}
+				for i := range got {
+					if got[i] != want.Hops[i] {
+						t.Fatalf("%v %v->%v hop %d: walker %v, route %v", d, src, dst, i, got[i], want.Hops[i])
+					}
+				}
+				buf, err := mesh.AppendXYHops(got[:0], d, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range buf {
+					if buf[i] != want.Hops[i] {
+						t.Fatalf("%v %v->%v hop %d: buffer walker %v, route %v", d, src, dst, i, buf[i], want.Hops[i])
+					}
+				}
+			}
+		}
+	}
+}

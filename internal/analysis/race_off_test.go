@@ -1,0 +1,8 @@
+//go:build !race
+
+package analysis
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-regression assertions are skipped under -race because the
+// instrumentation itself allocates.
+const raceEnabled = false

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// This file keeps the pre-flat-index implementations of the WCTT bounds as a
+// naive reference path, mirroring network.EngineFullScan: the fast paths in
+// wctt.go enumerate XY routes straight from the geometry over precomputed
+// per-node-index arrays, while the reference walks a materialised
+// mesh.XYRoute and recomputes contender counts and output shares per hop
+// from first principles (mesh.LegalInputsFor and the weight table). The
+// equivalence tests pin the two bit-identical across meshes, designs and
+// packet shapes, so the fast path can never silently drift from the model
+// the paper defines.
+
+// ReferenceRegularPacketWCTT is the route-materialising implementation of
+// RegularPacketWCTT, kept as the naive reference for equivalence testing.
+func (m *Model) ReferenceRegularPacketWCTT(src, dst mesh.Node, packetFlits, contenderFlits int) (uint64, error) {
+	if packetFlits < 1 || contenderFlits < 1 {
+		return 0, fmt.Errorf("analysis: packet sizes must be >= 1 flit (got %d, %d)", packetFlits, contenderFlits)
+	}
+	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("analysis: WCTT of a self flow is undefined")
+	}
+	H := uint64(m.p.HeaderOverhead)
+	L := uint64(contenderFlits)
+	R := uint64(m.p.RouterLatency)
+	S := uint64(packetFlits)
+
+	interval := uint64(1) // I_{k+1}: ejection accepts one flit per cycle
+	var total uint64
+	for j := len(route.Hops) - 1; j >= 0; j-- {
+		hop := route.Hops[j]
+		c := uint64(m.contenders(hop.Router, hop.Out))
+		wait := saturatingMul(c-1, saturatingAdd(H, saturatingMul(L, interval)))
+		total = saturatingAdd(total, saturatingAdd(wait, R))
+		interval = saturatingMul(c, interval)
+	}
+	total = saturatingAdd(total, saturatingMul(S-1, interval))
+	total = saturatingAdd(total, 1)
+	return total, nil
+}
+
+// ReferenceWaWPacketWCTT is the route-materialising implementation of
+// WaWPacketWCTT, kept as the naive reference for equivalence testing.
+func (m *Model) ReferenceWaWPacketWCTT(src, dst mesh.Node, numPackets, slotFlits int) (uint64, error) {
+	if numPackets < 1 || slotFlits < 1 {
+		return 0, fmt.Errorf("analysis: packet counts and sizes must be >= 1 (got %d, %d)", numPackets, slotFlits)
+	}
+	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("analysis: WCTT of a self flow is undefined")
+	}
+	R := uint64(m.p.RouterLatency)
+	slot := uint64(slotFlits)
+
+	var total uint64
+	var maxShare uint64 = 1
+	for _, hop := range route.Hops {
+		counts := m.weights.Counts(hop.Router)
+		o := uint64(counts.OutputTotal[hop.Out])
+		if o < 1 {
+			o = 1
+		}
+		if o > maxShare {
+			maxShare = o
+		}
+		total = saturatingAdd(total, saturatingAdd(saturatingMul(o-1, slot), R))
+	}
+	total = saturatingAdd(total, saturatingMul(uint64(numPackets-1), saturatingMul(maxShare, slot)))
+	total = saturatingAdd(total, 1)
+	return total, nil
+}
+
+// ReferenceSummarizeOneFlitWCTT is SummarizeOneFlitWCTT on the reference
+// bounds — the pre-refactor Table II cell computation.
+func (m *Model) ReferenceSummarizeOneFlitWCTT(design network.Design) (WCTTSummary, error) {
+	var sampler stats.Sampler
+	var maxV, minV uint64
+	first := true
+	count := 0
+	for _, src := range m.p.Dim.AllNodes() {
+		for _, dst := range m.p.Dim.AllNodes() {
+			if src == dst {
+				continue
+			}
+			var v uint64
+			var err error
+			switch design {
+			case network.DesignRegular, network.DesignWaPOnly:
+				v, err = m.ReferenceRegularPacketWCTT(src, dst, 1, 1)
+			case network.DesignWaWWaP, network.DesignWaWOnly:
+				v, err = m.ReferenceWaWPacketWCTT(src, dst, 1, 1)
+			default:
+				err = fmt.Errorf("analysis: unknown design %v", design)
+			}
+			if err != nil {
+				return WCTTSummary{}, err
+			}
+			if first {
+				maxV, minV = v, v
+				first = false
+			} else {
+				if v > maxV {
+					maxV = v
+				}
+				if v < minV {
+					minV = v
+				}
+			}
+			sampler.AddUint(v)
+			count++
+		}
+	}
+	return WCTTSummary{
+		Design: design,
+		Dim:    m.p.Dim,
+		Max:    maxV,
+		Min:    minV,
+		Mean:   sampler.Mean(),
+		Flows:  count,
+	}, nil
+}

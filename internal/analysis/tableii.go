@@ -32,11 +32,14 @@ func (s WCTTSummary) String() string {
 
 // SummarizeOneFlitWCTT computes max/mean/min of the one-flit-packet WCTT
 // bound over every ordered pair of distinct nodes, for the given design.
+// The O(N^2) pair loop runs entirely on the model's flat precomputed state
+// and performs no heap allocations, which is what makes the large-mesh
+// Table II points (16x16 and beyond) practical.
 func (m *Model) SummarizeOneFlitWCTT(design network.Design) (WCTTSummary, error) {
 	var sampler stats.Sampler
 	var maxV, minV uint64
 	first := true
-	nodes := m.p.Dim.AllNodes()
+	nodes := m.nodes
 	count := 0
 	for _, src := range nodes {
 		for _, dst := range nodes {
@@ -162,19 +165,17 @@ func (m *Model) LocalAccessWCTT(design network.Design, n mesh.Node) (uint64, err
 	}
 	H := uint64(m.p.HeaderOverhead)
 	R := uint64(m.p.RouterLatency)
+	idx := m.p.Dim.Index(n)
 	switch design {
 	case network.DesignRegular, network.DesignWaPOnly:
-		c := uint64(m.contenders(n, mesh.Local))
+		c := m.contender[idx][mesh.Local]
 		L := uint64(m.p.Link.MaxPacketFlits)
 		if design == network.DesignWaPOnly || L == 0 {
 			L = uint64(m.p.Link.MinPacketFlits)
 		}
 		return saturatingAdd(saturatingMul(c-1, saturatingAdd(H, L)), R+1), nil
 	case network.DesignWaWWaP, network.DesignWaWOnly:
-		o := uint64(m.weights.Counts(n).OutputTotal[mesh.Local])
-		if o < 1 {
-			o = 1
-		}
+		o := m.outShare[idx][mesh.Local]
 		slot := uint64(m.p.Link.MinPacketFlits)
 		if design == network.DesignWaWOnly && m.p.Link.MaxPacketFlits > 0 {
 			slot = uint64(m.p.Link.MaxPacketFlits)

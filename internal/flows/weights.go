@@ -3,6 +3,7 @@ package flows
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mesh"
 )
@@ -37,14 +38,21 @@ import (
 // PortCounts holds the per-destination-normalised flow counts of one router:
 // for every output port, how many flows towards a single destination
 // reachable through that output arrive through each input port.
+//
+// The counts are stored in fixed [mesh.NumDirections]-sized arrays indexed
+// by mesh.Direction instead of nested maps: a WeightTable packs one
+// PortCounts per node into a flat slice, so the analytical hot loops read
+// weights with two array indexations and zero hashing or pointer chasing.
+// Ports that do not exist (mesh boundary) or carry no flows simply hold
+// zero, exactly like a missing map key did.
 type PortCounts struct {
 	Node mesh.Node
 	// InputsPerOutput[out][in] is the number of per-destination flows that
 	// reach output `out` through input `in`.
-	InputsPerOutput map[mesh.Direction]map[mesh.Direction]int
+	InputsPerOutput [mesh.NumDirections][mesh.NumDirections]int
 	// OutputTotal[out] is the total number of per-destination flows crossing
 	// output `out` (the sum over inputs).
-	OutputTotal map[mesh.Direction]int
+	OutputTotal [mesh.NumDirections]int
 }
 
 // Weight returns the WaW weight W(in, out) = I/O for this router, or 0 when
@@ -69,27 +77,30 @@ func (pc *PortCounts) CounterMax(in, out mesh.Direction) int {
 // router at node n using the closed forms above (valid for XY routing).
 // Output ports that do not exist at the mesh boundary get zero totals.
 func ClosedFormCounts(d mesh.Dim, n mesh.Node) *PortCounts {
+	pc := &PortCounts{}
+	closedFormCountsInto(d, n, pc)
+	return pc
+}
+
+// closedFormCountsInto fills pc with the closed-form counts of the router at
+// node n, so WeightTable construction writes straight into its flat
+// per-node slice instead of allocating per router.
+func closedFormCountsInto(d mesh.Dim, n mesh.Node, pc *PortCounts) {
 	if !d.Contains(n) {
 		panic(fmt.Sprintf("flows: node %v outside %v mesh", n, d))
 	}
 	x, y := n.X, n.Y
 	N, M := d.Width, d.Height
 
-	inCount := map[mesh.Direction]int{
-		mesh.XPlus:  x,
-		mesh.XMinus: N - x - 1,
-		mesh.YPlus:  N * y,
-		mesh.YMinus: N * (M - y - 1),
-		mesh.Local:  1,
-	}
+	var inCount [mesh.NumDirections]int
+	inCount[mesh.XPlus] = x
+	inCount[mesh.XMinus] = N - x - 1
+	inCount[mesh.YPlus] = N * y
+	inCount[mesh.YMinus] = N * (M - y - 1)
+	inCount[mesh.Local] = 1
 
-	pc := &PortCounts{
-		Node:            n,
-		InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
-		OutputTotal:     make(map[mesh.Direction]int),
-	}
+	*pc = PortCounts{Node: n}
 	for _, out := range mesh.Directions {
-		pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
 		if !mesh.OutputExists(d, n, out) {
 			continue
 		}
@@ -132,7 +143,6 @@ func ClosedFormCounts(d mesh.Dim, n mesh.Node) *PortCounts {
 			}
 		}
 	}
-	return pc
 }
 
 // TracedCounts returns the per-destination-normalised counts of the router at
@@ -145,13 +155,8 @@ func TracedCounts(d mesh.Dim, n mesh.Node) *PortCounts {
 	if !d.Contains(n) {
 		panic(fmt.Sprintf("flows: node %v outside %v mesh", n, d))
 	}
-	pc := &PortCounts{
-		Node:            n,
-		InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
-		OutputTotal:     make(map[mesh.Direction]int),
-	}
+	pc := &PortCounts{Node: n}
 	for _, out := range mesh.Directions {
-		pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
 		dst, ok := canonicalDestination(d, n, out)
 		if !ok {
 			continue
@@ -202,10 +207,11 @@ func canonicalDestination(d mesh.Dim, n mesh.Node, out mesh.Direction) (mesh.Nod
 }
 
 // WeightTable is the full static WaW weight configuration of a mesh: one
-// PortCounts per router, derived from the closed forms.
+// PortCounts per router, indexed by mesh.Dim.Index in a flat slice so the
+// analytical hot loops address weights by node index without map hashing.
 type WeightTable struct {
 	Dim     mesh.Dim
-	PerNode map[mesh.Node]*PortCounts
+	perNode []PortCounts // one entry per node, position i = Dim.NodeAt(i)
 }
 
 // ComputeWeightTable precomputes the WaW weights for every router of the
@@ -213,21 +219,42 @@ type WeightTable struct {
 // algorithm, never on the running applications, which preserves time
 // composability.
 func ComputeWeightTable(d mesh.Dim) *WeightTable {
-	wt := &WeightTable{Dim: d, PerNode: make(map[mesh.Node]*PortCounts)}
-	for _, n := range d.AllNodes() {
-		wt.PerNode[n] = ClosedFormCounts(d, n)
+	wt := &WeightTable{Dim: d, perNode: make([]PortCounts, d.Nodes())}
+	for i, n := range d.AllNodes() {
+		closedFormCountsInto(d, n, &wt.perNode[i])
 	}
 	return wt
+}
+
+// weightTableCache memoises the closed-form table per mesh dimension: the
+// table depends on nothing but the topology, every network and analytical
+// model of one mesh shares the identical immutable data, and rebuilding it
+// per model construction dominated the pre-flat-index WCET table loops.
+var weightTableCache sync.Map // mesh.Dim -> *WeightTable
+
+// CachedWeightTable returns the shared closed-form weight table of the mesh,
+// computing it on first use. The returned table is immutable and safe for
+// concurrent readers; callers that need application-specific weights use
+// WeightTableFromSet, which is never cached.
+func CachedWeightTable(d mesh.Dim) *WeightTable {
+	if cached, ok := weightTableCache.Load(d); ok {
+		return cached.(*WeightTable)
+	}
+	cached, _ := weightTableCache.LoadOrStore(d, ComputeWeightTable(d))
+	return cached.(*WeightTable)
 }
 
 // Counts returns the counts of the router at node n. It panics if the node
 // is outside the mesh.
 func (wt *WeightTable) Counts(n mesh.Node) *PortCounts {
-	pc, ok := wt.PerNode[n]
-	if !ok {
-		panic(fmt.Sprintf("flows: node %v outside weight table for %v mesh", n, wt.Dim))
-	}
-	return pc
+	return &wt.perNode[wt.Dim.Index(n)]
+}
+
+// CountsAt returns the counts of the router with the given dense node index
+// (mesh.Dim.Index order) — the allocation- and hash-free accessor the
+// analytical fast paths use. It panics if idx is out of range.
+func (wt *WeightTable) CountsAt(idx int) *PortCounts {
+	return &wt.perNode[idx]
 }
 
 // WeightTableFromSet derives per-router arbitration weights from an explicit
@@ -245,16 +272,12 @@ func WeightTableFromSet(s *Set) (*WeightTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	wt := &WeightTable{Dim: s.Dim, PerNode: make(map[mesh.Node]*PortCounts)}
-	for _, n := range s.Dim.AllNodes() {
+	wt := &WeightTable{Dim: s.Dim, perNode: make([]PortCounts, s.Dim.Nodes())}
+	for i, n := range s.Dim.AllNodes() {
 		rc := a.Counts(n)
-		pc := &PortCounts{
-			Node:            n,
-			InputsPerOutput: make(map[mesh.Direction]map[mesh.Direction]int),
-			OutputTotal:     make(map[mesh.Direction]int),
-		}
+		pc := &wt.perNode[i]
+		pc.Node = n
 		for _, out := range mesh.Directions {
-			pc.InputsPerOutput[out] = make(map[mesh.Direction]int)
 			for _, in := range mesh.Directions {
 				if in == mesh.Local && out == mesh.Local {
 					continue
@@ -266,7 +289,6 @@ func WeightTableFromSet(s *Set) (*WeightTable, error) {
 				}
 			}
 		}
-		wt.PerNode[n] = pc
 	}
 	return wt, nil
 }

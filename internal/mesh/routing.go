@@ -61,34 +61,73 @@ func (r Route) NumLinks() int {
 	return len(r.Hops) - 1
 }
 
+// CheckEndpoints validates the endpoints of a route request, with the same
+// errors every route constructor reports. Exposed so analytical code that
+// walks routes through its own flat-indexed state validates identically.
+func CheckEndpoints(d Dim, src, dst Node) error {
+	if !d.Contains(src) {
+		return fmt.Errorf("mesh: route source %v outside %v mesh", src, d)
+	}
+	if !d.Contains(dst) {
+		return fmt.Errorf("mesh: route destination %v outside %v mesh", dst, d)
+	}
+	return nil
+}
+
+// WalkXY invokes fn for every hop of the XY route from src to dst, in path
+// order (source router first), without materialising a Route. fn returning
+// false stops the walk early. WalkXY performs no heap allocations, which is
+// what the analytical hot loops (O(N^2) flow enumerations) rely on; XYRoute
+// is the allocating adapter over it.
+func WalkXY(d Dim, src, dst Node, fn func(hop Hop) bool) error {
+	if err := CheckEndpoints(d, src, dst); err != nil {
+		return err
+	}
+	at := src
+	in := Local
+	for {
+		out := XYOutputPort(at, dst)
+		if !fn(Hop{Router: at, In: in, Out: out}) {
+			return nil
+		}
+		if out == Local {
+			return nil
+		}
+		// XY routing never leaves the mesh for valid endpoints: out always
+		// points towards dst, which Contains-checked above.
+		next, _ := d.Neighbor(at, out)
+		in = out // the downstream router receives the flit on the port named after the travel direction
+		at = next
+	}
+}
+
+// AppendXYHops appends the hops of the XY route from src to dst to hops and
+// returns the extended slice, reusing the buffer's capacity — the
+// caller-owned-buffer variant of WalkXY for code that needs the hop list
+// materialised without a per-call allocation.
+func AppendXYHops(hops []Hop, d Dim, src, dst Node) ([]Hop, error) {
+	if err := CheckEndpoints(d, src, dst); err != nil {
+		return hops, err
+	}
+	_ = WalkXY(d, src, dst, func(h Hop) bool {
+		hops = append(hops, h)
+		return true
+	})
+	return hops, nil
+}
+
 // XYRoute computes the full XY route from src to dst within mesh d. The
 // returned route always contains at least one hop (the source router), even
 // when src == dst (pure local loopback through the router). It returns an
 // error when either endpoint lies outside the mesh.
 func XYRoute(d Dim, src, dst Node) (Route, error) {
-	if !d.Contains(src) {
-		return Route{}, fmt.Errorf("mesh: route source %v outside %v mesh", src, d)
+	route := Route{Src: src, Dst: dst, Hops: make([]Hop, 0, src.ManhattanDistance(dst)+1)}
+	hops, err := AppendXYHops(route.Hops, d, src, dst)
+	if err != nil {
+		return Route{}, err
 	}
-	if !d.Contains(dst) {
-		return Route{}, fmt.Errorf("mesh: route destination %v outside %v mesh", dst, d)
-	}
-	route := Route{Src: src, Dst: dst}
-	at := src
-	in := Local
-	for {
-		out := XYOutputPort(at, dst)
-		route.Hops = append(route.Hops, Hop{Router: at, In: in, Out: out})
-		if out == Local {
-			return route, nil
-		}
-		next, ok := d.Neighbor(at, out)
-		if !ok {
-			// Unreachable for valid endpoints; defensive check.
-			return Route{}, fmt.Errorf("mesh: XY routing fell off the %v mesh at %v going %v", d, at, out)
-		}
-		in = out // the downstream router receives the flit on the port named after the travel direction
-		at = next
-	}
+	route.Hops = hops
+	return route, nil
 }
 
 // MustXYRoute is like XYRoute but panics on error. Intended for tests and

@@ -268,7 +268,7 @@ func New(cfg Config) (*Network, error) {
 		if cfg.CustomWeights != nil {
 			weightTable = cfg.CustomWeights
 		} else {
-			weightTable = flows.ComputeWeightTable(cfg.Dim)
+			weightTable = flows.CachedWeightTable(cfg.Dim)
 		}
 	}
 	for _, node := range cfg.Dim.AllNodes() {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -43,6 +44,16 @@ var defaultLoadCurveRates = []int{25, 50, 100, 150, 200, 300, 400, 500}
 // which is what lets the sweep engine run scenarios in any order on any
 // number of workers.
 func Execute(s Spec) (Result, error) {
+	return ExecuteContext(context.Background(), s)
+}
+
+// ExecuteContext is Execute with a cancellation context: modes with inner
+// parallel or long-running loops (currently the Table III map of
+// ModeWCETMap) abandon undone work and return ctx's error once ctx is
+// cancelled. The sweep engine threads its run context through here, so
+// cancelling a sweep stops analytical scenarios mid-flight just like it
+// stops dispatching new ones.
+func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -71,7 +82,7 @@ func Execute(s Spec) (Result, error) {
 		err = executeParallelWCET(s, d, &res)
 	case ModeWCETMap:
 		res.Workload = s.Workload
-		err = executeWCETMap(s, d, &res)
+		err = executeWCETMap(ctx, s, d, &res)
 	case ModeLoadCurve:
 		res.Seed = s.Seed
 		err = executeLoadCurve(s, d, &res)
@@ -85,7 +96,7 @@ func Execute(s Spec) (Result, error) {
 }
 
 func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
-	m, err := analysis.NewModel(analysis.DefaultParams(d))
+	m, err := acquireModel(analysis.DefaultParams(d))
 	if err != nil {
 		return err
 	}
@@ -352,10 +363,12 @@ func executeParallelWCET(s Spec, d mesh.Dim, res *Result) error {
 	return nil
 }
 
-func executeWCETMap(s Spec, d mesh.Dim, res *Result) error {
+func executeWCETMap(ctx context.Context, s Spec, d mesh.Dim, res *Result) error {
 	p := platformFor(d)
 	if s.Workload == "" {
-		m, err := p.TableIII(workload.EEMBCAutomotive())
+		// The inner per-core loop honours ctx, so cancelling a sweep
+		// interrupts even a single large Table III map.
+		m, err := p.TableIIIParallel(ctx, workload.EEMBCAutomotive(), 0)
 		if err != nil {
 			return err
 		}
@@ -369,12 +382,21 @@ func executeWCETMap(s Spec, d mesh.Dim, res *Result) error {
 	if err != nil {
 		return err
 	}
+	// One compiled engine serves the whole map: per-core cells are pure
+	// arithmetic over the engine's cached round-trip UBDs.
+	eng, err := p.Engine()
+	if err != nil {
+		return err
+	}
 	out := make([][]float64, d.Height)
 	for y := range out {
 		out[y] = make([]float64, d.Width)
 	}
 	for _, n := range d.AllNodes() {
-		v, err := p.BenchmarkWCET(s.Design, n, bench)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v, err := eng.BenchmarkWCET(s.Design, n, bench)
 		if err != nil {
 			return err
 		}

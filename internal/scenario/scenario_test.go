@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -353,5 +354,26 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(spec, back) {
 		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v\njson %s", spec, back, data)
+	}
+}
+
+// TestExecuteContextCancellation: the analytical wcet-map scenarios must
+// honour cancellation mid-scenario (the per-core Table III loop checks the
+// context), so cancelling a sweep does not wait out a large mesh.
+func TestExecuteContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range []Spec{
+		{Name: "map", Mode: ModeWCETMap, Width: 8, Height: 8},
+		{Name: "bench-map", Mode: ModeWCETMap, Width: 8, Height: 8, Workload: "matrix"},
+	} {
+		if _, err := ExecuteContext(ctx, spec); err == nil {
+			t.Errorf("%s: cancelled context should fail the scenario", spec.Name)
+		}
+	}
+	// A cancelled context must not poison unrelated fast modes' results
+	// semantics: a fresh context still works.
+	if _, err := ExecuteContext(context.Background(), Spec{Name: "ok", Mode: ModeWCTT, Width: 4, Height: 4}); err != nil {
+		t.Errorf("fresh context: %v", err)
 	}
 }

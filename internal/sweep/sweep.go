@@ -64,7 +64,7 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.R
 			report(scenario.Result{Name: specs[i].Name})
 			return
 		}
-		r, err := scenario.Execute(specs[i])
+		r, err := scenario.ExecuteContext(ctx, specs[i])
 		if err != nil {
 			errs[i] = err
 			report(scenario.Result{Name: specs[i].Name})

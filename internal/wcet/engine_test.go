@@ -1,0 +1,189 @@
+package wcet
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// TestEngineMatchesReference pins the compiled engine — shared model, cached
+// per-core UBDs, hoisted validation — bit-identical to the pre-engine
+// reference path (revalidate + rebuild the model + recompute both UBDs per
+// call) for every core, benchmark and design of the default platform, and
+// for a platform with the memory controller away from the corner.
+func TestEngineMatchesReference(t *testing.T) {
+	platforms := []Platform{DefaultPlatform()}
+	center := DefaultPlatform()
+	center.Dim = mesh.MustDim(5, 4)
+	center.Memory = mesh.Node{X: 2, Y: 1}
+	platforms = append(platforms, center)
+	suite := workload.EEMBCAutomotive()
+	designs := []network.Design{
+		network.DesignRegular, network.DesignWaWWaP, network.DesignWaWOnly, network.DesignWaPOnly,
+	}
+	for _, p := range platforms {
+		for _, design := range designs {
+			for _, core := range p.Dim.AllNodes() {
+				for _, b := range suite {
+					fast, err1 := p.BenchmarkWCET(design, core, b)
+					ref, err2 := p.referenceBenchmarkWCET(design, core, b)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%v %v %s at %v: errors %v / %v", p.Dim, design, b.Name, core, err1, err2)
+					}
+					if fast != ref {
+						t.Fatalf("%v %v %s at %v: engine %d != reference %d", p.Dim, design, b.Name, core, fast, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableIIIMatchesReference rebuilds the normalised map cell by cell
+// through the reference path and requires the engine-backed TableIII to be
+// bit-identical (same float accumulation order included).
+func TestTableIIIMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite reference Table III is slow")
+	}
+	p := DefaultPlatform()
+	suite := workload.EEMBCAutomotive()
+	table, err := p.TableIII(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range p.Dim.AllNodes() {
+		sum := 0.0
+		for _, b := range suite {
+			reg, err := p.referenceBenchmarkWCET(network.DesignRegular, core, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waw, err := p.referenceBenchmarkWCET(network.DesignWaWWaP, core, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(waw) / float64(reg)
+		}
+		if want := sum / float64(len(suite)); table[core.Y][core.X] != want {
+			t.Fatalf("cell %v: engine %v != reference %v", core, table[core.Y][core.X], want)
+		}
+	}
+}
+
+// TestEngineCachingAndErrors: compiled engines are shared per (platform, L)
+// value, distinct parameter values get distinct engines, and invalid inputs
+// fail with the pre-engine errors.
+func TestEngineCachingAndErrors(t *testing.T) {
+	p := DefaultPlatform()
+	e1, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("same platform value should share one compiled engine")
+	}
+	if e1.Platform() != p {
+		t.Error("engine should echo its platform")
+	}
+	if e1.Model() == nil {
+		t.Error("engine should expose its model")
+	}
+	eL, err := p.EngineWithMaxPacket(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eL == e1 {
+		t.Error("distinct packet-size overrides need distinct engines")
+	}
+	q := p
+	q.MemoryLatency++
+	eq, err := q.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq == e1 {
+		t.Error("distinct platform values need distinct engines")
+	}
+	if _, err := p.EngineWithMaxPacket(-1); err == nil {
+		t.Error("negative packet size should fail")
+	}
+	bad := p
+	bad.ClockMHz = 0
+	if _, err := bad.Engine(); err == nil {
+		t.Error("invalid platform should not compile")
+	}
+	bench, err := workload.BenchmarkByName("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.BenchmarkWCET(network.DesignRegular, mesh.Node{X: 9, Y: 9}, bench); err == nil {
+		t.Error("core outside mesh should fail")
+	}
+	if _, err := e1.BenchmarkWCET(network.DesignRegular, mesh.Node{X: 1, Y: 1}, workload.Benchmark{}); err == nil {
+		t.Error("invalid benchmark should fail")
+	}
+	if _, err := e1.BenchmarkWCET(network.Design(9), mesh.Node{X: 1, Y: 1}, bench); err == nil {
+		t.Error("unknown design should fail")
+	}
+}
+
+// TestTableIIIParallelCancellation: a cancelled context must abandon the
+// table and surface the cancellation, mirroring sweep.Run.
+func TestTableIIIParallelCancellation(t *testing.T) {
+	p := DefaultPlatform()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.TableIIIParallel(ctx, workload.EEMBCAutomotive(), 1)
+	if err == nil {
+		t.Fatal("cancelled context should fail the table")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("error should carry the cancellation cause, got %v", err)
+	}
+}
+
+// TestTableIIICellZeroAllocs: one steady-state Table III cell — both design
+// WCETs of one benchmark on one core, through the compiled engine — must be
+// pure arithmetic. (Not asserted under -race; see assertAllocsPerRun.)
+func TestTableIIICellZeroAllocs(t *testing.T) {
+	p := DefaultPlatform()
+	e, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := e.memoryRoundTrips(network.DesignRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waw, err := e.memoryRoundTrips(network.DesignWaWWaP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workload.BenchmarkByName("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreIdx := p.Dim.Index(mesh.Node{X: 7, Y: 7})
+	var sum float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := e.cellWCET(reg, coreIdx, bench)
+		w := e.cellWCET(waw, coreIdx, bench)
+		sum += float64(w) / float64(r)
+	})
+	if raceEnabled {
+		t.Logf("TableIII cell: %v allocs/op (not asserted under -race)", allocs)
+		return
+	}
+	if allocs != 0 {
+		t.Errorf("TableIII cell: %v allocs/op, want 0", allocs)
+	}
+}

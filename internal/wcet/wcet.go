@@ -111,8 +111,22 @@ func (p Platform) CyclesToMillis(cycles uint64) float64 {
 // BenchmarkWCET returns the WCET estimate, in cycles, of a single-threaded
 // benchmark running on the core at node `core` under the given NoC design:
 // the benchmark's compute cycles plus one UBD-inflated round trip per memory
-// access and per eviction.
+// access and per eviction. It delegates to the cached compiled engine; table
+// loops should hold the engine directly (see Platform.Engine) so validation
+// and model construction happen once per table, not once per cell.
 func (p Platform) BenchmarkWCET(design network.Design, core mesh.Node, b workload.Benchmark) (uint64, error) {
+	e, err := p.Engine()
+	if err != nil {
+		return 0, err
+	}
+	return e.BenchmarkWCET(design, core, b)
+}
+
+// referenceBenchmarkWCET is the pre-engine implementation — revalidate the
+// platform, rebuild the analytical model, recompute both round-trip UBDs —
+// kept as the naive reference path the equivalence tests pin the compiled
+// engine against.
+func (p Platform) referenceBenchmarkWCET(design network.Design, core mesh.Node, b workload.Benchmark) (uint64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
@@ -157,21 +171,42 @@ type NormalizedCell struct {
 // The result is indexed [y][x]. The per-core loop runs on the sweep worker
 // pool with GOMAXPROCS workers; see TableIIIParallel.
 func (p Platform) TableIII(benchmarks []workload.Benchmark) ([][]float64, error) {
-	return p.TableIIIParallel(benchmarks, 0)
+	return p.TableIIIParallel(context.Background(), benchmarks, 0)
 }
 
-// TableIIIParallel is TableIII with an explicit worker count (values < 1
-// select GOMAXPROCS). Every core's cell — an average over the benchmark
-// suite, accumulated in the suite's fixed order — is computed independently
-// and written into its index-addressed slot, so the produced map is
-// bit-identical for one worker and for many; TestTableIIIParallelDeterminism
-// pins that.
-func (p Platform) TableIIIParallel(benchmarks []workload.Benchmark, jobs int) ([][]float64, error) {
-	if err := p.Validate(); err != nil {
+// TableIIIParallel is TableIII with an explicit context and worker count
+// (values < 1 select GOMAXPROCS). Every core's cell — an average over the
+// benchmark suite, accumulated in the suite's fixed order — is computed
+// independently and written into its index-addressed slot, so the produced
+// map is bit-identical for one worker and for many;
+// TestTableIIIParallelDeterminism pins that.
+//
+// The whole table runs on one compiled engine: the platform and every
+// benchmark are validated once up front, the analytical model is shared, and
+// each core's two round-trip UBDs are computed once and reused across the
+// whole suite (they do not depend on the benchmark), so a cell is pure
+// arithmetic. Cancelling ctx abandons the cores not yet dispatched and
+// returns ctx's error, mirroring sweep.Run.
+func (p Platform) TableIIIParallel(ctx context.Context, benchmarks []workload.Benchmark, jobs int) ([][]float64, error) {
+	e, err := p.Engine()
+	if err != nil {
 		return nil, err
 	}
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("wcet: empty benchmark suite")
+	}
+	for _, b := range benchmarks {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	reg, err := e.memoryRoundTrips(network.DesignRegular)
+	if err != nil {
+		return nil, err
+	}
+	waw, err := e.memoryRoundTrips(network.DesignWaWWaP)
+	if err != nil {
+		return nil, err
 	}
 	table := make([][]float64, p.Dim.Height)
 	for y := range table {
@@ -179,28 +214,26 @@ func (p Platform) TableIIIParallel(benchmarks []workload.Benchmark, jobs int) ([
 	}
 	cores := p.Dim.AllNodes()
 	errs := make([]error, len(cores))
-	pool.ForEach(context.Background(), len(cores), jobs, func(i int) {
+	pool.ForEach(ctx, len(cores), jobs, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("wcet: core %v skipped: %w", cores[i], err)
+			return
+		}
 		core := cores[i]
 		sum := 0.0
 		for _, b := range benchmarks {
-			reg, err := p.BenchmarkWCET(network.DesignRegular, core, b)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			waw, err := p.BenchmarkWCET(network.DesignWaWWaP, core, b)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if reg == 0 {
+			r := e.cellWCET(reg, i, b)
+			w := e.cellWCET(waw, i, b)
+			if r == 0 {
 				errs[i] = fmt.Errorf("wcet: zero regular WCET for %s at %v", b.Name, core)
 				return
 			}
-			sum += float64(waw) / float64(reg)
+			sum += float64(w) / float64(r)
 		}
 		table[core.Y][core.X] = sum / float64(len(benchmarks))
-	}, nil)
+	}, func(i int) {
+		errs[i] = fmt.Errorf("wcet: core %v skipped: %w", cores[i], ctx.Err())
+	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
@@ -244,10 +277,15 @@ func (p Platform) ParallelWCET(design network.Design, app workload.ParallelApp, 
 	if len(placement.Nodes) < app.Threads {
 		return 0, fmt.Errorf("wcet: placement %s has %d nodes for %d threads", placement.Name, len(placement.Nodes), app.Threads)
 	}
-	m, err := p.model(maxPacketFlits)
+	// The engine cache shares one analytical model per (platform, L):
+	// Figure 2a's per-size points, Figure 2b's per-placement points and the
+	// parallel-wcet sweep scenarios all hit the same compiled state, and the
+	// model's bound memo serves the repeated per-phase round trips.
+	e, err := p.EngineWithMaxPacket(maxPacketFlits)
 	if err != nil {
 		return 0, err
 	}
+	m := e.model
 	master := placement.Nodes[0]
 	var total uint64
 	for _, phase := range app.Phases {

@@ -1,6 +1,7 @@
 package wcet
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mesh"
@@ -294,12 +295,12 @@ func TestVariability(t *testing.T) {
 func TestTableIIIParallelDeterminism(t *testing.T) {
 	p := DefaultPlatform()
 	suite := workload.EEMBCAutomotive()
-	serial, err := p.TableIIIParallel(suite, 1)
+	serial, err := p.TableIIIParallel(context.Background(), suite, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{2, 8, 0} {
-		parallel, err := p.TableIIIParallel(suite, jobs)
+		parallel, err := p.TableIIIParallel(context.Background(), suite, jobs)
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
