@@ -132,8 +132,8 @@ func TestCmdSweepProfiles(t *testing.T) {
 	mem := filepath.Join(dir, "mem.pprof")
 	var out strings.Builder
 	err := cmdSweep([]string{
-		"-mode", "wctt", "-sizes", "2,3", "-designs", "regular",
-		"-cpuprofile", cpu, "-memprofile", mem, "-format", "csv",
+		"-mode", "simulate", "-sizes", "2,3", "-designs", "regular", "-shards", "2",
+		"-messages", "50", "-cpuprofile", cpu, "-memprofile", mem, "-format", "csv",
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -156,5 +156,25 @@ func TestCmdSweepProfiles(t *testing.T) {
 	}
 	if err := cmdSweep([]string{"-sizes", "2", "-memprofile", filepath.Join(dir, "no", "such", "dir", "p")}, &out); err == nil {
 		t.Error("unwritable memprofile path should fail")
+	}
+}
+
+// TestCmdSweepShardsFlag: -shards applies to the cycle-accurate modes only,
+// auto-resolves 0 (to the CPUs left per sweep worker), and rejects negative
+// values.
+func TestCmdSweepShardsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := cmdSweep([]string{"-mode", "wctt", "-sizes", "2", "-shards", "2"}, &out); err == nil {
+		t.Error("-shards should be rejected in -mode wctt")
+	}
+	if err := cmdSweep([]string{"-mode", "simulate", "-sizes", "2", "-messages", "20", "-shards", "-1"}, &out); err == nil {
+		t.Error("negative -shards should fail")
+	}
+	out.Reset()
+	if err := cmdSweep([]string{"-mode", "simulate", "-sizes", "3", "-messages", "20", "-shards", "0"}, &out); err != nil {
+		t.Fatalf("-shards 0 (auto): %v", err)
+	}
+	if !strings.Contains(out.String(), "3x3") {
+		t.Errorf("auto-sharded sweep output missing results:\n%s", out.String())
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/sweep/pool"
 	"repro/internal/tablegen"
 )
 
@@ -27,6 +28,7 @@ func cmdSweep(args []string, w io.Writer) error {
 	designs := fs.String("designs", "regular,waw+wap", "comma-separated design points (regular, waw+wap, waw-only, wap-only)")
 	workloads := fs.String("workloads", "", "comma-separated EEMBC kernels (manycore mode)")
 	jobs := fs.Int("jobs", 0, "parallel workers; 0 = GOMAXPROCS")
+	shards := fs.Int("shards", 1, "engine shards per cycle-accurate scenario (simulate and load-curve modes); 1 = serial, 0 = auto (GOMAXPROCS divided by the sweep workers)")
 	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate and load-curve modes)")
 	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp or neighbor")
 	rate := fs.Int("rate", 0, "traffic injection rate (simulate mode); 0 = pattern default")
@@ -99,10 +101,25 @@ func cmdSweep(args []string, w io.Writer) error {
 		incompatible = []string{"pattern", "rate", "messages", "max-cycles",
 			"workloads", "scale", "placement", "max-packet-flits"}
 	}
+	if m != scenario.ModeSimulate && m != scenario.ModeLoadCurve {
+		incompatible = append(incompatible, "shards")
+	}
 	for _, name := range incompatible {
 		if explicit[name] {
 			return fmt.Errorf("flag -%s is not supported in -mode %v", name, m)
 		}
+	}
+	// The engine shard count is execution policy, not part of the scenario
+	// identity: results are byte-identical for every value (pinned by the
+	// sharded-equivalence tests), so auto-resolution cannot change output.
+	// Auto divides the CPUs among the sweep workers — each worker steps its
+	// own sharded network, so resolving both knobs to GOMAXPROCS would
+	// oversubscribe every core with barrier-synchronized shard gangs.
+	if *shards == 0 {
+		*shards = max(1, pool.Jobs(0)/min(pool.Jobs(*jobs), pool.Jobs(0)))
+	}
+	if *shards < 0 {
+		return fmt.Errorf("sweep: negative shard count %d", *shards)
 	}
 	traf := scenario.Traffic{Pattern: *pattern, Rate: *rate, Messages: *messages}
 	if m == scenario.ModeLoadCurve {
@@ -116,6 +133,7 @@ func cmdSweep(args []string, w io.Writer) error {
 		Seed:           *seed,
 		Traffic:        traf,
 		MaxCycles:      *maxCycles,
+		Shards:         *shards,
 		Scale:          *scale,
 		Placement:      *placement,
 		MaxPacketFlits: *maxPacket,

@@ -56,6 +56,19 @@
 // the scenario layer reuses one constructed topology per worker across
 // sweep points — together making the steady-state cycle loop free of heap
 // allocations, injection included.
+// A single cycle-accurate run itself parallelizes through sharding
+// (network.Config.Shards, noctool sweep -shards, scenario.Spec.Shards):
+// the mesh is partitioned into index-contiguous row stripes, each with its
+// own active set, scratch buffers, pool arena and per-flow statistics,
+// stepped concurrently on a reusable barrier gang (sweep/pool.Gang) with a
+// shard-local compute phase and a deterministic commit phase that applies
+// cross-stripe arrivals and credits in fixed order and replays delivery
+// hooks in global node order. Sharded output is byte-identical to the
+// serial engine for every shard count — the shard count is execution
+// policy, like the sweep's worker count — pinned by sharded equivalence,
+// lockstep and hook-order tests plus pre-sharding CLI goldens; this is
+// what opens 16x16-32x32 simulate and load-curve sweep points
+// (examples/simscaling).
 // The load-curve scenario mode builds the classical saturation study on top
 // of this engine: per injection rate it runs warmup, measurement and drain
 // windows of sustained uniform-random traffic and reports throughput plus

@@ -18,9 +18,14 @@ package flit
 //     by the very next Get. Delivery callbacks therefore must not retain
 //     the *Message they receive beyond the callback's return; copy the
 //     fields that matter.
-//   - A Pool is not safe for concurrent use. Each Network owns one pool and
-//     the simulation loop is single-threaded; parallel sweeps give every
-//     worker its own network and therefore its own pool.
+//   - A Pool is not safe for concurrent use. Every pool is owned by exactly
+//     one sequential consumer: parallel sweeps give each worker its own
+//     network (and therefore its own pools), and a sharded network gives
+//     each shard its own arena — the shard's NICs packetize from it and
+//     absorb into it. Objects may migrate between pools as long as each
+//     Get/Put runs on the pool owner's thread: a flit whose route crosses
+//     a shard boundary is recycled into the ejecting shard's arena, not
+//     the arena it was drawn from.
 type Pool struct {
 	messages []*Message
 	flits    []*Flit

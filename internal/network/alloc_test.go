@@ -29,7 +29,8 @@ func assertAllocsPerRun(t *testing.T, what string, runs int, fn func()) {
 }
 
 // TestStepZeroAllocsDrained: stepping an empty network must not allocate,
-// for both engines.
+// for both engines and for sharded stepping (whose per-cycle barrier gang
+// handoffs must not allocate either).
 func TestStepZeroAllocsDrained(t *testing.T) {
 	for _, e := range []network.Engine{network.EngineActiveSet, network.EngineFullScan} {
 		t.Run(e.String(), func(t *testing.T) {
@@ -40,6 +41,13 @@ func TestStepZeroAllocsDrained(t *testing.T) {
 			assertAllocsPerRun(t, "drained Step", 1000, func() { net.Step() })
 		})
 	}
+	t.Run("sharded", func(t *testing.T) {
+		cfg := network.DefaultConfig(mesh.MustDim(8, 8), network.DesignWaWWaP)
+		cfg.Shards = 4
+		net := network.MustNew(cfg)
+		net.Step() // settle the initial all-active visit list
+		assertAllocsPerRun(t, "drained sharded Step", 1000, func() { net.Step() })
+	})
 }
 
 // TestStepZeroAllocsSteadyState drives a sustained pooled-injection workload
@@ -53,31 +61,47 @@ func TestStepZeroAllocsSteadyState(t *testing.T) {
 		t.Run(design.String(), func(t *testing.T) {
 			d := mesh.MustDim(4, 4)
 			net := network.MustNew(network.DefaultConfig(d, design))
-			// The rate must keep the all-to-one pattern below saturation
-			// (the ejection port drains one flit per cycle) or the source
-			// queues grow without bound and never reach a steady state.
-			gen, err := traffic.NewHotspot(d, mesh.Node{X: 0, Y: 0}, 11, 1, traffic.CacheLinePayloadBits, 1<<30)
-			if err != nil {
+			testSteadyStateZeroAllocs(t, d, net)
+		})
+	}
+	// Sharded stepping must stay allocation-free too: the per-shard pool
+	// arenas recycle every flit (including those migrating across stripe
+	// boundaries), the outboxes reuse their backing arrays and the barrier
+	// gang hands the prebuilt phase closures over without allocating.
+	t.Run("sharded", func(t *testing.T) {
+		d := mesh.MustDim(4, 4)
+		cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+		cfg.Shards = 4
+		net := network.MustNew(cfg)
+		testSteadyStateZeroAllocs(t, d, net)
+	})
+}
+
+func testSteadyStateZeroAllocs(t *testing.T, d mesh.Dim, net *network.Network) {
+	t.Helper()
+	// The rate must keep the all-to-one pattern below saturation
+	// (the ejection port drains one flit per cycle) or the source
+	// queues grow without bound and never reach a steady state.
+	gen, err := traffic.NewHotspot(d, mesh.Node{X: 0, Y: 0}, 11, 1, traffic.CacheLinePayloadBits, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic.AttachNetworkPool(gen, net)
+	cycle := func() {
+		for _, msg := range gen.Tick(net.Cycle()) {
+			if _, err := net.Send(msg); err != nil {
 				t.Fatal(err)
 			}
-			traffic.AttachNetworkPool(gen, net)
-			cycle := func() {
-				for _, msg := range gen.Tick(net.Cycle()) {
-					if _, err := net.Send(msg); err != nil {
-						t.Fatal(err)
-					}
-				}
-				net.Step()
-			}
-			// Warm up: cover every flow, grow every queue and scratch buffer
-			// to its steady-state capacity, and fill the pools.
-			for i := 0; i < 5000; i++ {
-				cycle()
-			}
-			assertAllocsPerRun(t, "steady-state tick+send+step", 2000, cycle)
-			if net.TotalDeliveredMessages() == 0 {
-				t.Fatal("workload delivered nothing; the assertion covered an idle loop")
-			}
-		})
+		}
+		net.Step()
+	}
+	// Warm up: cover every flow, grow every queue and scratch buffer
+	// to its steady-state capacity, and fill the pools.
+	for i := 0; i < 5000; i++ {
+		cycle()
+	}
+	assertAllocsPerRun(t, "steady-state tick+send+step", 2000, cycle)
+	if net.TotalDeliveredMessages() == 0 {
+		t.Fatal("workload delivered nothing; the assertion covered an idle loop")
 	}
 }

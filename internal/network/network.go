@@ -22,10 +22,47 @@
 //
 // A flit therefore advances at most one hop per cycle, giving the canonical
 // one-cycle-per-hop router+link latency of the paper's platform.
+//
+// # Sharded stepping
+//
+// A network built with Config.Shards > 1 partitions the mesh into stripes of
+// whole rows — contiguous ranges of the row-major node index — and steps all
+// stripes concurrently on a reusable barrier worker gang, one cycle in two
+// phases:
+//
+//   - Compute: every shard walks its own active set and performs the work of
+//     simulation phases 1 and 2 for its nodes only. All state a shard touches
+//     is shard-local: its routers' arbitration, FIFOs and locks, its NICs,
+//     its message/flit pool arena and its per-flow statistics. Effects that
+//     cross a stripe boundary (a flit staged into a neighbouring stripe, a
+//     credit returned to one) are not applied; they are recorded in per-peer
+//     outboxes.
+//   - Commit: after a barrier, every shard applies the boundary effects
+//     addressed to it — staged arrivals first (waking the receiving routers,
+//     exactly as an in-shard staging would have), then credit returns — in a
+//     fixed order: source shards in ascending id, entries in production
+//     order, which is ascending node index within each source. It then
+//     rebuilds its visit list and commits staged arrivals, as phase 3 does.
+//
+// Because rows are index-contiguous, a stripe partition is the index-order
+// analogue of the column-stripe partitions used by barrier-synchronized NoC
+// co-simulators; XY routing crosses a stripe boundary only on Y links, at
+// most once per boundary per route. The per-(router, input-port) uniqueness
+// of arrivals and the commutativity of credit increments make the commit
+// order above reproduce the serial engine's state evolution exactly; the
+// one serial-order-sensitive event stream — message deliveries, whose
+// sampler arithmetic and DeliveryHook calls are order-dependent — is
+// shard-local by construction when no hook is set (a flow's deliveries all
+// happen at its destination node), and is replayed in global ascending node
+// order at the end of the cycle when a hook is set. Sharded results are
+// therefore byte-identical to the serial engine's, which the equivalence
+// tests pin across designs, patterns and seeds.
 package network
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"slices"
 
 	"repro/internal/arbiter"
@@ -35,6 +72,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/router"
 	"repro/internal/stats"
+	"repro/internal/sweep/pool"
 )
 
 // Engine selects the Step scheduling strategy of a Network.
@@ -49,6 +87,9 @@ const (
 	// O(1). Its observable behaviour (every flit movement, timestamp,
 	// arbitration decision and delivery order) is identical to
 	// EngineFullScan; only the wall-clock cost of idle nodes differs.
+	// With Config.Shards > 1 the active set is partitioned into row
+	// stripes stepped concurrently (see the package comment); the
+	// observable behaviour is still identical.
 	EngineActiveSet Engine = iota
 	// EngineFullScan visits every router and NIC every cycle — the
 	// straightforward engine the repository started with, kept as the
@@ -129,6 +170,14 @@ type Config struct {
 	// the active-set engine. The engine is fixed at construction time.
 	Engine Engine
 
+	// Shards partitions the mesh into that many row stripes stepped
+	// concurrently by the active-set engine (see the package comment);
+	// values <= 1 select the serial single-shard engine. The effective
+	// count is capped at the mesh height (every stripe holds at least one
+	// whole row). Sharding requires EngineActiveSet. Results are
+	// byte-identical for every shard count.
+	Shards int
+
 	// CustomWeights optionally overrides the topology-derived WaW weights
 	// with an application-specific weight table (see
 	// flows.WeightTableFromSet). Only meaningful for designs with weighted
@@ -164,6 +213,12 @@ func (c Config) Validate() error {
 	if c.Engine != EngineActiveSet && c.Engine != EngineFullScan {
 		return fmt.Errorf("network: unknown engine %v", c.Engine)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("network: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 1 && c.Engine != EngineActiveSet {
+		return fmt.Errorf("network: sharded stepping requires the active-set engine, got %v", c.Engine)
+	}
 	if c.Router.Arbitration != c.Design.Arbitration() {
 		return fmt.Errorf("network: design %v requires %v arbitration, config says %v",
 			c.Design, c.Design.Arbitration(), c.Router.Arbitration)
@@ -191,6 +246,80 @@ type FlowStats struct {
 	Messages uint64
 }
 
+// creditReturn records that the router at dense index `router` owes a credit
+// back on output port dir (applied at the end of the cycle).
+type creditReturn struct {
+	router int32
+	dir    mesh.Direction
+}
+
+// arrival is a flit staged across a shard boundary: the compute phase of the
+// sending shard records it, the commit phase of the receiving shard applies
+// it.
+type arrival struct {
+	router int32
+	dir    mesh.Direction
+	flit   *flit.Flit
+}
+
+// shard owns the active-set engine state of one row stripe of the mesh: the
+// visit lists, the scratch buffers, the message/flit pool arena its NICs draw
+// from, and the per-flow delivery statistics of its nodes. The serial engine
+// is the one-shard special case — every Network has at least one shard, and
+// the single-shard step never spawns a worker or touches an outbox peer.
+//
+// During the compute phase a shard mutates only its own state (and its own
+// routers/NICs, which no other shard touches); cross-boundary effects go to
+// the outboxes. During the commit phase a shard additionally reads the
+// outbox slots addressed to it in every peer — the phase barrier makes that
+// safe — and mutates only its own routers.
+type shard struct {
+	id     int32
+	lo, hi int32 // owned router index range [lo, hi)
+
+	// Active-set state of this stripe. activeList is the sorted visit list
+	// of the current cycle; retained and activated are per-cycle scratch;
+	// nicList tracks the stripe's NICs with pending injection flits.
+	activeList []int32
+	retained   []int32
+	activated  []int32
+	nicList    []int32
+
+	// creditScratch is the reusable end-of-cycle credit-return buffer for
+	// credits whose target router lies in this shard.
+	creditScratch []creditReturn
+
+	// outArrivals[t] and outCredits[t] are the boundary effects this
+	// shard's compute phase produced for shard t; slot id is unused. The
+	// receiving shard drains them in its commit phase.
+	outArrivals [][]arrival
+	outCredits  [][]creditReturn
+
+	// pool is the shard-owned message/flit free list; the stripe's NICs
+	// draw reassembled messages and packetized flits from it and absorbed
+	// flits return to it, keeping the pool single-threaded (see flit.Pool).
+	// Flits that cross a stripe boundary migrate arenas: popped from the
+	// source shard's queues, they are recycled into the pool of the shard
+	// that ejects them. For a single-shard network this is the network
+	// pool itself.
+	pool *flit.Pool
+
+	// flowStats holds the delivered-message statistics of the flows whose
+	// destination lies in this stripe. A flow delivers only at its
+	// destination router, so its samples are recorded by exactly one shard,
+	// in the serial engine's order.
+	flowStats map[flit.FlowID]*FlowStats
+
+	// pendingDeliveries defers reassembled messages until the end of the
+	// cycle when a DeliveryHook is set on a multi-shard network: hook
+	// calls (and the order-sensitive sampler arithmetic recorded with
+	// them) are replayed serially in global ascending node order.
+	pendingDeliveries []*flit.Message
+
+	injected  uint64 // flits injected by this stripe's NICs
+	delivered uint64 // messages delivered at this stripe's NICs
+}
+
 // Network is a cycle-accurate simulation of one mesh NoC instance.
 type Network struct {
 	cfg Config
@@ -203,16 +332,22 @@ type Network struct {
 	// per-cycle loop never recomputes Dim.NodeAt/Dim.Neighbor/Dim.Index.
 	neighborIdx [][mesh.NumDirections]int32
 
-	// Active-set engine state. routerActive marks routers present in
-	// activeList or activated; activeList is the sorted visit list of the
-	// current cycle; retained and activated are per-cycle scratch.
-	// nicActive/nicList track the NICs with pending injection flits.
+	// shards partitions the mesh into row stripes (always at least one).
+	// shardOf maps a router index to the id of its owning shard.
+	shards  []*shard
+	shardOf []int32
+
+	// gang is the barrier worker pool stepping the shards (nil for a
+	// single-shard network); computePhase/commitPhase are the prebuilt
+	// per-phase closures so the per-cycle Run calls allocate nothing.
+	gang         *pool.Gang
+	computePhase func(int)
+	commitPhase  func(int)
+
+	// routerActive marks routers present in their shard's activeList or
+	// activated scratch; nicActive marks NICs on their shard's nicList.
 	routerActive []bool
-	activeList   []int32
-	retained     []int32
-	activated    []int32
 	nicActive    []bool
-	nicList      []int32
 
 	// replenishFrom implements lazy WaW replenishment: for a router that
 	// has left the active set (empty input FIFOs), it records the first
@@ -224,25 +359,21 @@ type Network struct {
 	// per-cycle loop entirely and is what makes time leaps O(1).
 	replenishFrom []uint64
 
-	// pool is the network-owned message/flit free list; generators and the
-	// NICs draw from it and every consumed object returns to it, making the
-	// steady-state cycle loop allocation-free (see flit.Pool for the
-	// ownership rules).
+	// pool is the network-owned message free list the traffic generators
+	// and Send draw from and recycle into; those calls run between Step
+	// calls, never inside one, so the pool stays single-threaded even on a
+	// sharded network. On a single-shard network it is also the arena the
+	// NICs use (see shard.pool).
 	pool *flit.Pool
-
-	// creditScratch is the reusable end-of-cycle credit-return buffer.
-	creditScratch []creditReturn
 
 	cycle uint64
 
-	flowStats map[flit.FlowID]*FlowStats
-
 	// DeliveryHook, when non-nil, is invoked for every reassembled message
 	// (used by the many-core model to wake up cores waiting on replies).
+	// On a sharded network the calls are replayed at the end of the cycle
+	// in the serial engine's order; hooks must not retain the message, and
+	// must not mutate or query the network.
 	DeliveryHook func(msg *flit.Message, at uint64)
-
-	totalInjected  uint64
-	totalDelivered uint64
 }
 
 // New builds the routers and NICs of a NoC instance.
@@ -256,13 +387,13 @@ func New(cfg Config) (*Network, error) {
 		routers:       make([]*router.Router, nodes),
 		nics:          make([]*nic.NIC, nodes),
 		neighborIdx:   make([][mesh.NumDirections]int32, nodes),
+		shardOf:       make([]int32, nodes),
 		routerActive:  make([]bool, nodes),
-		activeList:    make([]int32, nodes),
 		nicActive:     make([]bool, nodes),
 		replenishFrom: make([]uint64, nodes),
-		flowStats:     make(map[flit.FlowID]*FlowStats),
 		pool:          &flit.Pool{},
 	}
+	n.buildShards(cfg.EffectiveShards())
 	var weightTable *flows.WeightTable
 	if cfg.Design.Arbitration() == arbiter.KindWeighted {
 		if cfg.CustomWeights != nil {
@@ -284,8 +415,8 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		ni.AttachPool(n.pool)
 		idx := cfg.Dim.Index(node)
+		ni.AttachPool(n.shards[n.shardOf[idx]].pool)
 		n.routers[idx] = r
 		n.nics[idx] = ni
 	}
@@ -300,9 +431,65 @@ func New(cfg Config) (*Network, error) {
 		// Every router starts in the active set; the quiescent ones drop
 		// out after the first Step visit.
 		n.routerActive[idx] = true
-		n.activeList[idx] = int32(idx)
+		sh := n.shards[n.shardOf[idx]]
+		sh.activeList = append(sh.activeList, int32(idx))
 	}
 	return n, nil
+}
+
+// EffectiveShards resolves the configured shard count to the partition the
+// network will actually build: at least one, at most one per mesh row (a
+// stripe must hold whole rows to stay index-contiguous). Configurations with
+// the same effective count build identical networks, which is what lets the
+// scenario layer's network cache key on this value.
+func (c Config) EffectiveShards() int {
+	s := c.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > c.Dim.Height {
+		s = c.Dim.Height
+	}
+	return s
+}
+
+// buildShards carves the mesh into count row stripes (rows distributed as
+// evenly as possible), assigns every router index to its stripe and, for a
+// multi-shard network, builds the outboxes and the barrier worker gang.
+func (n *Network) buildShards(count int) {
+	width := n.cfg.Dim.Width
+	height := n.cfg.Dim.Height
+	n.shards = make([]*shard, count)
+	for s := 0; s < count; s++ {
+		rowLo := s * height / count
+		rowHi := (s + 1) * height / count
+		sh := &shard{
+			id:        int32(s),
+			lo:        int32(rowLo * width),
+			hi:        int32(rowHi * width),
+			flowStats: make(map[flit.FlowID]*FlowStats),
+		}
+		if count == 1 {
+			sh.pool = n.pool
+		} else {
+			sh.pool = &flit.Pool{}
+			sh.outArrivals = make([][]arrival, count)
+			sh.outCredits = make([][]creditReturn, count)
+		}
+		n.shards[s] = sh
+		for idx := sh.lo; idx < sh.hi; idx++ {
+			n.shardOf[idx] = sh.id
+		}
+	}
+	if count > 1 {
+		n.gang = pool.NewGang(count)
+		n.computePhase = func(w int) { n.computeShard(n.shards[w]) }
+		n.commitPhase = func(w int) { n.commitShard(n.shards[w]) }
+		// The gang's worker goroutines outlive any reference the collector
+		// can see, so release them when the network itself becomes garbage
+		// (the cleanup must not reference n, or n would never be collected).
+		runtime.AddCleanup(n, func(g *pool.Gang) { g.Close() }, n.gang)
+	}
 }
 
 // MustNew is like New but panics on error.
@@ -317,9 +504,15 @@ func MustNew(cfg Config) *Network {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Pool returns the network-owned message/flit free list. Traffic generators
+// Shards returns the effective shard count of the engine (1 for the serial
+// engines).
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Pool returns the network-owned message free list. Traffic generators
 // attach to it so their messages are recycled once consumed; see flit.Pool
-// for the ownership rules.
+// for the ownership rules. Generators and Send run between Step calls, so
+// the pool needs no synchronization even on a sharded network (whose NICs
+// use per-shard arenas instead).
 func (n *Network) Pool() *flit.Pool { return n.pool }
 
 // Cycle returns the current simulation cycle.
@@ -345,20 +538,13 @@ func (n *Network) Send(msg *flit.Message) (uint64, error) {
 	idx := n.cfg.Dim.Index(msg.Flow.Src)
 	id, err := n.nics[idx].Send(msg, n.cycle)
 	if err == nil {
-		n.activateNIC(int32(idx))
+		n.activateNIC(n.shards[n.shardOf[idx]], int32(idx))
 		// The NIC has packetized the message; a pool-owned message is
 		// fully consumed at this point and can be recycled (a no-op for
 		// caller-owned messages).
 		n.pool.PutMessage(msg)
 	}
 	return id, err
-}
-
-// creditReturn records that the router at dense index `router` owes a credit
-// back on output port dir (applied at the end of the cycle).
-type creditReturn struct {
-	router int32
-	dir    mesh.Direction
 }
 
 // owed returns the number of cycles in the inclusive range [from, through]
@@ -370,11 +556,14 @@ func owed(from, through uint64) uint64 {
 	return through - from + 1
 }
 
-// activateRouter wakes the router into the next cycle's active set, first
-// settling the idle replenishment it is owed for the cycles it was skipped —
-// including the currently executing cycle, which the full-scan engine would
-// have visited but the active set will not.
-func (n *Network) activateRouter(idx int32) {
+// activateRouter wakes the router into the next cycle's active set of its
+// owning shard s, first settling the idle replenishment it is owed for the
+// cycles it was skipped — including the currently executing cycle, which the
+// full-scan engine would have visited but the active set will not. The
+// caller must be s's own phase work (compute for in-shard events, commit for
+// inbound boundary events), which is what keeps the flag and scratch writes
+// single-threaded.
+func (n *Network) activateRouter(s *shard, idx int32) {
 	if n.routerActive[idx] {
 		return
 	}
@@ -382,21 +571,24 @@ func (n *Network) activateRouter(idx int32) {
 		n.routers[idx].CatchUpIdle(k)
 	}
 	n.routerActive[idx] = true
-	n.activated = append(n.activated, idx)
+	s.activated = append(s.activated, idx)
 }
 
-// activateNIC ensures the NIC is on the pending-injection list.
-func (n *Network) activateNIC(idx int32) {
+// activateNIC ensures the NIC is on its shard's pending-injection list.
+func (n *Network) activateNIC(s *shard, idx int32) {
 	if !n.nicActive[idx] {
 		n.nicActive[idx] = true
-		n.nicList = append(n.nicList, idx)
+		s.nicList = append(s.nicList, idx)
 	}
 }
 
-// stepRouter computes and applies the transfers of one router: pops the
-// forwarded flits, stages them downstream (activating the receiving router),
-// delivers ejected flits to the local NIC and queues credit returns.
-func (n *Network) stepRouter(idx int32) {
+// stepRouter computes and applies the transfers of one router of shard s:
+// pops the forwarded flits, stages them downstream (activating the receiving
+// router), delivers ejected flits to the local NIC and queues credit
+// returns. Staging and credits that cross a stripe boundary are recorded in
+// the outbox for the owning shard instead of applied, preserving the
+// shard-locality of the compute phase.
+func (n *Network) stepRouter(s *shard, idx int32) {
 	r := n.routers[idx]
 	transfers := r.ComputeTransfers()
 	for i := range transfers {
@@ -411,7 +603,11 @@ func (n *Network) stepRouter(idx int32) {
 			if up < 0 {
 				panic(fmt.Sprintf("network: no upstream neighbour for %v input %v", r.Node, t.In))
 			}
-			n.creditScratch = append(n.creditScratch, creditReturn{router: up, dir: t.In})
+			if us := n.shardOf[up]; us == s.id {
+				s.creditScratch = append(s.creditScratch, creditReturn{router: up, dir: t.In})
+			} else {
+				s.outCredits[us] = append(s.outCredits[us], creditReturn{router: up, dir: t.In})
+			}
 		}
 		if t.Out == mesh.Local {
 			// Ejection: deliver to the local NIC.
@@ -420,7 +616,7 @@ func (n *Network) stepRouter(idx int32) {
 				panic(fmt.Sprintf("network: ejection at %v: %v", r.Node, err))
 			}
 			if msg != nil {
-				n.recordDelivery(msg)
+				n.recordDelivery(s, msg)
 			}
 			continue
 		}
@@ -428,16 +624,20 @@ func (n *Network) stepRouter(idx int32) {
 		if down < 0 {
 			panic(fmt.Sprintf("network: no downstream neighbour for %v output %v", r.Node, t.Out))
 		}
-		if err := n.routers[down].StageArrival(t.Out, f); err != nil {
-			panic(fmt.Sprintf("network: %v", err))
+		if ds := n.shardOf[down]; ds == s.id {
+			if err := n.routers[down].StageArrival(t.Out, f); err != nil {
+				panic(fmt.Sprintf("network: %v", err))
+			}
+			n.activateRouter(s, down)
+		} else {
+			s.outArrivals[ds] = append(s.outArrivals[ds], arrival{router: down, dir: t.Out, flit: f})
 		}
-		n.activateRouter(down)
 	}
 }
 
 // stepNIC injects at most one flit from the NIC into the local router and
 // reports whether the NIC still holds pending injection flits.
-func (n *Network) stepNIC(idx int32) bool {
+func (n *Network) stepNIC(s *shard, idx int32) bool {
 	ni := n.nics[idx]
 	if ni.PendingFlits() == 0 {
 		return false
@@ -453,61 +653,92 @@ func (n *Network) stepNIC(idx int32) bool {
 	if err := r.StageArrival(mesh.Local, f); err != nil {
 		panic(fmt.Sprintf("network: injection at %v: %v", r.Node, err))
 	}
-	n.activateRouter(idx)
-	n.totalInjected++
+	n.activateRouter(s, idx)
+	s.injected++
 	return ni.PendingFlits() > 0
 }
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
-	if n.cfg.Engine == EngineFullScan {
+	switch {
+	case n.cfg.Engine == EngineFullScan:
 		n.stepFullScan()
-	} else {
+	case len(n.shards) == 1:
 		n.stepActiveSet()
+	default:
+		n.stepSharded()
 	}
 }
 
 // stepFullScan is the reference engine: every router and NIC is visited
-// every cycle, exactly as the original simulator did.
+// every cycle, exactly as the original simulator did. (A full-scan network
+// always has exactly one shard, which holds its scratch buffers.)
 func (n *Network) stepFullScan() {
-	n.creditScratch = n.creditScratch[:0]
+	s := n.shards[0]
+	s.creditScratch = s.creditScratch[:0]
 
 	// Phase 1: router transfers.
 	for idx := range n.routers {
-		n.stepRouter(int32(idx))
+		n.stepRouter(s, int32(idx))
 	}
 	// Phase 2: NIC injection (at most one flit per NIC per cycle).
 	for idx := range n.nics {
-		n.stepNIC(int32(idx))
+		n.stepNIC(s, int32(idx))
 	}
 	// Phase 3: commit arrivals and credit returns.
 	for _, r := range n.routers {
 		r.CommitArrivals()
 	}
-	for _, cr := range n.creditScratch {
+	for _, cr := range s.creditScratch {
 		n.routers[cr.router].ReturnCredit(cr.dir)
 	}
 	n.cycle++
 }
 
-// stepActiveSet advances one cycle visiting only the nodes that can make
-// progress. The engine maintains the invariant that every router holding a
-// flit — the only routers whose full-scan visit could produce a transfer —
-// is in the active set: a router enters the set when a flit is staged into
-// one of its input buffers and leaves it as soon as its input FIFOs are
-// empty. A dropped router may still owe request-less WaW replenishment; that
-// debt is tracked in replenishFrom and replayed in bulk when the router is
-// woken (lazy replenishment), so the cycle-by-cycle state evolution remains
-// identical to stepFullScan's.
+// stepActiveSet advances one cycle of a single-shard network visiting only
+// the nodes that can make progress. The engine maintains the invariant that
+// every router holding a flit — the only routers whose full-scan visit could
+// produce a transfer — is in the active set: a router enters the set when a
+// flit is staged into one of its input buffers and leaves it as soon as its
+// input FIFOs are empty. A dropped router may still owe request-less WaW
+// replenishment; that debt is tracked in replenishFrom and replayed in bulk
+// when the router is woken (lazy replenishment), so the cycle-by-cycle state
+// evolution remains identical to stepFullScan's.
 func (n *Network) stepActiveSet() {
-	n.creditScratch = n.creditScratch[:0]
-	n.activated = n.activated[:0]
-	n.retained = n.retained[:0]
+	s := n.shards[0]
+	n.computeShard(s)
+	n.commitShard(s)
+	n.cycle++
+}
 
-	// Phase 1: router transfers, in ascending index order — the order the
-	// full scan uses — so deliveries and DeliveryHook calls are identical.
-	for _, idx := range n.activeList {
-		n.stepRouter(idx)
+// stepSharded advances one cycle of a multi-shard network in two
+// barrier-separated phases (see the package comment), then replays any
+// deferred delivery-hook calls in global node order and advances the clock.
+func (n *Network) stepSharded() {
+	n.gang.Run(n.computePhase)
+	n.gang.Run(n.commitPhase)
+	if n.DeliveryHook != nil {
+		n.replayDeliveries()
+	}
+	n.cycle++
+}
+
+// computeShard runs simulation phases 1 and 2 for one shard: router
+// transfers over the shard's active set in ascending index order — the order
+// the full scan uses, so deliveries and DeliveryHook calls are identical —
+// then NIC injection over the shard's pending list, compacting it in place.
+func (n *Network) computeShard(s *shard) {
+	s.creditScratch = s.creditScratch[:0]
+	for t := range s.outArrivals {
+		s.outArrivals[t] = s.outArrivals[t][:0]
+		s.outCredits[t] = s.outCredits[t][:0]
+	}
+	s.activated = s.activated[:0]
+	s.retained = s.retained[:0]
+
+	// Phase 1: router transfers.
+	for _, idx := range s.activeList {
+		n.stepRouter(s, idx)
 		if n.routers[idx].InputsEmpty() {
 			// The router can neither move a flit nor form a request until
 			// something arrives; its remaining per-cycle work is pure idle
@@ -515,31 +746,70 @@ func (n *Network) stepActiveSet() {
 			n.routerActive[idx] = false
 			n.replenishFrom[idx] = n.cycle + 1
 		} else {
-			n.retained = append(n.retained, idx)
+			s.retained = append(s.retained, idx)
 		}
 	}
 
-	// Phase 2: NIC injection, visiting only NICs with pending traffic and
-	// compacting the list in place.
-	live := n.nicList[:0]
-	for _, idx := range n.nicList {
-		if n.stepNIC(idx) {
+	// Phase 2: NIC injection, visiting only NICs with pending traffic.
+	live := s.nicList[:0]
+	for _, idx := range s.nicList {
+		if n.stepNIC(s, idx) {
 			live = append(live, idx)
 		} else {
 			n.nicActive[idx] = false
 		}
 	}
-	n.nicList = live
+	s.nicList = live
+}
 
-	// Phase 3: credit returns, then the next cycle's visit list, then
-	// arrival commits for exactly the routers that may hold staged flits —
-	// every staging event activated its target, so the merged list covers
-	// them all. A credit returning to a sleeping router cannot give it work
-	// (its inputs are empty), so the router stays out of the active set;
-	// but the return changes the credit state the idle replay depends on,
-	// so the owed cycles are settled first, against the pre-return credits
-	// the full-scan engine would have seen this cycle.
-	for _, cr := range n.creditScratch {
+// commitShard runs simulation phase 3 for one shard. Cross-boundary effects
+// addressed to this shard are applied first, in the fixed deterministic
+// order documented on the package: staged arrivals (waking their targets
+// exactly as the serial engine's phase 1 would have) before credit returns,
+// source shards in ascending id, entries in production order. Then credit
+// returns are applied — a credit returning to a sleeping router cannot give
+// it work (its inputs are empty), so the router stays out of the active set;
+// but the return changes the credit state the idle replay depends on, so the
+// owed cycles are settled first, against the pre-return credits the
+// full-scan engine would have seen this cycle. Finally the next cycle's
+// visit list is rebuilt and arrivals are committed for exactly the routers
+// that may hold staged flits — every staging event activated its target, so
+// the merged list covers them all.
+func (n *Network) commitShard(s *shard) {
+	if len(n.shards) > 1 {
+		for _, src := range n.shards {
+			if src.id == s.id {
+				continue
+			}
+			for _, a := range src.outArrivals[s.id] {
+				if err := n.routers[a.router].StageArrival(a.dir, a.flit); err != nil {
+					panic(fmt.Sprintf("network: %v", err))
+				}
+				n.activateRouter(s, a.router)
+			}
+		}
+	}
+	n.applyCredits(s.creditScratch)
+	if len(n.shards) > 1 {
+		for _, src := range n.shards {
+			if src.id == s.id {
+				continue
+			}
+			n.applyCredits(src.outCredits[s.id])
+		}
+	}
+	n.mergeActive(s)
+	for _, idx := range s.activeList {
+		if r := n.routers[idx]; r.HasStaged() {
+			r.CommitArrivals()
+		}
+	}
+}
+
+// applyCredits returns the queued credits, settling the lazy replenishment
+// of sleeping receivers against the pre-return credit state first.
+func (n *Network) applyCredits(credits []creditReturn) {
+	for _, cr := range credits {
 		r := n.routers[cr.router]
 		if !n.routerActive[cr.router] {
 			if k := owed(n.replenishFrom[cr.router], n.cycle); k > 0 {
@@ -549,45 +819,55 @@ func (n *Network) stepActiveSet() {
 		}
 		r.ReturnCredit(cr.dir)
 	}
-	n.mergeActive()
-	for _, idx := range n.activeList {
-		if r := n.routers[idx]; r.HasStaged() {
-			r.CommitArrivals()
-		}
-	}
-	n.cycle++
 }
 
-// mergeActive rebuilds activeList for the next cycle from the routers that
-// stayed active after their visit (already in ascending order) and the
-// routers activated during the cycle (sorted here). The two sets are
+// mergeActive rebuilds the shard's activeList for the next cycle from the
+// routers that stayed active after their visit (already in ascending order)
+// and the routers activated during the cycle (sorted here). The two sets are
 // disjoint by construction of the routerActive flag.
-func (n *Network) mergeActive() {
-	if len(n.activated) > 1 {
-		slices.Sort(n.activated)
+func (n *Network) mergeActive(s *shard) {
+	if len(s.activated) > 1 {
+		slices.Sort(s.activated)
 	}
-	out := n.activeList[:0]
+	out := s.activeList[:0]
 	i, j := 0, 0
-	for i < len(n.retained) && j < len(n.activated) {
-		if n.retained[i] < n.activated[j] {
-			out = append(out, n.retained[i])
+	for i < len(s.retained) && j < len(s.activated) {
+		if s.retained[i] < s.activated[j] {
+			out = append(out, s.retained[i])
 			i++
 		} else {
-			out = append(out, n.activated[j])
+			out = append(out, s.activated[j])
 			j++
 		}
 	}
-	out = append(out, n.retained[i:]...)
-	out = append(out, n.activated[j:]...)
-	n.activeList = out
+	out = append(out, s.retained[i:]...)
+	out = append(out, s.activated[j:]...)
+	s.activeList = out
 }
 
-func (n *Network) recordDelivery(msg *flit.Message) {
-	n.totalDelivered++
-	fs, ok := n.flowStats[msg.Flow]
+// recordDelivery accounts one reassembled message delivered at a node of
+// shard s. With a DeliveryHook set on a multi-shard network the whole event
+// is deferred: sampler arithmetic and hook calls are order-sensitive, so
+// they replay serially at the end of the cycle in the order the serial
+// engine would have produced them. Without a hook the event is shard-local
+// by construction — a flow delivers only at its destination node — and is
+// recorded immediately.
+func (n *Network) recordDelivery(s *shard, msg *flit.Message) {
+	if n.DeliveryHook != nil && len(n.shards) > 1 {
+		s.pendingDeliveries = append(s.pendingDeliveries, msg)
+		return
+	}
+	n.accountDelivery(s, msg)
+}
+
+// accountDelivery updates the delivery statistics of shard s for msg,
+// invokes the delivery hook and recycles the message into the shard's pool.
+func (n *Network) accountDelivery(s *shard, msg *flit.Message) {
+	s.delivered++
+	fs, ok := s.flowStats[msg.Flow]
 	if !ok {
 		fs = &FlowStats{Flow: msg.Flow}
-		n.flowStats[msg.Flow] = fs
+		s.flowStats[msg.Flow] = fs
 	}
 	fs.Messages++
 	fs.Latency.AddUint(msg.DeliveredAt - msg.CreatedAt)
@@ -600,7 +880,25 @@ func (n *Network) recordDelivery(msg *flit.Message) {
 	}
 	// The delivery has been fully reported; a pool-owned message is
 	// recycled here, which is why delivery hooks must not retain it.
-	n.pool.PutMessage(msg)
+	s.pool.PutMessage(msg)
+}
+
+// replayDeliveries drains every shard's deferred deliveries in ascending
+// shard order. Shards own ascending index ranges and append deliveries in
+// visit order, so the concatenation is exactly the serial engine's global
+// ascending-node-index delivery order (a router ejects at most one flit per
+// cycle, so it completes at most one message per cycle).
+func (n *Network) replayDeliveries() {
+	for _, s := range n.shards {
+		if len(s.pendingDeliveries) == 0 {
+			continue
+		}
+		for i, msg := range s.pendingDeliveries {
+			s.pendingDeliveries[i] = nil
+			n.accountDelivery(s, msg)
+		}
+		s.pendingDeliveries = s.pendingDeliveries[:0]
+	}
 }
 
 // Leapable reports whether the network is event-idle: no router holds or is
@@ -610,9 +908,20 @@ func (n *Network) recordDelivery(msg *flit.Message) {
 // is legal iff no component's earliest-possible-action cycle precedes the
 // target, and for an event-idle network that horizon is "never" until new
 // traffic is Sent; only the full-scan engine (which must visit every node
-// every cycle by definition) is never leapable.
+// every cycle by definition) is never leapable. On a sharded network every
+// stripe must be idle — in-flight boundary transfers live in some shard's
+// active set or staged buffers between Step calls, so the per-shard check
+// covers them.
 func (n *Network) Leapable() bool {
-	return n.cfg.Engine == EngineActiveSet && len(n.activeList) == 0 && len(n.nicList) == 0
+	if n.cfg.Engine != EngineActiveSet {
+		return false
+	}
+	for _, s := range n.shards {
+		if len(s.activeList) != 0 || len(s.nicList) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // LeapTo advances an event-idle network directly to the given cycle, in O(1):
@@ -633,18 +942,41 @@ func (n *Network) LeapTo(target uint64) {
 // window in O(1) once the network goes event-idle (no new traffic can appear
 // during Run, so an event-idle network stays idle to the end).
 func (n *Network) Run(cycles int) {
+	_ = n.run(context.Background(), cycles, false)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand cycles, so a single long cycle-accurate run — not just
+// the gaps between sweep points — honours a sweep's cancellation. It returns
+// ctx's error when the run was abandoned, nil when the window completed.
+func (n *Network) RunContext(ctx context.Context, cycles int) error {
+	return n.run(ctx, cycles, true)
+}
+
+func (n *Network) run(ctx context.Context, cycles int, poll bool) error {
 	if cycles <= 0 {
-		return
+		return nil
 	}
 	end := n.cycle + uint64(cycles)
 	for n.cycle < end {
 		if n.Leapable() {
 			n.cycle = end
-			return
+			return nil
+		}
+		if poll && n.cycle&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		n.Step()
 	}
+	return nil
 }
+
+// ctxPollMask throttles context polling in the cycle loops: cancellation is
+// checked every 4096 cycles, keeping the poll invisible next to the cost of
+// a simulated cycle while bounding the cancellation latency.
+const ctxPollMask = 1<<12 - 1
 
 // RunUntilDrained steps the simulation until no flits remain in any NIC
 // injection queue, router buffer or partial reassembly, or until maxCycles
@@ -653,21 +985,38 @@ func (n *Network) Run(cycles int) {
 // flits that no longer exist anywhere) can never drain, so the budget is
 // leapt over instead of stepped through.
 func (n *Network) RunUntilDrained(maxCycles int) bool {
+	drained, _ := n.runUntilDrained(context.Background(), maxCycles, false)
+	return drained
+}
+
+// RunUntilDrainedContext is RunUntilDrained with cooperative cancellation
+// (polled every few thousand cycles, like RunContext). It reports whether
+// the network drained, and ctx's error when the run was abandoned first.
+func (n *Network) RunUntilDrainedContext(ctx context.Context, maxCycles int) (bool, error) {
+	return n.runUntilDrained(ctx, maxCycles, true)
+}
+
+func (n *Network) runUntilDrained(ctx context.Context, maxCycles int, poll bool) (bool, error) {
 	if maxCycles <= 0 {
-		return n.Drained()
+		return n.Drained(), nil
 	}
 	end := n.cycle + uint64(maxCycles)
 	for n.cycle < end {
 		if n.Drained() {
-			return true
+			return true, nil
 		}
 		if n.Leapable() {
 			n.cycle = end
 			break
 		}
+		if poll && n.cycle&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return n.Drained(), err
+			}
+		}
 		n.Step()
 	}
-	return n.Drained()
+	return n.Drained(), nil
 }
 
 // FlushReplenishment settles the idle WaW replenishment every sleeping
@@ -696,10 +1045,10 @@ func (n *Network) FlushReplenishment() {
 // router and NIC is rewound (buffers, credits, wormhole locks, arbiters,
 // identifier counters), the statistics and the delivery hook are cleared and
 // the cycle counter returns to zero. The topology, the design point, the
-// precomputed weight tables and the message/flit pool are all retained, so a
-// sweep worker can reuse one constructed network across scenario points
-// instead of rebuilding the topology per point. A reset network behaves
-// identically to a freshly constructed one.
+// shard partition (with its worker gang) and the message/flit pools are all
+// retained, so a sweep worker can reuse one constructed network across
+// scenario points instead of rebuilding the topology per point. A reset
+// network behaves identically to a freshly constructed one.
 func (n *Network) Reset() {
 	for idx := range n.routers {
 		n.routers[idx].Reset()
@@ -708,19 +1057,38 @@ func (n *Network) Reset() {
 		n.nicActive[idx] = false
 		n.replenishFrom[idx] = 0
 	}
-	n.activeList = n.activeList[:0]
-	for idx := range n.routers {
-		n.activeList = append(n.activeList, int32(idx))
+	for _, s := range n.shards {
+		s.activeList = s.activeList[:0]
+		for idx := s.lo; idx < s.hi; idx++ {
+			s.activeList = append(s.activeList, idx)
+		}
+		s.retained = s.retained[:0]
+		s.activated = s.activated[:0]
+		s.nicList = s.nicList[:0]
+		s.creditScratch = s.creditScratch[:0]
+		for t := range s.outArrivals {
+			s.outArrivals[t] = s.outArrivals[t][:0]
+			s.outCredits[t] = s.outCredits[t][:0]
+		}
+		clear(s.pendingDeliveries)
+		s.pendingDeliveries = s.pendingDeliveries[:0]
+		clear(s.flowStats)
+		s.injected = 0
+		s.delivered = 0
 	}
-	n.retained = n.retained[:0]
-	n.activated = n.activated[:0]
-	n.nicList = n.nicList[:0]
-	n.creditScratch = n.creditScratch[:0]
 	n.cycle = 0
-	clear(n.flowStats)
 	n.DeliveryHook = nil
-	n.totalInjected = 0
-	n.totalDelivered = 0
+}
+
+// Close releases the shard worker goroutines of a sharded network. It is
+// optional — an unreachable network's workers are released by a GC cleanup —
+// and a closed network must not be stepped again. Close on a single-shard
+// network is a no-op.
+func (n *Network) Close() {
+	if n.gang != nil {
+		n.gang.Close()
+		n.gang = nil
+	}
 }
 
 // Drained reports whether the network holds no traffic: no pending injection
@@ -741,32 +1109,61 @@ func (n *Network) Drained() bool {
 }
 
 // FlowStatsFor returns the delivered-message statistics of a flow, or nil
-// when the flow has delivered nothing yet.
-func (n *Network) FlowStatsFor(f flit.FlowID) *FlowStats { return n.flowStats[f] }
+// when the flow has delivered nothing yet. A flow's statistics live in the
+// shard owning its destination node.
+func (n *Network) FlowStatsFor(f flit.FlowID) *FlowStats {
+	if !n.cfg.Dim.Contains(f.Dst) {
+		return nil
+	}
+	return n.shards[n.shardOf[n.cfg.Dim.Index(f.Dst)]].flowStats[f]
+}
 
 // AllFlowStats returns the statistics of every flow that delivered at least
 // one message.
 func (n *Network) AllFlowStats() []*FlowStats {
-	out := make([]*FlowStats, 0, len(n.flowStats))
-	for _, fs := range n.flowStats {
-		out = append(out, fs)
+	total := 0
+	for _, s := range n.shards {
+		total += len(s.flowStats)
+	}
+	out := make([]*FlowStats, 0, total)
+	for _, s := range n.shards {
+		for _, fs := range s.flowStats {
+			out = append(out, fs)
+		}
 	}
 	return out
 }
 
 // TotalInjectedFlits returns the number of flits injected into the network so
 // far.
-func (n *Network) TotalInjectedFlits() uint64 { return n.totalInjected }
+func (n *Network) TotalInjectedFlits() uint64 {
+	var total uint64
+	for _, s := range n.shards {
+		total += s.injected
+	}
+	return total
+}
 
 // TotalDeliveredMessages returns the number of messages fully delivered so
 // far.
-func (n *Network) TotalDeliveredMessages() uint64 { return n.totalDelivered }
+func (n *Network) TotalDeliveredMessages() uint64 {
+	var total uint64
+	for _, s := range n.shards {
+		total += s.delivered
+	}
+	return total
+}
 
 // AggregateLatency merges the message-latency samplers of every flow.
+// Count, Sum, Min, Max and Mean of the aggregate are exact (latencies are
+// integer cycle counts, summed well within float64's exact-integer range),
+// so they do not depend on the merge order.
 func (n *Network) AggregateLatency() *stats.Sampler {
 	agg := &stats.Sampler{}
-	for _, fs := range n.flowStats {
-		agg.Merge(&fs.Latency)
+	for _, s := range n.shards {
+		for _, fs := range s.flowStats {
+			agg.Merge(&fs.Latency)
+		}
 	}
 	return agg
 }

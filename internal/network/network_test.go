@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -342,5 +343,49 @@ func TestRandomTrafficConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRunContextCancellation: the context-aware run windows abort with the
+// context's error, and with a live context they behave exactly like their
+// plain counterparts (including the event-idle leap).
+func TestRunContextCancellation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	load := func(net *Network) {
+		// Sustained traffic so the run windows have real work to abandon.
+		for _, src := range []mesh.Node{{X: 3, Y: 3}, {X: 0, Y: 3}, {X: 3, Y: 0}} {
+			msg := &flit.Message{
+				Flow:        flit.FlowID{Src: src, Dst: mesh.Node{X: 0, Y: 0}},
+				Class:       flit.ClassData,
+				PayloadBits: 512,
+			}
+			if _, err := net.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := MustNew(DefaultConfig(d, DesignRegular))
+	load(net)
+	if err := net.RunContext(ctx, 100_000); err == nil {
+		t.Error("cancelled RunContext should return the context error")
+	}
+	if net.Cycle() != 0 {
+		t.Errorf("cancelled RunContext advanced to cycle %d before the first poll", net.Cycle())
+	}
+	if drained, err := net.RunUntilDrainedContext(ctx, 100_000); err == nil || drained {
+		t.Errorf("cancelled RunUntilDrainedContext: drained=%v err=%v, want aborted", drained, err)
+	}
+
+	ref := MustNew(DefaultConfig(d, DesignRegular))
+	load(ref)
+	if err := net.RunContext(context.Background(), 50_000); err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(50_000)
+	if net.Cycle() != ref.Cycle() || net.Drained() != ref.Drained() {
+		t.Errorf("RunContext (cycle %d, drained %v) diverged from Run (cycle %d, drained %v)",
+			net.Cycle(), net.Drained(), ref.Cycle(), ref.Drained())
 	}
 }

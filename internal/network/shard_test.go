@@ -1,0 +1,293 @@
+// Equivalence tests for the sharded two-phase engine: a network stepped as N
+// concurrent row stripes must be byte-identical to the serial active-set
+// engine — delivered counts, per-flow samplers (including the order-sensitive
+// Welford accumulators), DeliveryHook call order, cycle counts and the
+// per-cycle buffer/credit microstate — for every design point, traffic
+// pattern, seed and shard count, including uneven stripe partitions. These
+// are the tests that let the sweep layer treat the shard count as pure
+// execution policy.
+package network_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// runSharded drives the pattern through a fresh network partitioned into the
+// given number of shards until drained.
+func runSharded(t *testing.T, shards int, d mesh.Dim, design network.Design, pattern string, seed int64) *network.Network {
+	t.Helper()
+	cfg := network.DefaultConfig(d, design)
+	cfg.Shards = shards
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := buildGen(t, pattern, d, seed)
+	if _, done := traffic.Drive(net, gen, 1_000_000); !done {
+		t.Fatalf("shards=%d/%v/%v/%s/seed=%d did not drain", shards, d, design, pattern, seed)
+	}
+	return net
+}
+
+// TestShardedEquivalent checks that the sharded engine reproduces the serial
+// active-set engine's results exactly across all four design points, several
+// traffic patterns, seeds and shard counts — including counts that do not
+// divide the mesh height (uneven stripes) and counts exceeding it (capped).
+func TestShardedEquivalent(t *testing.T) {
+	designs := []network.Design{
+		network.DesignRegular, network.DesignWaWWaP,
+		network.DesignWaWOnly, network.DesignWaPOnly,
+	}
+	dims := []mesh.Dim{mesh.MustDim(4, 4), mesh.MustDim(3, 5)}
+	patterns := []string{"hotspot", "uniform", "transpose", "neighbor"}
+	seeds := []int64{1, 7}
+	shardCounts := []int{2, 3, 8}
+	for _, d := range dims {
+		for _, design := range designs {
+			for _, pattern := range patterns {
+				for _, seed := range seeds {
+					name := fmt.Sprintf("%v/%v/%s/seed=%d", d, design, pattern, seed)
+					t.Run(name, func(t *testing.T) {
+						ref := runEngine(t, network.EngineActiveSet, d, design, pattern, seed)
+						rf := flowFingerprint(ref)
+						for _, shards := range shardCounts {
+							act := runSharded(t, shards, d, design, pattern, seed)
+							if want := min(shards, d.Height); act.Shards() != want {
+								t.Fatalf("effective shards = %d, want %d", act.Shards(), want)
+							}
+							if ref.Cycle() != act.Cycle() {
+								t.Errorf("shards=%d cycles: serial %d, sharded %d", shards, ref.Cycle(), act.Cycle())
+							}
+							if ref.TotalInjectedFlits() != act.TotalInjectedFlits() {
+								t.Errorf("shards=%d injected flits: serial %d, sharded %d",
+									shards, ref.TotalInjectedFlits(), act.TotalInjectedFlits())
+							}
+							if ref.TotalDeliveredMessages() != act.TotalDeliveredMessages() {
+								t.Errorf("shards=%d delivered: serial %d, sharded %d",
+									shards, ref.TotalDeliveredMessages(), act.TotalDeliveredMessages())
+							}
+							if af := flowFingerprint(act); rf != af {
+								t.Errorf("shards=%d flow stats differ:\nserial:\n%s\nsharded:\n%s", shards, rf, af)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestShardedLockstepMicrostate steps the serial and the sharded engine side
+// by side under a congested hotspot and compares the complete observable
+// microstate — every input-buffer occupancy and every credit counter of
+// every router, plus (after flushing the lazy replenishment) every WaW flit
+// counter — after every cycle. This pins the two-phase commit to the serial
+// schedule at cycle granularity, not just at drain time.
+func TestShardedLockstepMicrostate(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%v/shards=%d", design, shards), func(t *testing.T) {
+				ref := network.MustNew(network.DefaultConfig(d, design))
+				cfg := network.DefaultConfig(d, design)
+				cfg.Shards = shards
+				act := network.MustNew(cfg)
+				genRef := buildGen(t, "hotspot", d, 3)
+				genAct := buildGen(t, "hotspot", d, 3)
+				for cycle := 0; cycle < 3000; cycle++ {
+					for _, msg := range genRef.Tick(ref.Cycle()) {
+						if _, err := ref.Send(msg); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for _, msg := range genAct.Tick(act.Cycle()) {
+						if _, err := act.Send(msg); err != nil {
+							t.Fatal(err)
+						}
+					}
+					ref.Step()
+					act.Step()
+					for _, nd := range d.AllNodes() {
+						rr, ra := ref.Router(nd), act.Router(nd)
+						for _, dir := range mesh.Directions {
+							if ro, ao := rr.InputOccupancy(dir), ra.InputOccupancy(dir); ro != ao {
+								t.Fatalf("cycle %d node %v input %v occupancy: serial %d, sharded %d",
+									cycle, nd, dir, ro, ao)
+							}
+							if rr.HasOutput(dir) && rr.Credits(dir) != ra.Credits(dir) {
+								t.Fatalf("cycle %d node %v output %v credits: serial %d, sharded %d",
+									cycle, nd, dir, rr.Credits(dir), ra.Credits(dir))
+							}
+						}
+					}
+					if design == network.DesignWaWWaP {
+						ref.FlushReplenishment()
+						act.FlushReplenishment()
+						compareArbiterState(t, d, ref, act, cycle)
+					}
+					if ref.TotalDeliveredMessages() != act.TotalDeliveredMessages() {
+						t.Fatalf("cycle %d delivered: serial %d, sharded %d",
+							cycle, ref.TotalDeliveredMessages(), act.TotalDeliveredMessages())
+					}
+					if genRef.Done() && ref.Drained() && act.Drained() {
+						break
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedDeliveryHookOrder checks that a sharded network replays its
+// DeliveryHook calls in exactly the serial engine's order, with identical
+// arguments and cycle stamps — the property the load-curve mode's
+// order-sensitive samplers (Welford mean and m2) depend on for byte-identical
+// output. The hook's sample stream is fingerprinted through a Sampler, whose
+// StdDev is sensitive to sample order, and through an explicit event log.
+func TestShardedDeliveryHookOrder(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	type run struct {
+		log []string
+		lat stats.Sampler
+	}
+	drive := func(shards int) run {
+		cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+		cfg.Shards = shards
+		net := network.MustNew(cfg)
+		var r run
+		net.DeliveryHook = func(msg *flit.Message, at uint64) {
+			r.log = append(r.log, fmt.Sprintf("%d %v %d %d", at, msg.Flow, msg.CreatedAt, msg.DeliveredAt))
+			r.lat.AddUint(msg.DeliveredAt - msg.CreatedAt)
+		}
+		gen := buildGen(t, "uniform", d, 11)
+		if _, done := traffic.Drive(net, gen, 1_000_000); !done {
+			t.Fatalf("shards=%d did not drain", shards)
+		}
+		return r
+	}
+	ref := drive(1)
+	if len(ref.log) == 0 {
+		t.Fatal("reference run delivered nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		got := drive(shards)
+		if len(got.log) != len(ref.log) {
+			t.Fatalf("shards=%d: %d hook calls, want %d", shards, len(got.log), len(ref.log))
+		}
+		for i := range ref.log {
+			if got.log[i] != ref.log[i] {
+				t.Fatalf("shards=%d: hook call %d = %q, want %q", shards, i, got.log[i], ref.log[i])
+			}
+		}
+		if samplerKey(&got.lat) != samplerKey(&ref.lat) {
+			t.Errorf("shards=%d: hook sampler %s, want %s", shards, samplerKey(&got.lat), samplerKey(&ref.lat))
+		}
+	}
+}
+
+// TestShardedResetMatchesFresh pins Network.Reset on a sharded network: the
+// shard partition, its pools and its worker gang are retained, and the reset
+// network must reproduce a fresh one's behaviour exactly.
+func TestShardedResetMatchesFresh(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	for _, pattern := range []string{"hotspot", "uniform"} {
+		t.Run(pattern, func(t *testing.T) {
+			fresh := runSharded(t, 4, d, network.DesignWaWWaP, pattern, 3)
+
+			cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+			cfg.Shards = 4
+			reused := network.MustNew(cfg)
+			dirty := buildGen(t, "uniform", d, 99)
+			if _, done := traffic.Drive(reused, dirty, 1_000_000); !done {
+				t.Fatal("dirtying run did not drain")
+			}
+			reused.Reset()
+			if reused.Cycle() != 0 || !reused.Drained() ||
+				reused.TotalInjectedFlits() != 0 || reused.TotalDeliveredMessages() != 0 ||
+				len(reused.AllFlowStats()) != 0 {
+				t.Fatal("Reset did not rewind the sharded network to its initial state")
+			}
+			gen := buildGen(t, pattern, d, 3)
+			if _, done := traffic.Drive(reused, gen, 1_000_000); !done {
+				t.Fatal("reused run did not drain")
+			}
+			if fresh.Cycle() != reused.Cycle() {
+				t.Errorf("cycles: fresh %d, reused %d", fresh.Cycle(), reused.Cycle())
+			}
+			if ff, rf := flowFingerprint(fresh), flowFingerprint(reused); ff != rf {
+				t.Errorf("flow stats differ:\nfresh:\n%s\nreused:\n%s", ff, rf)
+			}
+		})
+	}
+}
+
+// TestShardedLeap checks the time-leap scheduling on a sharded network: an
+// event-idle multi-shard network must report Leapable and cross idle windows
+// in one jump with final state identical to the serial engine's.
+func TestShardedLeap(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	mk := func(shards int) *network.Network {
+		cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+		cfg.Shards = shards
+		return network.MustNew(cfg)
+	}
+	ref, act := mk(1), mk(4)
+	for _, net := range []*network.Network{ref, act} {
+		msg := &flit.Message{
+			Flow:        flit.FlowID{Src: mesh.Node{X: 3, Y: 3}, Dst: mesh.Node{X: 0, Y: 0}},
+			Class:       flit.ClassData,
+			PayloadBits: traffic.CacheLinePayloadBits,
+		}
+		if _, err := net.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if !net.RunUntilDrained(10_000) {
+			t.Fatal("burst did not drain")
+		}
+		if !net.Leapable() {
+			t.Fatal("drained network not leapable")
+		}
+	}
+	const idle = 250_000
+	ref.Run(idle)
+	act.Run(idle)
+	if ref.Cycle() != act.Cycle() {
+		t.Fatalf("idle window cycle differs: serial %d, sharded %d", ref.Cycle(), act.Cycle())
+	}
+	ref.FlushReplenishment()
+	act.FlushReplenishment()
+	compareArbiterState(t, d, ref, act, int(ref.Cycle()))
+}
+
+// TestShardedConfigValidation checks the shard-count configuration rules:
+// negative counts and full-scan sharding are rejected; oversized counts cap
+// at the mesh height.
+func TestShardedConfigValidation(t *testing.T) {
+	cfg := network.DefaultConfig(mesh.MustDim(4, 2), network.DesignRegular)
+	cfg.Shards = -1
+	if _, err := network.New(cfg); err == nil {
+		t.Error("negative shard count should fail")
+	}
+	cfg.Shards = 2
+	cfg.Engine = network.EngineFullScan
+	if _, err := network.New(cfg); err == nil {
+		t.Error("sharded full-scan should fail")
+	}
+	cfg.Engine = network.EngineActiveSet
+	cfg.Shards = 64
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if net.Shards() != 2 {
+		t.Errorf("effective shards = %d, want the mesh height 2", net.Shards())
+	}
+}

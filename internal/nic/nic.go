@@ -255,9 +255,11 @@ func MustNew(node mesh.Node, scheme Scheme, link flit.LinkConfig) *NIC {
 // Packetizer returns the NIC's packetizer (shared configuration).
 func (n *NIC) Packetizer() *Packetizer { return n.packetizer }
 
-// AttachPool connects the NIC to a message/flit free-list pool (normally the
-// owning network's). See the NIC.pool field and flit.Pool for the ownership
-// rules; attaching a pool disables the Delivered history.
+// AttachPool connects the NIC to a message/flit free-list pool — the owning
+// network's, or the owning shard's arena on a sharded network, so every NIC
+// pool stays single-threaded under concurrent shard stepping. See the
+// NIC.pool field and flit.Pool for the ownership rules; attaching a pool
+// disables the Delivered history.
 func (n *NIC) AttachPool(p *flit.Pool) { n.pool = p }
 
 // Reset rewinds the NIC to its just-constructed state: injection queue and

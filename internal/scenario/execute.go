@@ -48,11 +48,12 @@ func Execute(s Spec) (Result, error) {
 }
 
 // ExecuteContext is Execute with a cancellation context: modes with inner
-// parallel or long-running loops (currently the Table III map of
-// ModeWCETMap) abandon undone work and return ctx's error once ctx is
-// cancelled. The sweep engine threads its run context through here, so
-// cancelling a sweep stops analytical scenarios mid-flight just like it
-// stops dispatching new ones.
+// parallel or long-running loops — the Table III map of ModeWCETMap, and
+// the cycle-accurate runs of ModeSimulate and ModeLoadCurve, which poll the
+// context every few thousand simulated cycles — abandon undone work and
+// return ctx's error once ctx is cancelled. The sweep engine threads its
+// run context through here, so cancelling a sweep stops scenarios
+// mid-flight just like it stops dispatching new ones.
 func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
@@ -72,7 +73,7 @@ func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 		err = executeWCTT(s, d, &res)
 	case ModeSimulate:
 		res.Seed = s.Seed
-		err = executeSimulate(s, d, &res)
+		err = executeSimulate(ctx, s, d, &res)
 	case ModeManycore:
 		res.Workload = s.Workload
 		err = executeManycore(s, d, &res)
@@ -85,7 +86,7 @@ func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 		err = executeWCETMap(ctx, s, d, &res)
 	case ModeLoadCurve:
 		res.Seed = s.Seed
-		err = executeLoadCurve(s, d, &res)
+		err = executeLoadCurve(ctx, s, d, &res)
 	default:
 		err = fmt.Errorf("scenario: unknown mode %v", s.Mode)
 	}
@@ -113,8 +114,16 @@ func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
 	return nil
 }
 
-func executeSimulate(s Spec, d mesh.Dim, res *Result) error {
-	net, err := acquireNetwork(network.DefaultConfig(d, s.Design))
+// simConfig is the network configuration of a cycle-accurate scenario: the
+// default platform for its mesh and design, sharded as the spec requests.
+func simConfig(s Spec, d mesh.Dim) network.Config {
+	cfg := network.DefaultConfig(d, s.Design)
+	cfg.Shards = s.Shards
+	return cfg
+}
+
+func executeSimulate(ctx context.Context, s Spec, d mesh.Dim, res *Result) error {
+	net, err := acquireNetwork(simConfig(s, d))
 	if err != nil {
 		return err
 	}
@@ -127,7 +136,10 @@ func executeSimulate(s Spec, d mesh.Dim, res *Result) error {
 	if maxCycles == 0 {
 		maxCycles = defaultSimCycles
 	}
-	injected, done := traffic.Drive(net, gen, maxCycles)
+	injected, done, err := traffic.DriveContext(ctx, net, gen, maxCycles)
+	if err != nil {
+		return err
+	}
 	if !done {
 		return fmt.Errorf("simulation did not complete within %d cycles", maxCycles)
 	}
@@ -198,7 +210,7 @@ func buildGenerator(s Spec, d mesh.Dim) (traffic.Generator, error) {
 // byte-identical to the build-per-point implementation. Execution is
 // single-threaded and seeded, so the produced curve is deterministic; the
 // sweep engine parallelises across scenarios, not within one.
-func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
+func executeLoadCurve(ctx context.Context, s Spec, d mesh.Dim, res *Result) error {
 	t := s.Traffic
 	rates := t.Rates
 	if len(rates) == 0 {
@@ -216,17 +228,20 @@ func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
 	if payload == 0 {
 		payload = traffic.RequestPayloadBits
 	}
-	net, err := acquireNetwork(network.DefaultConfig(d, s.Design))
+	net, err := acquireNetwork(simConfig(s, d))
 	if err != nil {
 		return err
 	}
 	defer releaseNetwork(net)
 	lc := &LoadCurveResult{WarmupCycles: warmup, MeasureCycles: measure}
 	for i, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if i > 0 {
 			net.Reset()
 		}
-		pt, err := runLoadCurvePoint(net, s, d, rate, warmup, measure, payload)
+		pt, err := runLoadCurvePoint(ctx, net, s, d, rate, warmup, measure, payload)
 		if err != nil {
 			return fmt.Errorf("load-curve rate %d: %w", rate, err)
 		}
@@ -236,7 +251,7 @@ func executeLoadCurve(s Spec, d mesh.Dim, res *Result) error {
 	return nil
 }
 
-func runLoadCurvePoint(net *network.Network, s Spec, d mesh.Dim, rate, warmup, measure, payload int) (LoadCurvePoint, error) {
+func runLoadCurvePoint(ctx context.Context, net *network.Network, s Spec, d mesh.Dim, rate, warmup, measure, payload int) (LoadCurvePoint, error) {
 	// The generator is open-loop: the message budget just needs to exceed
 	// anything the windows can produce.
 	gen, err := traffic.NewUniformRandom(d, s.Seed, rate, payload, int(^uint32(0)>>1))
@@ -266,6 +281,11 @@ func runLoadCurvePoint(net *network.Network, s Spec, d mesh.Dim, rate, warmup, m
 	}
 	offered := 0
 	for cycle := 0; cycle < warmup+measure; cycle++ {
+		if cycle&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return LoadCurvePoint{}, err
+			}
+		}
 		for _, msg := range gen.Tick(net.Cycle()) {
 			if _, err := net.Send(msg); err != nil {
 				return LoadCurvePoint{}, err
@@ -280,7 +300,10 @@ func runLoadCurvePoint(net *network.Network, s Spec, d mesh.Dim, rate, warmup, m
 	// to complete. Past saturation the network will not drain — the
 	// latency samples are then censored to the delivered subset, which the
 	// Drained flag makes visible.
-	drained := net.RunUntilDrained(measure)
+	drained, err := net.RunUntilDrainedContext(ctx, measure)
+	if err != nil {
+		return LoadCurvePoint{}, err
+	}
 	return LoadCurvePoint{
 		RatePerMil:         rate,
 		Offered:            offered,

@@ -25,15 +25,28 @@ type netKey struct {
 	width, height int
 	design        network.Design
 	engine        network.Engine
+	shards        int
 }
 
 // cacheable reports whether the configuration is covered by the cache key:
-// the default platform parameters for its mesh/design/engine, with no custom
-// weight table. Anything else is built directly.
+// the default platform parameters for its mesh/design/engine/shard-count,
+// with no custom weight table. Anything else is built directly. The shard
+// count is part of the key — it is fixed at construction time (it sizes the
+// stripe partition and its worker gang), so a cached network can only serve
+// requests for the same partition; the key uses the EFFECTIVE count (the
+// height-capped partition actually built), so requested counts that resolve
+// to the same partition share one cache entry instead of duplicating
+// networks and their parked worker gangs.
 func cacheable(cfg network.Config) bool {
 	want := network.DefaultConfig(cfg.Dim, cfg.Design)
 	want.Engine = cfg.Engine
+	want.Shards = cfg.Shards
 	return cfg == want
+}
+
+// keyFor builds the cache key of a cacheable configuration.
+func keyFor(cfg network.Config) netKey {
+	return netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine, cfg.EffectiveShards()}
 }
 
 // acquireNetwork returns a reset network for the default configuration of
@@ -43,7 +56,7 @@ func acquireNetwork(cfg network.Config) (*network.Network, error) {
 	if !cacheable(cfg) {
 		return network.New(cfg)
 	}
-	key := netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine}
+	key := keyFor(cfg)
 	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
 	pool := entry.(*sync.Pool)
 	if cached, ok := pool.Get().(*network.Network); ok {
@@ -67,7 +80,7 @@ func releaseNetwork(net *network.Network) {
 	}
 	net.Reset()
 	cfg := net.Config()
-	key := netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine}
+	key := keyFor(cfg)
 	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
 	entry.(*sync.Pool).Put(net)
 }

@@ -228,6 +228,13 @@ type Spec struct {
 	// MaxCycles bounds cycle-accurate runs (ModeSimulate, ModeManycore);
 	// 0 selects a mode-specific default.
 	MaxCycles int `json:"max_cycles,omitempty"`
+	// Shards partitions the cycle-accurate simulator of ModeSimulate and
+	// ModeLoadCurve scenarios into that many concurrently stepped row
+	// stripes (network.Config.Shards); 0 or 1 selects the serial engine.
+	// Results are byte-identical for every shard count, so the knob is
+	// pure execution policy — like sweep.Options.Jobs, it never appears
+	// in a Result.
+	Shards int `json:"shards,omitempty"`
 	// Workload names the EEMBC kernel of ModeManycore (required) and
 	// ModeWCETMap (optional, empty = normalised suite map).
 	Workload string `json:"workload,omitempty"`
@@ -358,6 +365,9 @@ func (s Spec) Validate() error {
 	}
 	if s.MaxCycles < 0 {
 		return fmt.Errorf("scenario: negative cycle budget %d", s.MaxCycles)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario: negative shard count %d", s.Shards)
 	}
 	if s.Scale < 0 {
 		return fmt.Errorf("scenario: negative scale %d", s.Scale)

@@ -377,3 +377,70 @@ func TestExecuteContextCancellation(t *testing.T) {
 		t.Errorf("fresh context: %v", err)
 	}
 }
+
+// TestSerialVsShardedByteIdentical is the regression test for the sharded
+// engine at the experiment layer: for every mode, a sweep executed with the
+// serial engine and one executed with sharded cycle-accurate networks must
+// produce byte-identical result JSON — the shard count is execution policy,
+// like the sweep's worker count. The cycle-accurate modes (simulate,
+// load-curve) really exercise the two-phase engine, including the
+// order-sensitive Welford/Chan sampler aggregation behind the load curve's
+// stddev column; the analytical modes pin that the knob is ignored there.
+func TestSerialVsShardedByteIdentical(t *testing.T) {
+	specs := []Spec{
+		{Name: "wctt", Mode: ModeWCTT, Width: 4, Height: 4, Design: network.DesignWaWWaP},
+		{Name: "sim-hot", Mode: ModeSimulate, Width: 4, Height: 4, Design: network.DesignWaWWaP,
+			Seed: 42, Traffic: Traffic{Pattern: "hotspot", Rate: 50, Messages: 200}},
+		{Name: "sim-uni", Mode: ModeSimulate, Width: 4, Height: 5, Design: network.DesignRegular,
+			Seed: 9, Traffic: Traffic{Pattern: "uniform", Rate: 60, Messages: 300}},
+		{Name: "lc", Mode: ModeLoadCurve, Width: 4, Height: 4, Design: network.DesignWaWWaP,
+			Seed: 11, Traffic: Traffic{Rates: []int{50, 400}, WarmupCycles: 500, MeasureCycles: 2000}},
+		{Name: "many", Mode: ModeManycore, Width: 2, Height: 2, Design: network.DesignRegular,
+			Workload: "rspeed", Scale: 500, MaxCycles: 5_000_000},
+		{Name: "pwcet", Mode: ModeParallelWCET, Width: 8, Height: 8, Design: network.DesignWaWWaP},
+		{Name: "map", Mode: ModeWCETMap, Width: 8, Height: 8, Design: network.DesignRegular, Workload: "matrix"},
+	}
+	run := func(shards int) []byte {
+		t.Helper()
+		results := make([]Result, len(specs))
+		for i, spec := range specs {
+			spec.Shards = shards
+			r, err := Execute(spec)
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, spec.Name, err)
+			}
+			results[i] = r
+		}
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	for _, shards := range []int{2, 4} {
+		if sharded := run(shards); string(sharded) != string(serial) {
+			t.Errorf("shards=%d result JSON differs from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				shards, serial, sharded)
+		}
+	}
+}
+
+// TestCycleAccurateCancellation: the cycle-accurate modes poll the context
+// inside a single scenario run, so a cancelled sweep does not wait out a
+// long simulate or load-curve point (previously cancellation only took
+// effect between sweep points).
+func TestCycleAccurateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := []Spec{
+		{Name: "sim", Mode: ModeSimulate, Width: 4, Height: 4, Design: network.DesignRegular,
+			Seed: 3, Traffic: Traffic{Pattern: "uniform", Rate: 10, Messages: 100_000}},
+		{Name: "lc", Mode: ModeLoadCurve, Width: 4, Height: 4, Design: network.DesignRegular, Seed: 3},
+	}
+	for _, spec := range specs {
+		if _, err := ExecuteContext(ctx, spec); err == nil {
+			t.Errorf("%s: cancelled context should abort the scenario", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package pool
+
+import "sync"
+
+// Gang is a reusable set of phase-synchronized worker goroutines: Run hands
+// one function to every worker and returns only when all of them finished it.
+// It is the barrier primitive under the sharded cycle-accurate engine, which
+// calls Run once per phase per simulated cycle — so, unlike ForEach, a Gang
+// keeps its goroutines parked between calls instead of respawning them, and a
+// Run with a pre-built function value performs no heap allocations.
+//
+// Worker 0 runs on the calling goroutine; only workers 1..n-1 are real
+// goroutines. A Gang of one worker therefore degenerates to a plain function
+// call with no synchronization at all.
+//
+// A Gang is not safe for concurrent Run calls; it belongs to one driving
+// loop. Close releases the goroutines; a closed Gang must not be Run again.
+type Gang struct {
+	workers int
+	jobs    []chan func(int) // one handoff channel per spawned worker
+	wg      sync.WaitGroup
+}
+
+// NewGang returns a gang of the given size (minimum 1), with workers-1
+// goroutines parked and ready.
+func NewGang(workers int) *Gang {
+	if workers < 1 {
+		workers = 1
+	}
+	g := &Gang{workers: workers}
+	g.jobs = make([]chan func(int), workers-1)
+	for w := 1; w < workers; w++ {
+		ch := make(chan func(int))
+		g.jobs[w-1] = ch
+		go func(w int, ch chan func(int)) {
+			for fn := range ch {
+				fn(w)
+				g.wg.Done()
+			}
+		}(w, ch)
+	}
+	return g
+}
+
+// Workers returns the gang size.
+func (g *Gang) Workers() int { return g.workers }
+
+// Run invokes fn(w) for every worker index w in [0, Workers()) — fn(0) on the
+// calling goroutine — and returns once every invocation has finished. The
+// return is a full barrier: all memory effects of every fn call
+// happen-before Run returns, which is what lets the sharded engine's commit
+// phase read state the compute phase wrote on other workers.
+func (g *Gang) Run(fn func(worker int)) {
+	g.wg.Add(len(g.jobs))
+	for _, ch := range g.jobs {
+		ch <- fn
+	}
+	fn(0)
+	g.wg.Wait()
+}
+
+// Close releases the worker goroutines. The gang must be idle (no Run in
+// flight); Close is idempotent.
+func (g *Gang) Close() {
+	for _, ch := range g.jobs {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	g.jobs = nil
+}

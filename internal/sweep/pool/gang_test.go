@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestGangRunsEveryWorker checks that one Run invokes fn exactly once per
+// worker index, and that the barrier really waited for all of them.
+func TestGangRunsEveryWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		g := NewGang(workers)
+		if g.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", g.Workers(), workers)
+		}
+		seen := make([]int32, workers)
+		g.Run(func(w int) { atomic.AddInt32(&seen[w], 1) })
+		for w, c := range seen {
+			if c != 1 {
+				t.Errorf("workers=%d: fn ran %d times for worker %d, want 1", workers, c, w)
+			}
+		}
+		g.Close()
+	}
+}
+
+// TestGangReusableBarrier checks the phase-loop usage pattern: many
+// consecutive Run calls, each a full barrier — every effect of phase k is
+// visible to every worker of phase k+1 without extra synchronization.
+func TestGangReusableBarrier(t *testing.T) {
+	const workers, rounds = 4, 500
+	g := NewGang(workers)
+	defer g.Close()
+	counters := make([]int, workers) // written by worker w only
+	for r := 0; r < rounds; r++ {
+		g.Run(func(w int) { counters[w]++ })
+		// Runs on the caller between barriers: reads all workers' writes.
+		total := 0
+		for _, c := range counters {
+			total += c
+		}
+		if total != (r+1)*workers {
+			t.Fatalf("round %d: total %d, want %d", r, total, (r+1)*workers)
+		}
+	}
+}
+
+// TestGangMinimumSize checks that sizes below one clamp to a single worker
+// (which runs on the caller, spawning nothing).
+func TestGangMinimumSize(t *testing.T) {
+	g := NewGang(0)
+	defer g.Close()
+	if g.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", g.Workers())
+	}
+	ran := false
+	g.Run(func(w int) {
+		if w != 0 {
+			t.Errorf("worker index %d, want 0", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("fn did not run")
+	}
+}
+
+// TestGangCloseIdempotent checks Close can be called repeatedly.
+func TestGangCloseIdempotent(t *testing.T) {
+	g := NewGang(3)
+	g.Run(func(int) {})
+	g.Close()
+	g.Close()
+}

@@ -12,6 +12,7 @@
 package traffic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -339,22 +340,43 @@ func (t *Trace) NextEvent(now uint64) (uint64, bool) {
 // the return values — is identical to the cycle-by-cycle loop, because only
 // provably no-op cycles are skipped; idle, warmup and drain windows just
 // cost O(events) instead of O(cycles).
+//
+// Injection is deliberately serial even when the network steps its shards
+// concurrently: the generators' pseudo-random draw stream defines the
+// workload, and consuming it in any order other than the serial engine's
+// would change the traffic itself. Send is cheap (packetization into the
+// source NIC's queue) next to Step, which is where the shards parallelize.
 func Drive(net *network.Network, gen Generator, maxCycles int) (int, bool) {
+	injected, done, _ := DriveContext(context.Background(), net, gen, maxCycles)
+	return injected, done
+}
+
+// DriveContext is Drive with cooperative cancellation, polled every few
+// thousand iterations so even a single long simulate point honours a sweep's
+// cancellation. It additionally returns ctx's error when the run was
+// abandoned before completing (the injected count and completion flag then
+// describe the partial run).
+func DriveContext(ctx context.Context, net *network.Network, gen Generator, maxCycles int) (int, bool, error) {
 	AttachNetworkPool(gen, net)
 	injected := 0
 	if maxCycles <= 0 {
-		return injected, gen.Done() && net.Drained()
+		return injected, gen.Done() && net.Drained(), nil
 	}
 	es, _ := gen.(EventSource)
 	deadline := net.Cycle() + uint64(maxCycles)
-	for net.Cycle() < deadline {
+	for iter := 0; net.Cycle() < deadline; iter++ {
+		if iter&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return injected, false, err
+			}
+		}
 		for _, msg := range gen.Tick(net.Cycle()) {
 			if _, err := net.Send(msg); err == nil {
 				injected++
 			}
 		}
 		if gen.Done() && net.Drained() {
-			return injected, true
+			return injected, true, nil
 		}
 		if es != nil && net.Leapable() {
 			// min(horizons): the generator's next event, capped by the
@@ -369,5 +391,10 @@ func Drive(net *network.Network, gen Generator, maxCycles int) (int, bool) {
 		}
 		net.Step()
 	}
-	return injected, gen.Done() && net.Drained()
+	return injected, gen.Done() && net.Drained(), nil
 }
+
+// ctxPollMask throttles the cancellation poll of DriveContext to once every
+// 4096 loop iterations — invisible next to a simulated cycle, while keeping
+// the cancellation latency bounded.
+const ctxPollMask = 1<<12 - 1

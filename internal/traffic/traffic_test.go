@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/flit"
@@ -217,5 +218,38 @@ func TestDrawSourceMatchesMathRand(t *testing.T) {
 		if want, got := ref.Intn(n), fast.intn(n); want != got {
 			t.Fatalf("interleaved draw %d (n=%d): math/rand %d, drawSource %d", i, n, want, got)
 		}
+	}
+}
+
+// TestDriveContextCancellation: a cancelled context aborts DriveContext with
+// the context's error instead of running out the cycle budget, and a live
+// context leaves the outcome identical to Drive.
+func TestDriveContextCancellation(t *testing.T) {
+	d := mesh.MustDim(4, 4)
+	mk := func() (*network.Network, Generator) {
+		net := network.MustNew(network.DefaultConfig(d, network.DesignWaWWaP))
+		g, err := NewHotspot(d, mesh.Node{X: 0, Y: 0}, 11, 40, RequestPayloadBits, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, g
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net, g := mk()
+	if _, done, err := DriveContext(ctx, net, g, 100000); err == nil || done {
+		t.Errorf("cancelled DriveContext: done=%v err=%v, want aborted", done, err)
+	}
+
+	net, g = mk()
+	refNet, refG := mk()
+	injected, done, err := DriveContext(context.Background(), net, g, 100000)
+	if err != nil || !done {
+		t.Fatalf("live DriveContext: done=%v err=%v", done, err)
+	}
+	refInjected, refDone := Drive(refNet, refG, 100000)
+	if injected != refInjected || done != refDone || net.Cycle() != refNet.Cycle() {
+		t.Errorf("DriveContext (%d, %v, cycle %d) diverged from Drive (%d, %v, cycle %d)",
+			injected, done, net.Cycle(), refInjected, refDone, refNet.Cycle())
 	}
 }
