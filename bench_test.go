@@ -7,8 +7,10 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/network"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 	"repro/internal/traffic"
 	"repro/internal/wcet"
@@ -528,4 +531,139 @@ func BenchmarkWorkloadModels(b *testing.B) {
 	}
 	b.ReportMetric(float64(kernels), "eembc-kernels")
 	b.ReportMetric(float64(exchanges), "3dpp-exchanges-per-thread")
+}
+
+// buildServePairs enumerates every distinct (src, dst) flow of the mesh —
+// the query working set of the serve benchmarks.
+func buildServePairs(d mesh.Dim) [][2]mesh.Node {
+	nodes := d.AllNodes()
+	pairs := make([][2]mesh.Node, 0, len(nodes)*(len(nodes)-1))
+	for _, s := range nodes {
+		for _, t := range nodes {
+			if s != t {
+				pairs = append(pairs, [2]mesh.Node{s, t})
+			}
+		}
+	}
+	return pairs
+}
+
+// buildServeBatch renders `queries` WCTT tuples (cycling through pairs) as
+// batch-verb protocol lines of at most 65536 tuples each.
+func buildServeBatch(pairs [][2]mesh.Node, queries int) []byte {
+	var buf bytes.Buffer
+	const perLine = 65536
+	for q := 0; q < queries; {
+		n := min(perLine, queries-q)
+		buf.WriteString(`{"id":1,"op":"batch","design":"waw+wap","width":8,"height":8,"queries":[`)
+		for i := 0; i < n; i++ {
+			p := pairs[(q+i)%len(pairs)]
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "[%d,%d,%d,%d]", p[0].X, p[0].Y, p[1].X, p[1].Y)
+		}
+		buf.WriteString("]}\n")
+		q += n
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkServe measures the latency-oracle daemon end to end through
+// ServeLines: protocol parse, memo probe, response encode. batch-warm is
+// the headline number — vectorised warm-cache analytical queries, the
+// million-QPS path of the serving layer; wctt-lines pays the full
+// line-protocol overhead (one JSON object parse per query) as a contrast.
+// Every op is one query, so ns/op is per-query cost and queries/s the
+// throughput. The examples/servebench harness reports the same workload
+// with concurrent connections.
+func BenchmarkServe(b *testing.B) {
+	pairs := buildServePairs(mesh.MustDim(8, 8))
+	b.Run("batch-warm", func(b *testing.B) {
+		srv := serve.New(0, 0)
+		defer srv.Close()
+		warm := buildServeBatch(pairs, len(pairs))
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(warm), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		in := buildServeBatch(pairs, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(in), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("batch-cold-memo", func(b *testing.B) {
+		// Same workload against fresh singleflight-guarded computations on
+		// the first lap: the warm/cold ratio is what the concurrent LRU and
+		// memo sharing buy the serving layer.
+		srv := serve.New(0, 0)
+		defer srv.Close()
+		in := buildServeBatch(pairs, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(in), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("wctt-lines", func(b *testing.B) {
+		srv := serve.New(0, 0)
+		defer srv.Close()
+		warm := buildServeBatch(pairs, len(pairs))
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(warm), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			fmt.Fprintf(&buf, `{"id":%d,"op":"wctt","design":"waw+wap","width":8,"height":8,"src":{"x":%d,"y":%d},"dst":{"x":%d,"y":%d}}`+"\n",
+				i+1, p[0].X, p[0].Y, p[1].X, p[1].Y)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(buf.Bytes()), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("wcet-batch-warm", func(b *testing.B) {
+		srv := serve.New(0, 0)
+		defer srv.Close()
+		d := mesh.MustDim(8, 8)
+		nodes := d.AllNodes()
+		buildWCET := func(queries int) []byte {
+			var buf bytes.Buffer
+			const perLine = 65536
+			for q := 0; q < queries; {
+				n := min(perLine, queries-q)
+				buf.WriteString(`{"id":1,"op":"wcet-batch","design":"waw+wap","width":8,"height":8,"workload":"a2time","queries":[`)
+				for i := 0; i < n; i++ {
+					c := nodes[(q+i)%len(nodes)]
+					if i > 0 {
+						buf.WriteByte(',')
+					}
+					fmt.Fprintf(&buf, "[%d,%d]", c.X, c.Y)
+				}
+				buf.WriteString("]}\n")
+				q += n
+			}
+			return buf.Bytes()
+		}
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(buildWCET(len(nodes))), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		in := buildWCET(b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(in), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }

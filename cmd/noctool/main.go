@@ -17,6 +17,8 @@
 //	area        Section III— NoC area overhead of WaW+WaP
 //	simulate    cycle-accurate hotspot simulation of both designs
 //	sweep       declarative scenario grid run on the parallel sweep engine
+//	serve       long-running timing daemon speaking the JSON-line protocol
+//	            of PROTOCOL.md over stdin/stdout, TCP and HTTP
 //
 // The sweep command additionally offers -mode load-curve, which sweeps
 // sustained uniform-random injection rates per design point and emits the
@@ -47,6 +49,7 @@ var commands = map[string]func(args []string, w io.Writer) error{
 	"area":       cmdArea,
 	"simulate":   cmdSimulate,
 	"sweep":      cmdSweep,
+	"serve":      cmdServe,
 }
 
 func usage() {
@@ -65,6 +68,9 @@ Commands:
   simulate     cycle-accurate hotspot simulation comparing both designs
   sweep        run a scenario grid (sizes x designs x workloads) in parallel
                (-mode load-curve sweeps injection rates into saturation curves)
+  serve        run the NoC timing daemon: WCTT/WCET queries and scenario
+               specs over the JSON-line protocol (stdin/stdout, -listen TCP,
+               -http HTTP; see PROTOCOL.md)
 
 Run "noctool <command> -h" for command-specific flags. Every command accepts
 -format text|csv|markdown|json; sweep additionally accepts -jobs.

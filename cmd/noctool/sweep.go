@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sweep"
-	"repro/internal/sweep/pool"
 	"repro/internal/tablegen"
 )
 
@@ -28,7 +27,7 @@ func cmdSweep(args []string, w io.Writer) error {
 	designs := fs.String("designs", "regular,waw+wap", "comma-separated design points (regular, waw+wap, waw-only, wap-only)")
 	workloads := fs.String("workloads", "", "comma-separated EEMBC kernels (manycore mode)")
 	jobs := fs.Int("jobs", 0, "parallel workers; 0 = GOMAXPROCS")
-	shards := fs.Int("shards", 1, "engine shards per cycle-accurate scenario (simulate and load-curve modes); 1 = serial, 0 = auto (GOMAXPROCS divided by the sweep workers)")
+	shards := fs.Int("shards", 1, "engine shards per cycle-accurate scenario (simulate and load-curve modes); 1 = serial, 0 = auto (GOMAXPROCS split between concurrent grid points and each point's shard gang)")
 	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate and load-curve modes)")
 	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp or neighbor")
 	rate := fs.Int("rate", 0, "traffic injection rate (simulate mode); 0 = pattern default")
@@ -109,15 +108,6 @@ func cmdSweep(args []string, w io.Writer) error {
 			return fmt.Errorf("flag -%s is not supported in -mode %v", name, m)
 		}
 	}
-	// The engine shard count is execution policy, not part of the scenario
-	// identity: results are byte-identical for every value (pinned by the
-	// sharded-equivalence tests), so auto-resolution cannot change output.
-	// Auto divides the CPUs among the sweep workers — each worker steps its
-	// own sharded network, so resolving both knobs to GOMAXPROCS would
-	// oversubscribe every core with barrier-synchronized shard gangs.
-	if *shards == 0 {
-		*shards = max(1, pool.Jobs(0)/min(pool.Jobs(*jobs), pool.Jobs(0)))
-	}
 	if *shards < 0 {
 		return fmt.Errorf("sweep: negative shard count %d", *shards)
 	}
@@ -146,7 +136,13 @@ func cmdSweep(args []string, w io.Writer) error {
 		}
 	}
 
-	opts := sweep.Options{Jobs: *jobs}
+	// The engine shard count is execution policy, not part of the scenario
+	// identity: results are byte-identical for every value (pinned by the
+	// sharded-equivalence tests), so auto-resolution cannot change output.
+	// -shards 0 defers to sweep.AutoShards, which splits GOMAXPROCS between
+	// the concurrently running points and each point's shard gang once the
+	// grid size is known.
+	opts := sweep.Options{Jobs: *jobs, AutoShards: *shards == 0}
 	if *progress {
 		opts.Progress = func(done, total int, r scenario.Result) {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s\n", done, total, r.Name)

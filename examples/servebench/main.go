@@ -1,0 +1,196 @@
+// Servebench: the load harness of the NoC timing daemon. It drives
+// warm-cache analytical WCTT queries through the serve layer — vectorised
+// batch-verb lines over multiple concurrent connections — and reports the
+// sustained queries/sec plus the daemon's own counters (memo hit rate,
+// latency quantiles). This is the million-QPS demonstration of the serving
+// layer: every query travels the full protocol path (line framing, tuple
+// parse, memo probe, response encode).
+//
+// By default the daemon runs in-process (the connections are in-memory
+// pipes, so the number measures the serving stack, not the kernel's TCP
+// path). With -tcp ADDR the harness dials an external daemon started with
+// `noctool serve -listen ADDR` instead.
+//
+// Run with:
+//
+//	go run ./examples/servebench
+//	go run ./examples/servebench -queries 2000000 -conns 4 -batch 8192
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/serve"
+)
+
+func main() {
+	queries := flag.Int("queries", 1_000_000, "total warm-cache WCTT queries to fire")
+	batch := flag.Int("batch", 8192, "queries per batch-verb line")
+	conns := flag.Int("conns", 2, "concurrent connections")
+	size := flag.Int("size", 8, "square mesh size the queries target")
+	design := flag.String("design", "waw+wap", "design point to query")
+	tcp := flag.String("tcp", "", "dial an external daemon at this address instead of serving in-process")
+	flag.Parse()
+
+	d := mesh.MustDim(*size, *size)
+	pairs := allPairs(d)
+	fmt.Printf("servebench: %d queries (%s, %dx%d, %d flows), %d/conn-batch, %d conns\n",
+		*queries, *design, *size, *size, len(pairs), *batch, *conns)
+
+	// Pre-render each connection's request stream so the timed section
+	// measures serving, not request generation.
+	perConn := (*queries + *conns - 1) / *conns
+	streams := make([][]byte, *conns)
+	for c := range streams {
+		streams[c] = renderBatches(pairs, *design, d, perConn, *batch, c)
+	}
+
+	var srv *serve.Server
+	fire := func(stream []byte) (int, error) { return 0, nil }
+	if *tcp == "" {
+		srv = serve.New(0, 0)
+		defer srv.Close()
+		// Warm the model memo through the same protocol path the timed
+		// queries use.
+		warm := renderBatches(pairs, *design, d, len(pairs), *batch, 0)
+		if err := srv.ServeLines(context.Background(), bytes.NewReader(warm), io.Discard); err != nil {
+			log.Fatal(err)
+		}
+		fire = func(stream []byte) (int, error) {
+			var count countWriter
+			err := srv.ServeLines(context.Background(), bytes.NewReader(stream), &count)
+			return count.lines, err
+		}
+	} else {
+		warm := renderBatches(pairs, *design, d, len(pairs), *batch, 0)
+		if _, err := fireTCP(*tcp, warm); err != nil {
+			log.Fatal(err)
+		}
+		fire = func(stream []byte) (int, error) { return fireTCP(*tcp, stream) }
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	responses := make([]int, *conns)
+	errs := make([]error, *conns)
+	for c := range streams {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			responses[c], errs[c] = fire(streams[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := 0
+	for c := range responses {
+		if errs[c] != nil {
+			log.Fatalf("conn %d: %v", c, errs[c])
+		}
+		total += responses[c]
+	}
+
+	qps := float64(*conns*perConn) / elapsed.Seconds()
+	fmt.Printf("servebench: %d responses in %s — %.0f queries/s\n", total, elapsed.Round(time.Millisecond), qps)
+	if srv != nil {
+		st := srv.Stats()
+		hitRate := 0.0
+		if st.WCTTMemoHits+st.WCTTMemoMisses > 0 {
+			hitRate = 100 * float64(st.WCTTMemoHits) / float64(st.WCTTMemoHits+st.WCTTMemoMisses)
+		}
+		fmt.Printf("servebench: memo hit rate %.2f%% (%d hits, %d misses, %d coalesced)\n",
+			hitRate, st.WCTTMemoHits, st.WCTTMemoMisses, st.Coalesced)
+		fmt.Printf("servebench: per-line latency p50 <= %s, p99 <= %s\n",
+			time.Duration(st.Latency.P50NS), time.Duration(st.Latency.P99NS))
+	}
+}
+
+// allPairs enumerates every distinct (src, dst) flow of the mesh.
+func allPairs(d mesh.Dim) [][2]mesh.Node {
+	nodes := d.AllNodes()
+	pairs := make([][2]mesh.Node, 0, len(nodes)*(len(nodes)-1))
+	for _, s := range nodes {
+		for _, t := range nodes {
+			if s != t {
+				pairs = append(pairs, [2]mesh.Node{s, t})
+			}
+		}
+	}
+	return pairs
+}
+
+// renderBatches renders `queries` WCTT tuples (cycling through pairs,
+// offset so connections disagree about order) into batch-verb lines.
+func renderBatches(pairs [][2]mesh.Node, design string, d mesh.Dim, queries, batch, offset int) []byte {
+	var buf bytes.Buffer
+	id := 1
+	for q := 0; q < queries; {
+		n := min(batch, queries-q)
+		fmt.Fprintf(&buf, `{"id":%d,"op":"batch","design":"%s","width":%d,"height":%d,"queries":[`,
+			id, design, d.Width, d.Height)
+		for i := 0; i < n; i++ {
+			p := pairs[(offset+q+i)%len(pairs)]
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "[%d,%d,%d,%d]", p[0].X, p[0].Y, p[1].X, p[1].Y)
+		}
+		buf.WriteString("]}\n")
+		q += n
+		id++
+	}
+	return buf.Bytes()
+}
+
+// countWriter counts response lines without retaining them.
+type countWriter struct{ lines int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.lines += bytes.Count(p, []byte("\n"))
+	return len(p), nil
+}
+
+// fireTCP writes the stream to a fresh connection and reads responses until
+// the daemon answers every line (the write side is half-closed so the
+// daemon sees EOF and drains the connection).
+func fireTCP(addr string, stream []byte) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	want := bytes.Count(stream, []byte("\n"))
+	var wg sync.WaitGroup
+	var writeErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := conn.Write(stream); err != nil {
+			writeErr = err
+		}
+		if cw, ok := conn.(*net.TCPConn); ok {
+			_ = cw.CloseWrite()
+		}
+	}()
+	var count countWriter
+	if _, err := io.Copy(&count, conn); err != nil {
+		return count.lines, err
+	}
+	wg.Wait()
+	if writeErr != nil {
+		return count.lines, writeErr
+	}
+	if count.lines != want {
+		return count.lines, fmt.Errorf("servebench: %d responses for %d requests", count.lines, want)
+	}
+	return count.lines, nil
+}

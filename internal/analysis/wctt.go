@@ -385,6 +385,27 @@ func (m *Model) MessageWCTT(design network.Design, src, dst mesh.Node, payloadBi
 	return v, nil
 }
 
+// CachedMessageWCTT probes the memo without computing: it returns the
+// memoised bound for the query when one exists. The serve daemon's batch
+// hot path uses it to split warm queries (a single lock-free map load) from
+// cold ones, which it coalesces through a singleflight group before paying
+// for the computation.
+func (m *Model) CachedMessageWCTT(design network.Design, src, dst mesh.Node, payloadBits int) (uint64, bool) {
+	if !m.p.Dim.Contains(src) || !m.p.Dim.Contains(dst) {
+		return 0, false
+	}
+	key := memoKey{
+		design:      design,
+		src:         int32(src.Y*m.p.Dim.Width + src.X),
+		dst:         int32(dst.Y*m.p.Dim.Width + dst.X),
+		payloadBits: payloadBits,
+	}
+	if v, ok := m.memo.Load(key); ok {
+		return v.(uint64), true
+	}
+	return 0, false
+}
+
 func (m *Model) messageWCTT(design network.Design, src, dst mesh.Node, payloadBits int) (uint64, error) {
 	link := m.p.Link
 	switch design {

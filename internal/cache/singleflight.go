@@ -1,0 +1,71 @@
+package cache
+
+import "sync"
+
+// Group coalesces identical in-flight computations (singleflight
+// semantics): when N callers Do the same key concurrently, one runs fn and
+// the other N-1 block and receive that computation's result. Because every
+// computation behind a Group in this repository is deterministic, sharing a
+// result is indistinguishable from recomputing it — which is what makes
+// coalescing safe to drop under the serve daemon's query paths.
+//
+// The zero Group is ready to use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg     sync.WaitGroup
+	val    V
+	err    error
+	others int // callers that joined after the leader
+}
+
+// Do returns the result of fn for key, running it at most once per set of
+// concurrent callers. shared reports whether the result was handed to more
+// than one caller (true for the leader too, once a follower joined).
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		c.others++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	shared = c.others > 0
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, shared
+}
+
+// waiters reports how many callers joined the in-flight computation of key
+// after its leader (0 when nothing is in flight) — a test hook for pinning
+// coalescing behaviour deterministically.
+func (g *Group[K, V]) waiters(key K) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.others
+	}
+	return 0
+}
+
+// InFlight reports the number of keys currently being computed.
+func (g *Group[K, V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

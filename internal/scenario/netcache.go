@@ -2,24 +2,36 @@ package scenario
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/network"
 )
 
 // netCache pools constructed networks per configuration so that sweep
-// workers reuse one topology (routers, NICs, precomputed WaW weight tables,
-// message/flit pools) across scenario executions and load-curve rate points
-// instead of reallocating it per point. Network.Reset guarantees a reused
-// network behaves identically to a freshly constructed one, so cache hits
-// cannot change any result — the sweep determinism tests run the same grids
-// with different worker counts (and therefore different reuse patterns) and
-// require byte-identical output.
+// workers and serve-daemon request handlers reuse one topology (routers,
+// NICs, precomputed WaW weight tables, message/flit pools) across scenario
+// executions and load-curve rate points instead of reallocating it per
+// point. Network.Reset guarantees a reused network behaves identically to a
+// freshly constructed one, so cache hits cannot change any result — the
+// sweep determinism tests run the same grids with different worker counts
+// (and therefore different reuse patterns) and require byte-identical
+// output.
 //
-// The map is keyed by the configuration's identity and holds one sync.Pool
-// per key; sync.Pool gives per-P caching (no lock contention between sweep
-// workers) and lets idle networks be reclaimed by the garbage collector.
-var netCache sync.Map // netKey -> *sync.Pool
+// The pool is a bounded, sharded, concurrent checkout cache (see
+// cache.Pool), replacing the PR-3 sync.Pool-per-key design: idle networks
+// are now retained by strong references inside an explicit bound rather
+// than dropped wholesale at the next GC cycle — a long-running server keeps
+// its working set warm across requests — and the least-recently-used
+// configuration is evicted (and Closed, parking its shard gang) when the
+// bound is hit. Hit/miss/eviction counters feed the serve stats verb.
+var netCache = cache.NewPool[netKey, *network.Network](netCacheCapacity,
+	func(_ netKey, n *network.Network) { n.Close() })
+
+// netCacheCapacity bounds the idle networks retained across all
+// configurations. Networks are the heaviest cached objects (a 32x32 mesh
+// with its pools runs to megabytes); the bound covers a sweep's worth of
+// distinct configurations times a few concurrent workers.
+const netCacheCapacity = 64
 
 type netKey struct {
 	width, height int
@@ -56,10 +68,7 @@ func acquireNetwork(cfg network.Config) (*network.Network, error) {
 	if !cacheable(cfg) {
 		return network.New(cfg)
 	}
-	key := keyFor(cfg)
-	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
-	pool := entry.(*sync.Pool)
-	if cached, ok := pool.Get().(*network.Network); ok {
+	if cached, ok := netCache.Get(keyFor(cfg)); ok {
 		if cached.Config().Design != cfg.Design || cached.Config().Dim != cfg.Dim {
 			panic(fmt.Sprintf("scenario: network cache returned %v/%v for %v/%v",
 				cached.Config().Dim, cached.Config().Design, cfg.Dim, cfg.Design))
@@ -79,8 +88,5 @@ func releaseNetwork(net *network.Network) {
 		return
 	}
 	net.Reset()
-	cfg := net.Config()
-	key := keyFor(cfg)
-	entry, _ := netCache.LoadOrStore(key, &sync.Pool{})
-	entry.(*sync.Pool).Put(net)
+	netCache.Put(keyFor(net.Config()), net)
 }

@@ -1,0 +1,226 @@
+// Package serve turns the compiled analytical engines and cached networks
+// of this repository into a long-running NoC timing service: a daemon
+// speaking a JSON-line batch protocol on stdin/stdout, TCP and HTTP,
+// answering (design, mesh, src, dst, bytes) WCTT/WCET queries and whole
+// scenario.Spec submissions. This inverts the uPIMulator-BookSim2
+// architecture — there a main engine drives an external NoC timing service
+// over a JSON line protocol; here we are the timing service.
+//
+// The serving concerns are the feature: queries are answered from the same
+// bounded concurrent caches the sweep path uses (internal/cache via the
+// scenario layer), identical in-flight computations are coalesced
+// (singleflight), the per-connection pipeline applies bounded-queue
+// backpressure, and shutdown drains in-flight batches without dropping
+// responses. Identical queries return byte-identical JSON to the one-shot
+// CLI, pinned by goldens.
+//
+// See PROTOCOL.md at the repository root for the wire format.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+// Coord is a mesh node in wire format ({"x":..,"y":..}).
+type Coord struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// Request is one protocol line. Op selects the verb; the other fields are
+// read by the verbs that need them (see PROTOCOL.md):
+//
+//	ping        liveness probe
+//	wctt        one analytical WCTT bound: design, width, height, src, dst,
+//	            payload_bits (0 = the platform's one-flit request payload)
+//	wcet        one per-core WCET estimate: design, width, height, core,
+//	            workload, max_packet_flits (0 = platform default)
+//	batch       a vector of WCTT queries sharing design/mesh/payload:
+//	            queries = [[sx,sy,dx,dy], [sx,sy,dx,dy,payload_bits], ...]
+//	wcet-batch  a vector of WCET queries sharing design/mesh/workload:
+//	            queries = [[cx,cy], ...]
+//	scenario    a whole concrete scenario.Spec; the response embeds the
+//	            scenario.Result JSON byte-identical to the one-shot CLI
+//	stats       server counters, cache stats and the latency histogram
+type Request struct {
+	ID             int64           `json:"id,omitempty"`
+	Op             string          `json:"op"`
+	Design         string          `json:"design,omitempty"`
+	Width          int             `json:"width,omitempty"`
+	Height         int             `json:"height,omitempty"`
+	Src            *Coord          `json:"src,omitempty"`
+	Dst            *Coord          `json:"dst,omitempty"`
+	PayloadBits    int             `json:"payload_bits,omitempty"`
+	Core           *Coord          `json:"core,omitempty"`
+	Workload       string          `json:"workload,omitempty"`
+	MaxPacketFlits int             `json:"max_packet_flits,omitempty"`
+	Queries        json.RawMessage `json:"queries,omitempty"`
+	Spec           *scenario.Spec  `json:"spec,omitempty"`
+}
+
+// Responses are emitted as hand-built JSON so the hot path never pays
+// reflection and the byte layout is pinned:
+//
+//	{"id":1,"ok":true,"cycles":123}
+//	{"id":2,"ok":true,"cycles":[1,2,3]}
+//	{"id":3,"ok":true,"result":{...}}   (raw scenario.Result JSON)
+//	{"id":4,"ok":true,"stats":{...}}
+//	{"id":5,"ok":true}
+//	{"id":6,"ok":false,"error":"..."}
+
+// appendHeader starts a response object. The id field is always present —
+// echoing 0 for requests that did not set one keeps the layout fixed.
+func appendHeader(buf []byte, id int64, ok bool) []byte {
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendInt(buf, id, 10)
+	if ok {
+		buf = append(buf, `,"ok":true`...)
+	} else {
+		buf = append(buf, `,"ok":false`...)
+	}
+	return buf
+}
+
+// appendError finishes an error response.
+func appendError(buf []byte, id int64, err error) []byte {
+	buf = appendHeader(buf, id, false)
+	buf = append(buf, `,"error":`...)
+	msg, marshalErr := json.Marshal(err.Error())
+	if marshalErr != nil {
+		msg = []byte(`"internal error"`)
+	}
+	buf = append(buf, msg...)
+	return append(buf, '}')
+}
+
+// errorResponse builds a standalone error line.
+func errorResponse(id int64, err error) []byte { return appendError(nil, id, err) }
+
+// appendCycles finishes a single-value response.
+func appendCycles(buf []byte, id int64, cycles uint64) []byte {
+	buf = appendHeader(buf, id, true)
+	buf = append(buf, `,"cycles":`...)
+	buf = strconv.AppendUint(buf, cycles, 10)
+	return append(buf, '}')
+}
+
+// tupleFunc receives one parsed integer tuple of a batch queries array.
+type tupleFunc func(vals []int64) error
+
+// parseTuples scans a JSON array of flat integer arrays —
+// [[1,2,3,4],[5,6,7,8],...] — calling fn once per inner array with between
+// minLen and maxLen elements. It is a hand-rolled scanner because this is
+// the serving hot path: a million-query batch must not pay
+// encoding/json reflection per tuple. The grammar accepted is exactly JSON
+// restricted to arrays of arrays of (optionally negative) integers; any
+// other byte is an error.
+func parseTuples(raw []byte, minLen, maxLen int, fn tupleFunc) error {
+	vals := make([]int64, 0, maxLen)
+	i := skipSpace(raw, 0)
+	if i >= len(raw) || raw[i] != '[' {
+		return fmt.Errorf("queries: expected '[' at offset %d", i)
+	}
+	i = skipSpace(raw, i+1)
+	if i < len(raw) && raw[i] == ']' {
+		return checkTail(raw, i+1) // empty batch
+	}
+	for {
+		if i >= len(raw) || raw[i] != '[' {
+			return fmt.Errorf("queries: expected tuple '[' at offset %d", i)
+		}
+		i = skipSpace(raw, i+1)
+		vals = vals[:0]
+		for {
+			v, next, err := parseInt(raw, i)
+			if err != nil {
+				return err
+			}
+			if len(vals) == maxLen {
+				return fmt.Errorf("queries: tuple longer than %d at offset %d", maxLen, i)
+			}
+			vals = append(vals, v)
+			i = skipSpace(raw, next)
+			if i >= len(raw) {
+				return fmt.Errorf("queries: unterminated tuple")
+			}
+			if raw[i] == ',' {
+				i = skipSpace(raw, i+1)
+				continue
+			}
+			if raw[i] == ']' {
+				i++
+				break
+			}
+			return fmt.Errorf("queries: unexpected byte %q at offset %d", raw[i], i)
+		}
+		if len(vals) < minLen {
+			return fmt.Errorf("queries: tuple needs at least %d elements, got %d", minLen, len(vals))
+		}
+		if err := fn(vals); err != nil {
+			return err
+		}
+		i = skipSpace(raw, i)
+		if i >= len(raw) {
+			return fmt.Errorf("queries: unterminated array")
+		}
+		if raw[i] == ',' {
+			i = skipSpace(raw, i+1)
+			continue
+		}
+		if raw[i] == ']' {
+			return checkTail(raw, i+1)
+		}
+		return fmt.Errorf("queries: unexpected byte %q at offset %d", raw[i], i)
+	}
+}
+
+// skipSpace advances past JSON whitespace.
+func skipSpace(raw []byte, i int) int {
+	for i < len(raw) {
+		switch raw[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// checkTail verifies only whitespace follows the closing bracket.
+func checkTail(raw []byte, i int) error {
+	if i = skipSpace(raw, i); i != len(raw) {
+		return fmt.Errorf("queries: trailing data at offset %d", i)
+	}
+	return nil
+}
+
+// parseInt reads one (optionally negative) decimal integer.
+func parseInt(raw []byte, i int) (int64, int, error) {
+	neg := false
+	if i < len(raw) && raw[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(raw) && raw[i] >= '0' && raw[i] <= '9' {
+		d := int64(raw[i] - '0')
+		if v > (1<<62)/10 {
+			return 0, 0, fmt.Errorf("queries: integer overflow at offset %d", start)
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == start {
+		return 0, 0, fmt.Errorf("queries: expected integer at offset %d", i)
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, nil
+}

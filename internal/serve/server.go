@@ -1,0 +1,567 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/sweep/pool"
+	"repro/internal/traffic"
+	"repro/internal/wcet"
+	"repro/internal/workload"
+)
+
+const (
+	// defaultQueueDepth bounds each connection's ordered-response queue (and
+	// the shared worker task queue): at most this many lines are admitted
+	// ahead of the writer, after which the reader blocks — backpressure
+	// instead of unbounded buffering.
+	defaultQueueDepth = 256
+
+	// maxLineBytes bounds one protocol line. A million-query batch verb line
+	// runs to ~16 MB of tuples; 64 MB leaves headroom without letting one
+	// line exhaust memory.
+	maxLineBytes = 64 << 20
+)
+
+// wcttKey identifies one analytical bound computation for coalescing:
+// model parameters plus the full query tuple.
+type wcttKey struct {
+	p           analysis.Params
+	design      network.Design
+	src, dst    mesh.Node
+	payloadBits int
+}
+
+// engineFlightKey identifies one compiled-engine construction.
+type engineFlightKey struct {
+	dim            mesh.Dim
+	maxPacketFlits int
+}
+
+// Server answers protocol lines over any number of concurrent transports
+// (stdin pipe, TCP connections, HTTP bodies) from one shared worker pool
+// and the scenario layer's shared caches. Identical in-flight computations
+// are coalesced; responses on each transport come back in request order.
+//
+// Caches, coalescing and worker scheduling are execution policy, never
+// result identity: a query answered from a warm memo is byte-identical to
+// one computed cold, and both are byte-identical to the one-shot CLI.
+type Server struct {
+	workers *pool.Workers
+	queue   int
+	stats   counters
+
+	wcttFlight   cache.Group[wcttKey, uint64]
+	engineFlight cache.Group[engineFlightKey, *wcet.Engine]
+	specFlight   cache.Group[string, []byte]
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	closeOnce sync.Once
+	inflight  sync.WaitGroup // active ServeLines loops
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	readers   map[deadlineReader]struct{}
+}
+
+// deadlineReader is a blocking line source Shutdown can unblock: net.Conn
+// and *os.File (pipes, stdin) both implement it.
+type deadlineReader interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// New builds a server with the given worker count (<1 = GOMAXPROCS, the
+// pool.Jobs convention) and per-connection response-queue depth (<1 = the
+// default). The worker pool is shared by every transport the server is
+// attached to, so total concurrency is bounded regardless of connection
+// count.
+func New(workers, queue int) *Server {
+	if queue < 1 {
+		queue = defaultQueueDepth
+	}
+	return &Server{
+		workers:   pool.NewWorkers(workers, queue),
+		queue:     queue,
+		drainCh:   make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		readers:   make(map[deadlineReader]struct{}),
+	}
+}
+
+// draining reports whether Shutdown has been called.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown gracefully drains the server: line admission stops everywhere
+// (listeners close, blocked reads are unblocked, readers stop at the next
+// line boundary), every already-admitted line is handled and its response
+// written, then Shutdown returns. It is idempotent and safe to call
+// concurrently with serving.
+func (s *Server) Shutdown() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.mu.Lock()
+	for ln := range s.listeners {
+		_ = ln.Close()
+	}
+	for r := range s.readers {
+		_ = r.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// Close drains the server and releases its worker pool. The server cannot
+// be reused afterwards.
+func (s *Server) Close() {
+	s.Shutdown()
+	s.closeOnce.Do(func() { s.workers.Close() })
+}
+
+// Stats snapshots the server counters, shared-cache stats and latency
+// histogram.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// ServeLines reads newline-delimited requests from r and writes one
+// response line per request to w, in request order, until EOF, context
+// cancellation or drain. The pipeline is a bounded queue of response
+// promises: the reader admits a line, reserves its response slot, and hands
+// the work to the shared pool; the writer resolves slots in order and
+// flushes whenever it catches up. When the queue is full the reader blocks —
+// backpressure — so at most queue-depth lines are in flight per connection.
+func (s *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) error {
+	if s.draining() {
+		return errors.New("serve: server is draining")
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if dr, ok := r.(deadlineReader); ok {
+		s.mu.Lock()
+		s.readers[dr] = struct{}{}
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.readers, dr)
+			s.mu.Unlock()
+		}()
+	}
+
+	bw := bufio.NewWriterSize(w, 64<<10)
+	order := make(chan chan []byte, s.queue)
+	writerDone := make(chan error, 1)
+	go func() {
+		var err error
+		for promise := range order {
+			resp := <-promise
+			if err != nil {
+				continue // keep draining promises after a write error
+			}
+			if _, werr := bw.Write(resp); werr != nil {
+				err = werr
+				continue
+			}
+			if werr := bw.WriteByte('\n'); werr != nil {
+				err = werr
+				continue
+			}
+			if len(order) == 0 {
+				if werr := bw.Flush(); werr != nil {
+					err = werr
+				}
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		writerDone <- err
+	}()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		if s.draining() || ctx.Err() != nil {
+			break
+		}
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		line := make([]byte, len(raw))
+		copy(line, raw)
+		promise := make(chan []byte, 1)
+		order <- promise
+		s.workers.Submit(func() { promise <- s.handleLine(ctx, line) })
+	}
+	readErr := sc.Err()
+	close(order)
+	writeErr := <-writerDone
+
+	if readErr != nil && s.draining() {
+		readErr = nil // the deadline poke that unblocked the read
+	}
+	if readErr == nil {
+		readErr = writeErr
+	}
+	if readErr == nil && !s.draining() {
+		readErr = ctx.Err()
+	}
+	return readErr
+}
+
+// ServeListener accepts connections until the listener fails, the context
+// is cancelled or the server drains, running each connection through
+// ServeLines on its own goroutine (the worker pool stays shared). It
+// returns nil on graceful drain.
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		_ = ln.Close()
+	}()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining() || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			_ = s.ServeLines(ctx, c, c) // registers c for drain unblocking
+			_ = c.Close()
+		}(conn)
+	}
+}
+
+// Handler exposes the protocol over HTTP: POST runs the request body
+// through ServeLines (one response line per body line, request order), GET
+// returns the stats snapshot. A draining server answers 503.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining() {
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(s.Stats())
+		case http.MethodPost:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = s.ServeLines(r.Context(), r.Body, w)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// handleLine dispatches one request line and records its latency.
+func (s *Server) handleLine(ctx context.Context, line []byte) []byte {
+	start := time.Now()
+	resp, failed := s.dispatch(ctx, line)
+	s.stats.observe(uint64(time.Since(start).Nanoseconds()), failed)
+	return resp
+}
+
+// dispatch parses and answers one line; the bool reports failure.
+func (s *Server) dispatch(ctx context.Context, line []byte) ([]byte, bool) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return errorResponse(0, fmt.Errorf("parse: %w", err)), true
+	}
+	switch req.Op {
+	case "ping":
+		return append(appendHeader(nil, req.ID, true), '}'), false
+	case "wctt":
+		return s.wcttOne(&req)
+	case "batch":
+		return s.wcttBatch(&req)
+	case "wcet":
+		return s.wcetOne(&req)
+	case "wcet-batch":
+		return s.wcetBatch(&req)
+	case "scenario":
+		return s.scenarioOp(ctx, &req)
+	case "stats":
+		return s.statsOp(&req)
+	default:
+		return errorResponse(req.ID, fmt.Errorf("unknown op %q", req.Op)), true
+	}
+}
+
+// queryTarget resolves the design/mesh fields shared by every query verb.
+func queryTarget(req *Request) (network.Design, mesh.Dim, error) {
+	design, err := scenario.ParseDesign(req.Design)
+	if err != nil {
+		return 0, mesh.Dim{}, err
+	}
+	dim, err := mesh.NewDim(req.Width, req.Height)
+	if err != nil {
+		return 0, mesh.Dim{}, err
+	}
+	return design, dim, nil
+}
+
+// bound answers one analytical WCTT query: a lock-free probe of the shared
+// model memo first (the warm path), then a coalesced computation. hit
+// reports a memo hit; shared reports that a cold computation piggybacked on
+// another caller's in-flight one.
+func (s *Server) bound(m *analysis.Model, design network.Design, src, dst mesh.Node, payloadBits int) (cycles uint64, hit, shared bool, err error) {
+	if v, ok := m.CachedMessageWCTT(design, src, dst, payloadBits); ok {
+		return v, true, false, nil
+	}
+	key := wcttKey{m.Params(), design, src, dst, payloadBits}
+	v, err, shared := s.wcttFlight.Do(key, func() (uint64, error) {
+		return m.MessageWCTT(design, src, dst, payloadBits)
+	})
+	return v, false, shared, err
+}
+
+// wcttOne answers the wctt verb.
+func (s *Server) wcttOne(req *Request) ([]byte, bool) {
+	design, dim, err := queryTarget(req)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	if req.Src == nil || req.Dst == nil {
+		return errorResponse(req.ID, errors.New("wctt: src and dst are required")), true
+	}
+	payload := req.PayloadBits
+	if payload <= 0 {
+		payload = traffic.RequestPayloadBits
+	}
+	m, err := scenario.SharedModel(analysis.DefaultParams(dim))
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	c, hit, shared, err := s.bound(m, design,
+		mesh.Node{X: req.Src.X, Y: req.Src.Y}, mesh.Node{X: req.Dst.X, Y: req.Dst.Y}, payload)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	s.mergeQueryStats(1, hit, shared)
+	return appendCycles(nil, req.ID, c), false
+}
+
+// mergeQueryStats folds a single query's outcome into the counters.
+func (s *Server) mergeQueryStats(n uint64, hit, shared bool) {
+	var hits, misses, coalesced uint64
+	if hit {
+		hits = 1
+	} else {
+		misses = 1
+		if shared {
+			coalesced = 1
+		}
+	}
+	s.stats.merge(n, hits, misses, coalesced)
+}
+
+// wcttBatch answers the batch verb: a vector of WCTT queries sharing one
+// design/mesh (and default payload), parsed by the hand-rolled tuple
+// scanner and answered into one hand-built response line. Query counters
+// accumulate in locals and merge once — the million-QPS path touches no
+// shared cache line per query.
+func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
+	design, dim, err := queryTarget(req)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	defPayload := req.PayloadBits
+	if defPayload <= 0 {
+		defPayload = traffic.RequestPayloadBits
+	}
+	m, err := scenario.SharedModel(analysis.DefaultParams(dim))
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	buf := appendHeader(make([]byte, 0, 256), req.ID, true)
+	buf = append(buf, `,"cycles":[`...)
+	var n, hits, misses, coalesced uint64
+	err = parseTuples(req.Queries, 4, 5, func(vals []int64) error {
+		src := mesh.Node{X: int(vals[0]), Y: int(vals[1])}
+		dst := mesh.Node{X: int(vals[2]), Y: int(vals[3])}
+		payload := defPayload
+		if len(vals) == 5 {
+			payload = int(vals[4])
+		}
+		c, hit, shared, err := s.bound(m, design, src, dst, payload)
+		if err != nil {
+			return err
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+			if shared {
+				coalesced++
+			}
+		}
+		if n > 0 {
+			buf = append(buf, ',')
+		}
+		n++
+		buf = strconv.AppendUint(buf, c, 10)
+		return nil
+	})
+	s.stats.merge(n, hits, misses, coalesced)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	return append(buf, ']', '}'), false
+}
+
+// engineFor returns the compiled WCET engine of the paper's default
+// platform on the given mesh, coalescing concurrent first compiles (the
+// process-wide engine cache deduplicates storage but would let two first
+// callers both compile).
+func (s *Server) engineFor(dim mesh.Dim, maxPacketFlits int) (*wcet.Engine, error) {
+	e, err, _ := s.engineFlight.Do(engineFlightKey{dim, maxPacketFlits}, func() (*wcet.Engine, error) {
+		return scenario.PlatformFor(dim).EngineWithMaxPacket(maxPacketFlits)
+	})
+	return e, err
+}
+
+// wcetOne answers the wcet verb.
+func (s *Server) wcetOne(req *Request) ([]byte, bool) {
+	design, dim, err := queryTarget(req)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	if req.Core == nil {
+		return errorResponse(req.ID, errors.New("wcet: core is required")), true
+	}
+	b, err := workload.BenchmarkByName(req.Workload)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	eng, err := s.engineFor(dim, req.MaxPacketFlits)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	c, err := eng.BenchmarkWCET(design, mesh.Node{X: req.Core.X, Y: req.Core.Y}, b)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	s.stats.merge(1, 0, 0, 0)
+	return appendCycles(nil, req.ID, c), false
+}
+
+// wcetBatch answers the wcet-batch verb: per-core WCET estimates sharing
+// one design/mesh/workload, queries = [[cx,cy],...].
+func (s *Server) wcetBatch(req *Request) ([]byte, bool) {
+	design, dim, err := queryTarget(req)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	b, err := workload.BenchmarkByName(req.Workload)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	eng, err := s.engineFor(dim, req.MaxPacketFlits)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	buf := appendHeader(make([]byte, 0, 256), req.ID, true)
+	buf = append(buf, `,"cycles":[`...)
+	var n uint64
+	err = parseTuples(req.Queries, 2, 2, func(vals []int64) error {
+		c, err := eng.BenchmarkWCET(design, mesh.Node{X: int(vals[0]), Y: int(vals[1])}, b)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			buf = append(buf, ',')
+		}
+		n++
+		buf = strconv.AppendUint(buf, c, 10)
+		return nil
+	})
+	s.stats.merge(n, 0, 0, 0)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	return append(buf, ']', '}'), false
+}
+
+// scenarioOp answers the scenario verb: a whole concrete scenario.Spec,
+// executed through the same ExecuteContext path as the CLI. Identical
+// in-flight specs (canonicalised by their marshalled form) are coalesced
+// onto one execution; the embedded result JSON is byte-identical to
+// json.Marshal of the CLI's Result. A follower of a coalesced execution
+// shares the leader's outcome, including a cancellation of the leader's
+// context.
+func (s *Server) scenarioOp(ctx context.Context, req *Request) ([]byte, bool) {
+	if req.Spec == nil {
+		return errorResponse(req.ID, errors.New("scenario: missing spec")), true
+	}
+	spec := *req.Spec
+	if err := spec.Validate(); err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	key, err := json.Marshal(spec)
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	res, err, shared := s.specFlight.Do(string(key), func() ([]byte, error) {
+		r, err := scenario.ExecuteContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(r)
+	})
+	if shared {
+		s.stats.merge(0, 0, 0, 1)
+	}
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	buf := appendHeader(make([]byte, 0, len(res)+32), req.ID, true)
+	buf = append(buf, `,"result":`...)
+	buf = append(buf, res...)
+	return append(buf, '}'), false
+}
+
+// statsOp answers the stats verb.
+func (s *Server) statsOp(req *Request) ([]byte, bool) {
+	payload, err := json.Marshal(s.stats.snapshot())
+	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	buf := appendHeader(make([]byte, 0, len(payload)+32), req.ID, true)
+	buf = append(buf, `,"stats":`...)
+	buf = append(buf, payload...)
+	return append(buf, '}'), false
+}

@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// response mirrors the wire format for test-side decoding.
+type response struct {
+	ID     int64           `json:"id"`
+	OK     bool            `json:"ok"`
+	Cycles json.RawMessage `json:"cycles"`
+	Result json.RawMessage `json:"result"`
+	Stats  *Stats          `json:"stats"`
+	Error  string          `json:"error"`
+}
+
+// run feeds the lines through a fresh server and decodes one response per
+// line.
+func run(t *testing.T, workers int, lines ...string) []response {
+	t.Helper()
+	s := New(workers, 0)
+	defer s.Close()
+	var out bytes.Buffer
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	if err := s.ServeLines(context.Background(), in, &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	return decodeLines(t, out.Bytes(), len(lines))
+}
+
+func decodeLines(t *testing.T, raw []byte, want int) []response {
+	t.Helper()
+	var resps []response
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var r response
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad response line %q: %v", line, err)
+		}
+		resps = append(resps, r)
+	}
+	if len(resps) != want {
+		t.Fatalf("got %d responses, want %d:\n%s", len(resps), want, raw)
+	}
+	return resps
+}
+
+func cyclesScalar(t *testing.T, r response) uint64 {
+	t.Helper()
+	if !r.OK {
+		t.Fatalf("response %d failed: %s", r.ID, r.Error)
+	}
+	var c uint64
+	if err := json.Unmarshal(r.Cycles, &c); err != nil {
+		t.Fatalf("cycles %q: %v", r.Cycles, err)
+	}
+	return c
+}
+
+func cyclesVector(t *testing.T, r response) []uint64 {
+	t.Helper()
+	if !r.OK {
+		t.Fatalf("response %d failed: %s", r.ID, r.Error)
+	}
+	var c []uint64
+	if err := json.Unmarshal(r.Cycles, &c); err != nil {
+		t.Fatalf("cycles %q: %v", r.Cycles, err)
+	}
+	return c
+}
+
+func TestServePingAndErrors(t *testing.T) {
+	resps := run(t, 2,
+		`{"id":1,"op":"ping"}`,
+		`{"id":2,"op":"warp"}`,
+		`{"id":3,"op":"wctt","design":"nope","width":4,"height":4}`,
+		`{"id":4,"op":"ping"}`,
+	)
+	if !resps[0].OK || resps[0].ID != 1 {
+		t.Fatalf("ping failed: %+v", resps[0])
+	}
+	if resps[1].OK || !strings.Contains(resps[1].Error, "unknown op") {
+		t.Fatalf("unknown op not rejected: %+v", resps[1])
+	}
+	if resps[2].OK || !strings.Contains(resps[2].Error, "unknown design") {
+		t.Fatalf("bad design not rejected: %+v", resps[2])
+	}
+	if !resps[3].OK || resps[3].ID != 4 {
+		t.Fatalf("server did not keep serving after errors: %+v", resps[3])
+	}
+}
+
+// TestServeWCTTMatchesModel pins the served bound to the analytical model's
+// answer — the serving layer must be execution policy only.
+func TestServeWCTTMatchesModel(t *testing.T) {
+	m := analysis.MustNewModel(analysis.DefaultParams(mesh.MustDim(4, 4)))
+	want, err := m.MessageWCTT(network.DesignWaWWaP, mesh.Node{X: 0, Y: 0}, mesh.Node{X: 3, Y: 3}, traffic.RequestPayloadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := run(t, 2,
+		`{"id":1,"op":"wctt","design":"waw+wap","width":4,"height":4,"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		`{"id":2,"op":"wctt","design":"waw+wap","width":4,"height":4,"src":{"x":0,"y":0},"dst":{"x":3,"y":3},"payload_bits":48}`,
+	)
+	if got := cyclesScalar(t, resps[0]); got != want {
+		t.Fatalf("served WCTT %d, model says %d", got, want)
+	}
+	// payload_bits 48 is the explicit form of the default.
+	if got := cyclesScalar(t, resps[1]); got != want {
+		t.Fatalf("explicit payload served %d, want %d", cyclesScalar(t, resps[1]), want)
+	}
+}
+
+// TestServeBatchMatchesSingles pins every batch answer to its single-query
+// equivalent, and response ordering to request ordering.
+func TestServeBatchMatchesSingles(t *testing.T) {
+	d := mesh.MustDim(3, 3)
+	var singles []string
+	var tuples []string
+	id := int64(10)
+	for _, src := range d.AllNodes() {
+		for _, dst := range d.AllNodes() {
+			if src == dst {
+				continue // self-flow WCTT is undefined
+			}
+			singles = append(singles, fmt.Sprintf(
+				`{"id":%d,"op":"wctt","design":"regular","width":3,"height":3,"src":{"x":%d,"y":%d},"dst":{"x":%d,"y":%d}}`,
+				id, src.X, src.Y, dst.X, dst.Y))
+			tuples = append(tuples, fmt.Sprintf("[%d,%d,%d,%d]", src.X, src.Y, dst.X, dst.Y))
+			id++
+		}
+	}
+	batch := fmt.Sprintf(`{"id":1,"op":"batch","design":"regular","width":3,"height":3,"queries":[%s]}`,
+		strings.Join(tuples, ","))
+	lines := append([]string{batch}, singles...)
+	resps := run(t, 4, lines...)
+
+	vec := cyclesVector(t, resps[0])
+	if len(vec) != len(singles) {
+		t.Fatalf("batch answered %d queries, want %d", len(vec), len(singles))
+	}
+	for i, r := range resps[1:] {
+		if r.ID != int64(10+i) {
+			t.Fatalf("response %d out of order: id %d, want %d", i+1, r.ID, 10+i)
+		}
+		if got := cyclesScalar(t, r); got != vec[i] {
+			t.Fatalf("query %d: single says %d, batch says %d", i, got, vec[i])
+		}
+	}
+}
+
+func TestServeWCET(t *testing.T) {
+	eng, err := scenario.PlatformFor(mesh.MustDim(4, 4)).Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustBenchmark(t, "a2time")
+	want, err := eng.BenchmarkWCET(network.DesignWaWWaP, mesh.Node{X: 2, Y: 1}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := run(t, 2,
+		`{"id":1,"op":"wcet","design":"waw+wap","width":4,"height":4,"core":{"x":2,"y":1},"workload":"a2time"}`,
+		`{"id":2,"op":"wcet-batch","design":"waw+wap","width":4,"height":4,"workload":"a2time","queries":[[2,1],[0,0]]}`,
+	)
+	if got := cyclesScalar(t, resps[0]); got != want {
+		t.Fatalf("served WCET %d, engine says %d", got, want)
+	}
+	vec := cyclesVector(t, resps[1])
+	if len(vec) != 2 || vec[0] != want {
+		t.Fatalf("wcet-batch %v, want first element %d", vec, want)
+	}
+}
+
+// TestServeScenarioMatchesExecute pins the embedded result JSON to the
+// one-shot Execute path byte for byte.
+func TestServeScenarioMatchesExecute(t *testing.T) {
+	spec := scenario.Spec{
+		Name:    "serve-test",
+		Mode:    scenario.ModeSimulate,
+		Width:   4,
+		Height:  4,
+		Design:  network.DesignWaWWaP,
+		Seed:    5,
+		Traffic: scenario.Traffic{Pattern: "uniform", Rate: 40, Messages: 400},
+	}
+	res, err := scenario.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := run(t, 2, fmt.Sprintf(`{"id":1,"op":"scenario","spec":%s}`, specJSON))
+	if !resps[0].OK {
+		t.Fatalf("scenario failed: %s", resps[0].Error)
+	}
+	if !bytes.Equal(resps[0].Result, want) {
+		t.Fatalf("served result differs from Execute:\nserve: %s\nexec:  %s", resps[0].Result, want)
+	}
+}
+
+func TestServeScenarioRejectsAxes(t *testing.T) {
+	resps := run(t, 1, `{"id":1,"op":"scenario","spec":{"mode":"wctt","sizes":[2,3],"width":2,"height":2,"design":"regular"}}`)
+	if resps[0].OK || !strings.Contains(resps[0].Error, "sweep axes") {
+		t.Fatalf("unexpanded spec not rejected: %+v", resps[0])
+	}
+}
+
+// TestServeStats checks the counter discipline: hits+misses covers every
+// bound query, repeated queries hit the memo, and the latency histogram
+// counts every line.
+func TestServeStats(t *testing.T) {
+	q := `{"id":1,"op":"batch","design":"regular","width":5,"height":5,"queries":[[0,0,4,4],[0,0,4,4],[1,1,2,2],[0,0,4,4]]}`
+	resps := run(t, 1, q, q, `{"id":2,"op":"stats"}`)
+	st := resps[2].Stats
+	if st == nil {
+		t.Fatalf("stats verb returned no stats: %+v", resps[2])
+	}
+	if st.Queries != 8 {
+		t.Fatalf("counted %d queries, want 8", st.Queries)
+	}
+	if st.WCTTMemoHits+st.WCTTMemoMisses != st.Queries {
+		t.Fatalf("hits %d + misses %d != queries %d", st.WCTTMemoHits, st.WCTTMemoMisses, st.Queries)
+	}
+	// The second batch line repeats the first; at most 2 distinct bounds
+	// are ever computed cold.
+	if st.WCTTMemoMisses > 2 {
+		t.Fatalf("%d cold computations for 2 distinct queries", st.WCTTMemoMisses)
+	}
+	// The stats line snapshots before observing itself, so it sees the two
+	// batch lines only.
+	if st.Requests != 2 || st.Latency.Count != 2 {
+		t.Fatalf("requests %d, latency count %d, want 2", st.Requests, st.Latency.Count)
+	}
+}
+
+// TestServeListenerDrain exercises the graceful path: a TCP client with an
+// open connection and an in-flight request gets its response before
+// Shutdown returns, and the reader unblocks without the client closing.
+func TestServeListenerDrain(t *testing.T) {
+	s := New(2, 0)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.ServeListener(context.Background(), ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"id":7,"op":"wctt","design":"regular","width":6,"height":6,"src":{"x":0,"y":0},"dst":{"x":5,"y":5}}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Read the response first so the admitted line is provably answered,
+	// then drain while the connection sits open and idle.
+	line, err := readLine(conn)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	var r response
+	if err := json.Unmarshal(line, &r); err != nil || !r.OK || r.ID != 7 {
+		t.Fatalf("bad drained response %q (err %v)", line, err)
+	}
+
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not drain an idle open connection")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeListener after drain: %v", err)
+	}
+	if err := s.ServeLines(context.Background(), strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("drained server accepted a new stream")
+	}
+}
+
+// TestServeDrainAnswersInFlight pins the core drain guarantee with the
+// worker pool saturated: lines admitted before Shutdown all get responses.
+func TestServeDrainAnswersInFlight(t *testing.T) {
+	s := New(1, 4)
+	defer s.Close()
+	client, server := net.Pipe()
+	defer client.Close()
+
+	var out bytes.Buffer
+	var mu sync.Mutex
+	servedDone := make(chan error, 1)
+	go func() {
+		servedDone <- s.ServeLines(context.Background(), server, lockedWriter{&mu, &out})
+	}()
+
+	const n = 8
+	var lines bytes.Buffer
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&lines, `{"id":%d,"op":"wctt","design":"waw+wap","width":7,"height":7,"src":{"x":0,"y":0},"dst":{"x":6,"y":6}}`+"\n", i)
+	}
+	if _, err := client.Write(lines.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until every line is admitted (answered is fine too), then drain
+	// without ever closing the client side.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		got := bytes.Count(out.Bytes(), []byte("\n"))
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d responses before drain", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Shutdown()
+	if err := <-servedDone; err != nil {
+		t.Fatalf("ServeLines after drain: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	resps := decodeLines(t, out.Bytes(), n)
+	for i, r := range resps {
+		if r.ID != int64(i+1) || !r.OK {
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+}
+
+// readLine reads one newline-terminated response off a connection.
+func readLine(conn net.Conn) ([]byte, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var line []byte
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return nil, err
+		}
+		if buf[0] == '\n' {
+			return line, nil
+		}
+		line = append(line, buf[0])
+	}
+}
+
+func mustBenchmark(t *testing.T, name string) workload.Benchmark {
+	t.Helper()
+	b, err := workload.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestServeHTTPHandler(t *testing.T) {
+	s := New(2, 0)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := `{"id":1,"op":"ping"}` + "\n" + `{"id":2,"op":"wctt","design":"regular","width":4,"height":4,"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}` + "\n"
+	res, err := srv.Client().Post(srv.URL, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	resps := decodeLines(t, buf.Bytes(), 2)
+	if resps[0].ID != 1 || resps[1].ID != 2 || !resps[1].OK {
+		t.Fatalf("HTTP responses wrong: %+v", resps)
+	}
+
+	st, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats GET: %v", err)
+	}
+	if stats.Requests < 2 {
+		t.Fatalf("stats GET saw %d requests, want >= 2", stats.Requests)
+	}
+
+	s.Shutdown()
+	denied, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied.Body.Close()
+	if denied.StatusCode != 503 {
+		t.Fatalf("draining handler answered %d, want 503", denied.StatusCode)
+	}
+}
+
+func TestParseTuples(t *testing.T) {
+	var got [][]int64
+	collect := func(vals []int64) error {
+		c := make([]int64, len(vals))
+		copy(c, vals)
+		got = append(got, c)
+		return nil
+	}
+	if err := parseTuples([]byte(` [ [1,2,3,4] , [5,6,7,8,-9] ] `), 4, 5, collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][3] != 4 || got[1][4] != -9 {
+		t.Fatalf("parsed %v", got)
+	}
+	if err := parseTuples([]byte(`[]`), 4, 5, collect); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	for _, bad := range []string{
+		`[[1,2,3]]`,            // too short
+		`[[1,2,3,4,5,6]]`,      // too long
+		`[[1,2,3,4]`,           // unterminated
+		`[[1,2,3,4]] trailing`, // trailing data
+		`[[1,2,x,4]]`,          // non-integer
+	} {
+		if err := parseTuples([]byte(bad), 4, 5, func([]int64) error { return nil }); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/scenario"
+)
+
+// counters aggregates server-wide activity with the same zero-contention
+// discipline the engines use: the hot path (a batch handler) accumulates
+// into plain local variables and merges them here once per request with one
+// atomic add per counter, never per query. Reads are approximate snapshots
+// (each counter is individually consistent).
+type counters struct {
+	requests  atomic.Uint64 // protocol lines handled
+	queries   atomic.Uint64 // individual WCTT/WCET bounds answered
+	errors    atomic.Uint64 // lines answered with ok:false
+	wcttHits  atomic.Uint64 // bounds served from the model memo
+	wcttMiss  atomic.Uint64 // bounds computed (or awaited) on a cold memo
+	coalesced atomic.Uint64 // queries that piggybacked on another's computation
+
+	// latency is a power-of-two histogram of per-line handling time:
+	// bucket b counts lines that took [2^(b-1), 2^b) nanoseconds. 48
+	// buckets cover everything from sub-nanosecond to ~78 hours.
+	latency [48]atomic.Uint64
+}
+
+// observe records one handled line and its latency.
+func (c *counters) observe(ns uint64, failed bool) {
+	c.requests.Add(1)
+	if failed {
+		c.errors.Add(1)
+	}
+	b := bits.Len64(ns)
+	if b >= len(c.latency) {
+		b = len(c.latency) - 1
+	}
+	c.latency[b].Add(1)
+}
+
+// merge folds a batch's locally accumulated query counters in.
+func (c *counters) merge(queries, hits, misses, coalesced uint64) {
+	if queries != 0 {
+		c.queries.Add(queries)
+	}
+	if hits != 0 {
+		c.wcttHits.Add(hits)
+	}
+	if misses != 0 {
+		c.wcttMiss.Add(misses)
+	}
+	if coalesced != 0 {
+		c.coalesced.Add(coalesced)
+	}
+}
+
+// LatencyStats summarises the request-latency histogram.
+type LatencyStats struct {
+	// Count is the number of handled lines.
+	Count uint64 `json:"count"`
+	// P50NS, P99NS and MaxNS are upper bounds (bucket ceilings, in
+	// nanoseconds) of the respective latency quantiles.
+	P50NS uint64 `json:"p50_ns"`
+	P99NS uint64 `json:"p99_ns"`
+	MaxNS uint64 `json:"max_ns"`
+	// Buckets holds the non-zero histogram cells: Buckets[i] counts lines in
+	// [CeilingNS[i]/2, CeilingNS[i]) nanoseconds.
+	CeilingNS []uint64 `json:"ceiling_ns"`
+	Buckets   []uint64 `json:"buckets"`
+}
+
+// Stats is the payload of the stats protocol verb.
+type Stats struct {
+	// Requests/Queries/Errors count protocol lines, individual bounds and
+	// failed lines respectively.
+	Requests uint64 `json:"requests"`
+	Queries  uint64 `json:"queries"`
+	Errors   uint64 `json:"errors"`
+	// WCTTMemoHits/Misses split bound queries into memo-probe hits (served
+	// lock-free from the shared model memo) and cold computations; Coalesced
+	// counts queries that shared another in-flight computation.
+	WCTTMemoHits   uint64 `json:"wctt_memo_hits"`
+	WCTTMemoMisses uint64 `json:"wctt_memo_misses"`
+	Coalesced      uint64 `json:"coalesced"`
+	// Caches snapshots the scenario-layer shared caches (networks, models,
+	// compiled engines) — the same caches the sweep path uses.
+	Caches scenario.SharedCacheStats `json:"caches"`
+	// Latency summarises per-line handling time.
+	Latency LatencyStats `json:"latency"`
+}
+
+// snapshot builds the stats payload.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Requests:       c.requests.Load(),
+		Queries:        c.queries.Load(),
+		Errors:         c.errors.Load(),
+		WCTTMemoHits:   c.wcttHits.Load(),
+		WCTTMemoMisses: c.wcttMiss.Load(),
+		Coalesced:      c.coalesced.Load(),
+		Caches:         scenario.CacheStats(),
+	}
+	var total uint64
+	for b := range c.latency {
+		n := c.latency[b].Load()
+		if n == 0 {
+			continue
+		}
+		ceiling := uint64(1) << b
+		s.Latency.CeilingNS = append(s.Latency.CeilingNS, ceiling)
+		s.Latency.Buckets = append(s.Latency.Buckets, n)
+		total += n
+		s.Latency.MaxNS = ceiling
+	}
+	s.Latency.Count = total
+	s.Latency.P50NS = quantile(s.Latency, total, 50)
+	s.Latency.P99NS = quantile(s.Latency, total, 99)
+	return s
+}
+
+// quantile returns the bucket ceiling at or above the pct-th percentile.
+func quantile(l LatencyStats, total uint64, pct uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	target := (total*pct + 99) / 100
+	var seen uint64
+	for i, n := range l.Buckets {
+		seen += n
+		if seen >= target {
+			return l.CeilingNS[i]
+		}
+	}
+	return l.MaxNS
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/scenario"
+)
+
+// TestAutoShards pins the core-splitting policy on synthetic machine
+// sizes: shards-per-point x concurrently-running points never exceeds the
+// core count, every point gets at least one shard, and points fewer than
+// workers reclaim the idle workers' cores.
+func TestAutoShards(t *testing.T) {
+	cases := []struct {
+		cores, jobs, points int
+		want                int
+	}{
+		{8, 2, 10, 4},  // 2 workers x 4 shards = 8 cores
+		{8, 8, 10, 1},  // fully point-parallel: serial engines
+		{8, 16, 2, 4},  // only 2 points can run; each gets half the machine
+		{16, 3, 1, 16}, // single point: the whole machine shards one run
+		{4, 8, 8, 1},   // more workers than cores: never below 1 shard
+		{1, 4, 4, 1},   // single core
+		{12, 5, 5, 2},  // integer division floors: 5 points, 2 shards each
+	}
+	for _, c := range cases {
+		if got := AutoShards(c.cores, c.jobs, c.points); got != c.want {
+			t.Errorf("AutoShards(%d cores, %d jobs, %d points) = %d, want %d",
+				c.cores, c.jobs, c.points, got, c.want)
+		}
+	}
+}
+
+// TestAutoShardsDeterministic runs the same cycle-accurate grid serially
+// and with auto-resolved shards and requires byte-identical results — the
+// shard count must stay pure execution policy through the Options path.
+func TestAutoShardsDeterministic(t *testing.T) {
+	grid := scenario.Spec{
+		Name:    "auto",
+		Mode:    scenario.ModeSimulate,
+		Sizes:   []int{3, 4},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Seed:    9,
+		Traffic: scenario.Traffic{Pattern: "uniform", Rate: 40, Messages: 200},
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts Options) string {
+		results, err := Run(context.Background(), specs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := run(Options{Jobs: 1})
+	for _, opts := range []Options{
+		{Jobs: 1, AutoShards: true},
+		{Jobs: 4, AutoShards: true},
+	} {
+		if got := run(opts); got != serial {
+			t.Errorf("auto-sharded run (jobs=%d) differs from serial:\n%s\nvs\n%s",
+				opts.Jobs, got, serial)
+		}
+	}
+	// The caller's specs must not be mutated by shard resolution.
+	for i := range specs {
+		if specs[i].Shards != 0 {
+			t.Fatalf("Run mutated caller spec %d: Shards=%d", i, specs[i].Shards)
+		}
+	}
+}

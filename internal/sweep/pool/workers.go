@@ -1,0 +1,50 @@
+package pool
+
+import "sync"
+
+// Workers is the long-lived sibling of ForEach: a fixed set of worker
+// goroutines consuming a bounded task queue. ForEach dispatches one finite
+// index space and returns; Workers outlives any one batch of work, so a
+// server can share a single pool across every connection it handles instead
+// of spawning goroutines per request.
+//
+// Submit blocks once all workers are busy and the queue is full — the
+// bounded-queue backpressure that keeps a flood of requests from growing
+// the heap without bound. Close stops admission and drains: every task
+// accepted before Close completes before Close returns.
+type Workers struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewWorkers starts a pool of n workers (n < 1 selects GOMAXPROCS) behind a
+// queue of the given depth (depth < 0 is treated as 0: a rendezvous queue
+// where Submit blocks until a worker takes the task directly).
+func NewWorkers(n, depth int) *Workers {
+	n = Jobs(n)
+	if depth < 0 {
+		depth = 0
+	}
+	w := &Workers{tasks: make(chan func(), depth)}
+	w.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer w.wg.Done()
+			for task := range w.tasks {
+				task()
+			}
+		}()
+	}
+	return w
+}
+
+// Submit enqueues a task, blocking while the queue is full. Submitting to a
+// closed pool panics (like sending on a closed channel); callers own the
+// shutdown ordering.
+func (w *Workers) Submit(task func()) { w.tasks <- task }
+
+// Close stops admitting tasks and waits for every accepted task to finish.
+func (w *Workers) Close() {
+	close(w.tasks)
+	w.wg.Wait()
+}

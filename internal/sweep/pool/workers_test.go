@@ -1,0 +1,79 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkersRunAll checks that every submitted task runs exactly once and
+// Close drains the queue before returning.
+func TestWorkersRunAll(t *testing.T) {
+	w := NewWorkers(4, 8)
+	var ran atomic.Int64
+	const tasks = 200
+	for i := 0; i < tasks; i++ {
+		w.Submit(func() { ran.Add(1) })
+	}
+	w.Close()
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), tasks)
+	}
+}
+
+// TestWorkersBackpressure pins the bounded-queue semantics: with one busy
+// worker and a full queue, Submit must block until capacity frees up.
+func TestWorkersBackpressure(t *testing.T) {
+	w := NewWorkers(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	w.Submit(func() { close(started); <-release }) // occupies the worker
+	<-started
+	w.Submit(func() {}) // fills the queue
+
+	blocked := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(blocked)
+		w.Submit(func() {}) // must block: worker busy, queue full
+	}()
+	<-blocked
+	select {
+	case <-time.After(20 * time.Millisecond):
+		// Expected: still blocked while the worker is held.
+	case <-func() chan struct{} {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		return done
+	}():
+		t.Fatal("Submit returned while queue was full")
+	}
+	close(release)
+	wg.Wait()
+	w.Close()
+}
+
+// TestWorkersConcurrentSubmit hammers Submit from many goroutines under the
+// race detector.
+func TestWorkersConcurrentSubmit(t *testing.T) {
+	w := NewWorkers(0, 4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Submit(func() { ran.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	w.Close()
+	if ran.Load() != 800 {
+		t.Fatalf("ran %d of 800", ran.Load())
+	}
+}

@@ -31,6 +31,43 @@ type Options struct {
 	// reaches total unless the sweep is cancelled before every scenario
 	// was dispatched to a worker.
 	Progress func(done, total int, r scenario.Result)
+	// AutoShards resolves every cycle-accurate spec that left Shards at 0
+	// to AutoShards(GOMAXPROCS, Jobs, len(specs)) — splitting the cores
+	// between concurrently running points and the shard gang each point
+	// steps. The shard count is execution policy (results are byte-identical
+	// for every value), so the resolution cannot change output.
+	AutoShards bool
+}
+
+// AutoShards splits cores between the sweep's concurrently running points
+// and the engine shards each point steps: with W = min(effective workers,
+// points) points in flight, each gets cores/W shards (at least one), so
+// shards-per-point x concurrent points never oversubscribes the machine
+// with barrier-synchronised shard gangs. jobs follows the pool.Jobs
+// convention (<1 = GOMAXPROCS); cores is passed explicitly so policy is
+// testable on synthetic machine sizes.
+func AutoShards(cores, jobs, points int) int {
+	workers := pool.Jobs(jobs)
+	if points > 0 && points < workers {
+		workers = points
+	}
+	return max(1, cores/max(1, workers))
+}
+
+// resolveShards applies Options.AutoShards to a copy of the specs.
+func resolveShards(specs []scenario.Spec, opts Options) []scenario.Spec {
+	if !opts.AutoShards {
+		return specs
+	}
+	shards := AutoShards(pool.Jobs(0), opts.Jobs, len(specs))
+	out := append([]scenario.Spec(nil), specs...)
+	for i := range out {
+		if out[i].Shards == 0 &&
+			(out[i].Mode == scenario.ModeSimulate || out[i].Mode == scenario.ModeLoadCurve) {
+			out[i].Shards = shards
+		}
+	}
+	return out
 }
 
 // Run executes every spec and returns the results in spec order. All specs
@@ -45,6 +82,7 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.R
 	if len(specs) == 0 {
 		return results, nil
 	}
+	specs = resolveShards(specs, opts)
 
 	var mu sync.Mutex
 	done := 0

@@ -3,6 +3,7 @@ package wcet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/mesh"
@@ -52,6 +53,19 @@ type engineKey struct {
 // engineCache shares compiled engines process-wide; entries are immutable.
 var engineCache sync.Map // engineKey -> *Engine
 
+// engineHits and engineMisses count cache behaviour for the serve stats
+// verb. A "miss" is a compile (two concurrent first callers both count: the
+// loser's engine is discarded by LoadOrStore but its work really happened).
+var engineHits, engineMisses atomic.Uint64
+
+// EngineCacheStats reports the cumulative hit/miss counters of the compiled
+// engine cache. The cache never evicts (engines are a few pointers plus one
+// shared model, keyed by full platform value), so there is no eviction
+// counter.
+func EngineCacheStats() (hits, misses uint64) {
+	return engineHits.Load(), engineMisses.Load()
+}
+
 // Engine returns the compiled analysis engine of the platform (with its
 // default maximum packet size), validating the platform and building the
 // analytical model only on the first call for a given platform value.
@@ -66,8 +80,10 @@ func (p Platform) EngineWithMaxPacket(maxPacketFlits int) (*Engine, error) {
 	}
 	key := engineKey{p: p, l: maxPacketFlits}
 	if cached, ok := engineCache.Load(key); ok {
+		engineHits.Add(1)
 		return cached.(*Engine), nil
 	}
+	engineMisses.Add(1)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
