@@ -667,3 +667,58 @@ func BenchmarkServe(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	})
 }
+
+// BenchmarkTopology compares the cycle-accurate engine's per-cycle cost
+// across the three topologies on the same 8x8 endpoint grid under identical
+// sustained uniform-random load. The torus pays for wrap-aware route walks;
+// the concentrated mesh steps a 2x2 router grid carrying the full 64-core
+// traffic, so its per-cycle cost reflects 16 cores multiplexed per router.
+// The cmesh-wctt sub-benchmark tracks the analytical path on the topology
+// that has one (the torus is simulation-only).
+func BenchmarkTopology(b *testing.B) {
+	d := mesh.MustDim(8, 8)
+	for _, tc := range []struct {
+		name string
+		topo mesh.TopoSpec
+	}{
+		{"mesh", mesh.TopoSpec{}},
+		{"torus", mesh.TopoSpec{Kind: mesh.TopoTorus}},
+		{"cmesh", mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := network.DefaultConfig(d, network.DesignWaWWaP)
+			cfg.Topo = tc.topo
+			net := network.MustNew(cfg)
+			gen, err := traffic.NewUniformRandom(d, 3, 5, traffic.RequestPayloadBits, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, msg := range gen.Tick(net.Cycle()) {
+					if _, err := net.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				net.Step()
+			}
+			b.ReportMetric(float64(net.TotalInjectedFlits())/float64(b.N), "flits/cycle")
+		})
+	}
+	b.Run("cmesh-wctt", func(b *testing.B) {
+		p := analysis.DefaultParams(d)
+		p.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+		m := analysis.MustNewModel(p)
+		var maxWCTT uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := m.SummarizeOneFlitWCTT(network.DesignWaWWaP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxWCTT = s.Max
+		}
+		b.ReportMetric(float64(maxWCTT), "cmesh-8x8-max-cycles")
+	})
+}

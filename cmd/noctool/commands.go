@@ -178,6 +178,7 @@ func cmdSimulate(args []string, w io.Writer) error {
 	fs, format := newFlagSet("simulate")
 	width := fs.Int("width", 8, "mesh width")
 	height := fs.Int("height", 8, "mesh height")
+	topology := fs.String("topology", "mesh", "network topology: mesh, torus, cmesh (4 cores/router) or cmesh2")
 	messages := fs.Int("messages", 2000, "total number of request messages to inject")
 	rate := fs.Int("rate", 30, "per-node injection probability per cycle (percent)")
 	seed := fs.Int64("seed", 1, "pseudo-random seed")
@@ -189,16 +190,21 @@ func cmdSimulate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ts, err := mesh.ParseTopology(*topology)
+	if err != nil {
+		return err
+	}
 	if *rate <= 0 || *rate > 100 {
 		return fmt.Errorf("rate must be in 1..100 percent, got %d", *rate)
 	}
 	target := mesh.Node{X: 0, Y: 0}
 	results, err := sweep.Expand(context.Background(), scenario.Spec{
-		Name:   "simulate",
-		Mode:   scenario.ModeSimulate,
-		Width:  *width,
-		Height: *height,
-		Seed:   *seed,
+		Name:     "simulate",
+		Mode:     scenario.ModeSimulate,
+		Topology: *topology,
+		Width:    *width,
+		Height:   *height,
+		Seed:     *seed,
 		Traffic: scenario.Traffic{
 			Pattern:     "hotspot",
 			Rate:        *rate,
@@ -212,7 +218,11 @@ func cmdSimulate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	t := tablegen.New(fmt.Sprintf("Hotspot simulation — %d one-flit requests towards %v on a %v mesh", *messages, target, d),
+	topoName := "mesh"
+	if ts.Kind != mesh.TopoMesh {
+		topoName = ts.String()
+	}
+	t := tablegen.New(fmt.Sprintf("Hotspot simulation — %d one-flit requests towards %v on a %v %s", *messages, target, d, topoName),
 		"design", "delivered", "min latency", "mean latency", "max latency")
 	for _, r := range results {
 		t.AddRow(r.Design, fmt.Sprintf("%d", r.Sim.Delivered),

@@ -11,6 +11,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/mesh"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/tablegen"
@@ -23,13 +24,14 @@ import (
 func cmdSweep(args []string, w io.Writer) error {
 	fs, format := newFlagSet("sweep")
 	mode := fs.String("mode", "wctt", "scenario mode: wctt, simulate, manycore, parallel-wcet, wcet-map or load-curve")
+	topology := fs.String("topology", "mesh", "network topology: mesh, torus, cmesh (4 cores/router) or cmesh2")
 	sizes := fs.String("sizes", "2..8", "square mesh sizes, e.g. 2..8 or 2,4,8")
 	designs := fs.String("designs", "regular,waw+wap", "comma-separated design points (regular, waw+wap, waw-only, wap-only)")
 	workloads := fs.String("workloads", "", "comma-separated EEMBC kernels (manycore mode)")
 	jobs := fs.Int("jobs", 0, "parallel workers; 0 = GOMAXPROCS")
 	shards := fs.Int("shards", 1, "engine shards per cycle-accurate scenario (simulate and load-curve modes); 1 = serial, 0 = auto (GOMAXPROCS split between concurrent grid points and each point's shard gang)")
 	seed := fs.Int64("seed", 1, "pseudo-random seed (simulate and load-curve modes)")
-	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp or neighbor")
+	pattern := fs.String("pattern", "hotspot", "traffic pattern (simulate mode): hotspot, uniform, transpose, bitcomp, neighbor or tornado")
 	rate := fs.Int("rate", 0, "traffic injection rate (simulate mode); 0 = pattern default")
 	rates := fs.String("rates", "", "injection rates in msgs/node/kcycle (load-curve mode), e.g. 25,50,100 or 100..110; empty = default ladder")
 	warmup := fs.Int("warmup", 0, "warmup cycles per load-curve rate point; 0 = default")
@@ -53,6 +55,11 @@ func cmdSweep(args []string, w io.Writer) error {
 	}
 	m, err := scenario.ParseMode(*mode)
 	if err != nil {
+		return err
+	}
+	// Parse the topology up front so a typo fails before any compute; the
+	// mode/topology compatibility rules themselves live in Spec.Validate.
+	if _, err := mesh.ParseTopology(*topology); err != nil {
 		return err
 	}
 	// The WCET modes model the paper's 64-core platform; the standard
@@ -118,6 +125,7 @@ func cmdSweep(args []string, w io.Writer) error {
 	spec := scenario.Spec{
 		Name:           "sweep",
 		Mode:           m,
+		Topology:       *topology,
 		Sizes:          sizeList,
 		Designs:        designList,
 		Seed:           *seed,

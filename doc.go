@@ -93,6 +93,22 @@
 // goldens pin the fast path bit-identical; the speedup opens the wctt and
 // wcet-map scenario axes to 16x16-32x32 meshes.
 //
+// Topology is a pluggable layer underneath all of this (mesh.Topology,
+// mesh.TopoSpec): the 2D mesh is one instance of an interface that owns the
+// node index space, the neighbour/port tables, the allocation-free route
+// walkers (generic over the concrete topology type, so the mesh keeps its
+// devirtualised fast path) and the WaW channel-load table. Beside the
+// reference mesh ship a torus (wrap links, shortest-wrap dimension-ordered
+// routing; simulation-only, since its channel loads break the paper's
+// chained-blocking argument) and concentrated meshes (2 or 4 cores per
+// router, with the Section III bounds transferred via concentration-scaled
+// loads). Simulator, analytical engine, traffic patterns, scenario/sweep
+// (Spec.Topology, noctool -topology, topology-keyed caches) and the serve
+// protocol (PROTOCOL.md's topology field) all consume the interface; the
+// mesh's output is byte-identical to the pre-topology code, pinned by
+// goldens, and modes a topology cannot honour are rejected with actionable
+// errors (wctt needs Analytical(), the WCET platform is mesh-only).
+//
 // The layering is: substrate (mesh, flit, router, network, traffic,
 // manycore, analysis, wcet, workload) -> scenario -> sweep -> facade
 // (internal/core) -> CLI/examples/benchmarks. The core package's table and

@@ -10,10 +10,11 @@ import (
 
 // This file keeps the pre-flat-index implementations of the WCTT bounds as a
 // naive reference path, mirroring network.EngineFullScan: the fast paths in
-// wctt.go enumerate XY routes straight from the geometry over precomputed
-// per-node-index arrays, while the reference walks a materialised
-// mesh.XYRoute and recomputes contender counts and output shares per hop
-// from first principles (mesh.LegalInputsFor and the weight table). The
+// wctt.go enumerate dimension-ordered routes straight from the geometry over
+// precomputed per-router-index arrays, while the reference walks a
+// materialised mesh.TopologyRoute and recomputes contender counts and output
+// shares per hop from first principles (the topology's legal-input table and
+// the weight table). The
 // equivalence tests pin the two bit-identical across meshes, designs and
 // packet shapes, so the fast path can never silently drift from the model
 // the paper defines.
@@ -24,7 +25,7 @@ func (m *Model) ReferenceRegularPacketWCTT(src, dst mesh.Node, packetFlits, cont
 	if packetFlits < 1 || contenderFlits < 1 {
 		return 0, fmt.Errorf("analysis: packet sizes must be >= 1 flit (got %d, %d)", packetFlits, contenderFlits)
 	}
-	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	route, err := mesh.TopologyRoute(m.topo, src, dst)
 	if err != nil {
 		return 0, err
 	}
@@ -56,7 +57,7 @@ func (m *Model) ReferenceWaWPacketWCTT(src, dst mesh.Node, numPackets, slotFlits
 	if numPackets < 1 || slotFlits < 1 {
 		return 0, fmt.Errorf("analysis: packet counts and sizes must be >= 1 (got %d, %d)", numPackets, slotFlits)
 	}
-	route, err := mesh.XYRoute(m.p.Dim, src, dst)
+	route, err := mesh.TopologyRoute(m.topo, src, dst)
 	if err != nil {
 		return 0, err
 	}

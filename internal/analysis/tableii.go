@@ -165,7 +165,7 @@ func (m *Model) LocalAccessWCTT(design network.Design, n mesh.Node) (uint64, err
 	}
 	H := uint64(m.p.HeaderOverhead)
 	R := uint64(m.p.RouterLatency)
-	idx := m.p.Dim.Index(n)
+	idx := m.rdim.Index(m.topo.RouterOf(n))
 	switch design {
 	case network.DesignRegular, network.DesignWaPOnly:
 		c := m.contender[idx][mesh.Local]

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/network"
+)
+
+// TestCMeshPacketWCTTMatchesReference pins the flat-index fast walks to the
+// route-materialising reference implementation on the concentrated meshes:
+// the RouterOf endpoint mapping, the collapsed co-located routes and the
+// concentration-scaled contender shares must agree bit for bit over every
+// ordered endpoint pair.
+func TestCMeshPacketWCTTMatchesReference(t *testing.T) {
+	specs := []mesh.TopoSpec{
+		{Kind: mesh.TopoCMesh, Conc: 4},
+		{Kind: mesh.TopoCMesh, Conc: 2},
+	}
+	dims := []mesh.Dim{mesh.MustDim(4, 4), mesh.MustDim(6, 4), mesh.MustDim(8, 8)}
+	shapes := [][2]int{{1, 1}, {4, 4}, {1, 8}}
+	for _, spec := range specs {
+		for _, d := range dims {
+			p := DefaultParams(d)
+			p.Topo = spec
+			m, err := NewModel(p)
+			if err != nil {
+				t.Fatalf("%v on %v: %v", spec, d, err)
+			}
+			for _, src := range d.AllNodes() {
+				for _, dst := range d.AllNodes() {
+					if src == dst {
+						continue
+					}
+					for _, s := range shapes {
+						fast, err1 := m.RegularPacketWCTT(src, dst, s[0], s[1])
+						ref, err2 := m.ReferenceRegularPacketWCTT(src, dst, s[0], s[1])
+						if err1 != nil || err2 != nil {
+							t.Fatalf("%v %v %v->%v: errors %v / %v", spec, d, src, dst, err1, err2)
+						}
+						if fast != ref {
+							t.Fatalf("%v %v regular %v->%v S=%d L=%d: fast %d != reference %d",
+								spec, d, src, dst, s[0], s[1], fast, ref)
+						}
+						wfast, err1 := m.WaWPacketWCTT(src, dst, s[0], s[1])
+						wref, err2 := m.ReferenceWaWPacketWCTT(src, dst, s[0], s[1])
+						if err1 != nil || err2 != nil {
+							t.Fatalf("%v %v %v->%v: errors %v / %v", spec, d, src, dst, err1, err2)
+						}
+						if wfast != wref {
+							t.Fatalf("%v %v WaW %v->%v P=%d m=%d: fast %d != reference %d",
+								spec, d, src, dst, s[0], s[1], wfast, wref)
+						}
+					}
+				}
+			}
+			// The summary paths must agree too (they drive the wctt sweep mode).
+			for _, design := range allDesigns {
+				fast, err1 := m.SummarizeOneFlitWCTT(design)
+				ref, err2 := m.ReferenceSummarizeOneFlitWCTT(design)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%v %v %v: errors %v / %v", spec, d, design, err1, err2)
+				}
+				if fast != ref {
+					t.Fatalf("%v %v %v: fast summary %+v != reference %+v", spec, d, design, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestCMeshBoundsDominateMeshOfRouters sanity-checks the concentration
+// transfer direction: with Conc cores multiplying every channel load, a
+// CMesh bound between cores on distinct routers can never be smaller than
+// the plain-mesh bound between those routers on the same router grid.
+func TestCMeshBoundsDominateMeshOfRouters(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	p := DefaultParams(d)
+	p.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	cm := MustNewModel(p)
+	rm := MustNewModel(DefaultParams(mesh.MustDim(4, 4)))
+	topo := p.Topo.MustBuild(d)
+	for _, src := range d.AllNodes() {
+		for _, dst := range d.AllNodes() {
+			rs, rd := topo.RouterOf(src), topo.RouterOf(dst)
+			if rs == rd || src == dst {
+				continue
+			}
+			cb, err := cm.RegularPacketWCTT(src, dst, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := rm.RegularPacketWCTT(rs, rd, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cb < mb {
+				t.Fatalf("cmesh bound %d for %v->%v below the router-grid mesh bound %d for %v->%v",
+					cb, src, dst, mb, rs, rd)
+			}
+		}
+	}
+}
+
+// TestTorusModelRejected pins the analytical gate: the torus has no WCTT
+// model and NewModel must say so with an error that points at the
+// simulation modes instead of silently computing a wrong bound.
+func TestTorusModelRejected(t *testing.T) {
+	p := DefaultParams(mesh.MustDim(8, 8))
+	p.Topo = mesh.TopoSpec{Kind: mesh.TopoTorus}
+	if _, err := NewModel(p); err == nil {
+		t.Fatal("NewModel should reject the torus")
+	} else {
+		for _, want := range []string{"torus", "simulation-only", "simulate"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("torus rejection %q should mention %q", err, want)
+			}
+		}
+	}
+	// An invalid cmesh build (indivisible grid) surfaces its own error.
+	p = DefaultParams(mesh.MustDim(5, 5))
+	p.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	if _, err := NewModel(p); err == nil {
+		t.Fatal("NewModel should reject cmesh4 on 5x5")
+	}
+}
+
+// TestMeshModelIdenticalWithExplicitTopo checks the zero-value contract:
+// Params with an explicit mesh TopoSpec build a model computing exactly the
+// bounds of the implicit pre-topology Params.
+func TestMeshModelIdenticalWithExplicitTopo(t *testing.T) {
+	d := mesh.MustDim(6, 6)
+	implicit := MustNewModel(DefaultParams(d))
+	p := DefaultParams(d)
+	p.Topo = mesh.TopoSpec{Kind: mesh.TopoMesh}
+	explicit := MustNewModel(p)
+	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
+		a, err1 := implicit.SummarizeOneFlitWCTT(design)
+		b, err2 := explicit.SummarizeOneFlitWCTT(design)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%v: errors %v / %v", design, err1, err2)
+		}
+		if a != b {
+			t.Errorf("%v: implicit-mesh summary %+v != explicit-mesh %+v", design, a, b)
+		}
+	}
+}

@@ -67,8 +67,14 @@ import (
 
 // Params gathers the platform parameters of the WCTT models.
 type Params struct {
-	// Dim is the mesh size.
+	// Dim is the endpoint grid (the mesh size; for the concentrated mesh the
+	// core grid, whose router grid is derived from Topo).
 	Dim mesh.Dim
+	// Topo selects the topology the bounds are derived on; the zero value is
+	// the paper's 2D mesh. Only topologies whose Analytical() capability is
+	// true admit a model — the torus is rejected by NewModel (see
+	// mesh.Torus for why the chained-blocking argument does not transfer).
+	Topo mesh.TopoSpec
 	// Link describes the link width, control overhead, maximum packet size L
 	// and minimum packet size m.
 	Link flit.LinkConfig
@@ -120,12 +126,19 @@ func (p Params) Validate() error {
 type Model struct {
 	p       Params
 	weights *flows.WeightTable
-	nodes   []mesh.Node // shared mesh.AllNodes slice, index order
+	nodes   []mesh.Node // shared endpoint-grid AllNodes slice, index order
+
+	// topo is the resolved topology and rdim its router grid — the index
+	// space of the contender/outShare arrays. For the mesh rdim equals
+	// p.Dim; for the concentrated mesh it is the reduced router grid and
+	// bounds walk it after mapping endpoints through topo.RouterOf.
+	topo mesh.Topology
+	rdim mesh.Dim
 
 	// contender[idx][out] is the chained-blocking contender count c of
-	// output `out` at the node with dense index idx (>= 1).
+	// output `out` at the router with dense index idx (>= 1).
 	contender [][mesh.NumDirections]uint64
-	// outShare[idx][out] is max(1, OutputTotal) of output `out` at node
+	// outShare[idx][out] is max(1, OutputTotal) of output `out` at router
 	// idx — the O_j term of the WaW guaranteed-bandwidth bound.
 	outShare [][mesh.NumDirections]uint64
 
@@ -148,19 +161,32 @@ type memoKey struct {
 	payloadBits int
 }
 
-// NewModel builds a WCTT model for the given parameters.
+// NewModel builds a WCTT model for the given parameters. Topologies whose
+// chained-blocking argument does not transfer (Analytical() is false, e.g.
+// the torus) are rejected with an error directing callers to the
+// simulation-only modes.
 func NewModel(p Params) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	topo, err := p.Topo.Build(p.Dim)
+	if err != nil {
+		return nil, err
+	}
+	if !topo.Analytical() {
+		return nil, fmt.Errorf("analysis: topology %v has no analytical WCTT model (channel loads are not destination-independent, so the paper's chained-blocking argument does not transfer); it is simulation-only — use the simulate or load-curve modes", topo)
+	}
+	rdim := topo.RouterDim()
 	m := &Model{
 		p:         p,
-		weights:   flows.CachedWeightTable(p.Dim),
+		weights:   flows.CachedWeightTableTopo(topo),
 		nodes:     p.Dim.AllNodes(),
-		contender: make([][mesh.NumDirections]uint64, p.Dim.Nodes()),
-		outShare:  make([][mesh.NumDirections]uint64, p.Dim.Nodes()),
+		topo:      topo,
+		rdim:      rdim,
+		contender: make([][mesh.NumDirections]uint64, rdim.Nodes()),
+		outShare:  make([][mesh.NumDirections]uint64, rdim.Nodes()),
 	}
-	for idx, n := range m.nodes {
+	for idx, n := range rdim.AllNodes() {
 		counts := m.weights.CountsAt(idx)
 		for _, out := range mesh.Directions {
 			m.contender[idx][out] = uint64(m.contenders(n, out))
@@ -186,13 +212,17 @@ func MustNewModel(p Params) *Model {
 // Params returns the model parameters.
 func (m *Model) Params() Params { return m.p }
 
-// contenders returns the number of input ports of the router at node n that
-// can legally request output out under XY routing (the worst-case contender
-// count of assumption (2)). The degenerate Local->Local pair is excluded.
+// contenders returns the number of input ports of the router at router-grid
+// node n that can legally request output out under dimension-ordered routing
+// (the worst-case contender count of assumption (2)). The degenerate
+// Local->Local pair is excluded on topologies where a router serves a single
+// endpoint; with several endpoints per router (the concentrated mesh) the
+// Local input does carry traffic towards local destinations and stays a
+// contender of the ejection port.
 func (m *Model) contenders(n mesh.Node, out mesh.Direction) int {
-	ins := mesh.LegalInputsFor(m.p.Dim, n, out)
+	ins := mesh.LegalInputsForTopo(m.topo, n, out)
 	c := len(ins)
-	if out == mesh.Local {
+	if out == mesh.Local && m.topo.LocalPairLoad(n) == 0 {
 		c-- // a node does not send to itself
 	}
 	if c < 1 {
@@ -268,8 +298,12 @@ func (m *Model) RegularPacketWCTT(src, dst mesh.Node, packetFlits, contenderFlit
 	L := uint64(contenderFlits)
 	R := uint64(m.p.RouterLatency)
 	S := uint64(packetFlits)
-	W := m.p.Dim.Width
-	dirX, stepX, dirY, stepY := xyStep(src, dst)
+	// The bound walks the router grid: endpoints map to their routers first
+	// (the identity except on the concentrated mesh, where co-located
+	// endpoints collapse to the single ejection hop).
+	rs, rd := m.topo.RouterOf(src), m.topo.RouterOf(dst)
+	W := m.rdim.Width
+	dirX, stepX, dirY, stepY := xyStep(rs, rd)
 
 	// Walk the route from the destination backwards, accumulating the
 	// downstream service interval I and the per-hop waits.
@@ -282,17 +316,17 @@ func (m *Model) RegularPacketWCTT(src, dst mesh.Node, packetFlits, contenderFlit
 		interval = saturatingMul(c, interval)
 	}
 	// Ejection at the destination router.
-	hop(dst.Y*W+dst.X, mesh.Local)
+	hop(rd.Y*W+rd.X, mesh.Local)
 	// The Y segment, from the router below/above the destination back to
-	// the turn router at (dst.X, src.Y); every router forwards towards dirY.
-	for y := dst.Y - stepY; y != src.Y-stepY; y -= stepY {
-		hop(y*W+dst.X, dirY)
+	// the turn router at (rd.X, rs.Y); every router forwards towards dirY.
+	for y := rd.Y - stepY; y != rs.Y-stepY; y -= stepY {
+		hop(y*W+rd.X, dirY)
 	}
 	// The X segment, from the router next to the turn router back to the
 	// source; every router forwards towards dirX.
-	if dst.X != src.X {
-		for x := dst.X - stepX; x != src.X-stepX; x -= stepX {
-			hop(src.Y*W+x, dirX)
+	if rd.X != rs.X {
+		for x := rd.X - stepX; x != rs.X-stepX; x -= stepX {
+			hop(rs.Y*W+x, dirX)
 		}
 	}
 	// Serialization of the remaining S-1 flits at the most upstream link,
@@ -321,8 +355,9 @@ func (m *Model) WaWPacketWCTT(src, dst mesh.Node, numPackets, slotFlits int) (ui
 	}
 	R := uint64(m.p.RouterLatency)
 	slot := uint64(slotFlits)
-	W := m.p.Dim.Width
-	dirX, stepX, dirY, stepY := xyStep(src, dst)
+	rs, rd := m.topo.RouterOf(src), m.topo.RouterOf(dst)
+	W := m.rdim.Width
+	dirX, stepX, dirY, stepY := xyStep(rs, rd)
 
 	var total uint64
 	var maxShare uint64 = 1
@@ -335,17 +370,17 @@ func (m *Model) WaWPacketWCTT(src, dst mesh.Node, numPackets, slotFlits int) (ui
 		// crossing the output port may be served once (one slot each).
 		total = saturatingAdd(total, saturatingAdd(saturatingMul(o-1, slot), R))
 	}
-	// The X segment from the source towards the turn router at (dst.X,
-	// src.Y), then the Y segment down the destination column, then ejection.
-	if dst.X != src.X {
-		for x := src.X; x != dst.X; x += stepX {
-			hop(src.Y*W+x, dirX)
+	// The X segment from the source towards the turn router at (rd.X,
+	// rs.Y), then the Y segment down the destination column, then ejection.
+	if rd.X != rs.X {
+		for x := rs.X; x != rd.X; x += stepX {
+			hop(rs.Y*W+x, dirX)
 		}
 	}
-	for y := src.Y; y != dst.Y; y += stepY {
-		hop(y*W+dst.X, dirY)
+	for y := rs.Y; y != rd.Y; y += stepY {
+		hop(y*W+rd.X, dirY)
 	}
-	hop(dst.Y*W+dst.X, mesh.Local)
+	hop(rd.Y*W+rd.X, mesh.Local)
 	// The remaining packets of the message are admitted one per guaranteed
 	// slot at the bottleneck port.
 	total = saturatingAdd(total, saturatingMul(uint64(numPackets-1), saturatingMul(maxShare, slot)))

@@ -145,6 +145,63 @@ func closedFormCountsInto(d mesh.Dim, n mesh.Node, pc *PortCounts) {
 	}
 }
 
+// topoCountsInto fills pc with the generalised closed-form counts of the
+// router at node n of topology t: the same XY turn-count dispatch as
+// closedFormCountsInto, with the per-input loads, port existence and the
+// Local→Local fan-out supplied by the topology instead of hardwired mesh
+// geometry. For the reference Mesh2D instance this reproduces
+// closedFormCountsInto entry for entry (pinned by the package tests).
+func topoCountsInto(t mesh.Topology, n mesh.Node, pc *PortCounts) {
+	inCount := t.InputLoads(n)
+	*pc = PortCounts{Node: n}
+	for _, out := range mesh.Directions {
+		if !t.HasOutput(n, out) {
+			continue
+		}
+		for _, in := range mesh.LegalInputsForTopo(t, n, out) {
+			// U-turns never occur. Guarded to link ports: Local is its own
+			// Opposite, and the Local→Local ejection turn (co-located CMesh
+			// cores) is a real flow, not a U-turn.
+			if in != mesh.Local && in == out.Opposite() {
+				continue
+			}
+			cnt := 0
+			switch {
+			case out == mesh.Local:
+				// Flows terminating here: every input contributes its own
+				// count; the Local input contributes only when several
+				// endpoints share the router (the CMesh Local→Local turn).
+				if in == mesh.Local {
+					cnt = t.LocalPairLoad(n)
+				} else {
+					cnt = inCount[in]
+				}
+			case out.IsX():
+				// Only flows already travelling in the same X direction (or
+				// injected locally) may use an X output under dimension order.
+				if in == out {
+					cnt = inCount[in]
+				} else if in == mesh.Local {
+					cnt = inCount[mesh.Local]
+				}
+			case out.IsY():
+				// Flows travelling in the same Y direction continue; flows
+				// arriving on either X input turn into the column here; the
+				// local endpoints inject their own flows.
+				if in == out || in.IsX() {
+					cnt = inCount[in]
+				} else if in == mesh.Local {
+					cnt = inCount[mesh.Local]
+				}
+			}
+			if cnt > 0 {
+				pc.InputsPerOutput[out][in] = cnt
+				pc.OutputTotal[out] += cnt
+			}
+		}
+	}
+}
+
 // TracedCounts returns the per-destination-normalised counts of the router at
 // node n obtained by tracing XY routes: for each output port a canonical
 // destination reachable through it is chosen (the local node for the PME
@@ -241,6 +298,47 @@ func CachedWeightTable(d mesh.Dim) *WeightTable {
 		return cached.(*WeightTable)
 	}
 	cached, _ := weightTableCache.LoadOrStore(d, ComputeWeightTable(d))
+	return cached.(*WeightTable)
+}
+
+// ComputeWeightTableTopo precomputes the WaW weights for every router of the
+// topology — ComputeWeightTable generalised: the table is indexed by the
+// topology's router grid and each router's counts come from the generalised
+// closed forms (topoCountsInto). Like the mesh table it depends only on the
+// topology and its routing algorithm, never on the running applications.
+func ComputeWeightTableTopo(t mesh.Topology) *WeightTable {
+	rd := t.RouterDim()
+	wt := &WeightTable{Dim: rd, perNode: make([]PortCounts, rd.Nodes())}
+	for i, n := range rd.AllNodes() {
+		topoCountsInto(t, n, &wt.perNode[i])
+	}
+	return wt
+}
+
+// topoTableKey identifies a cached per-topology weight table.
+type topoTableKey struct {
+	spec mesh.TopoSpec
+	ep   mesh.Dim
+}
+
+// topoWeightTableCache memoises non-mesh weight tables per (spec, endpoint
+// grid); mesh topologies share the pre-existing per-Dim cache.
+var topoWeightTableCache sync.Map // topoTableKey -> *WeightTable
+
+// CachedWeightTableTopo returns the shared closed-form weight table of the
+// topology, computing it on first use. For the reference mesh instance it
+// returns the identical table (same pointer) as CachedWeightTable, so the
+// pre-topology sharing and footprint are unchanged. The returned table is
+// immutable and safe for concurrent readers.
+func CachedWeightTableTopo(t mesh.Topology) *WeightTable {
+	if t.Spec().Kind == mesh.TopoMesh {
+		return CachedWeightTable(t.RouterDim())
+	}
+	key := topoTableKey{spec: t.Spec(), ep: t.EndpointDim()}
+	if cached, ok := topoWeightTableCache.Load(key); ok {
+		return cached.(*WeightTable)
+	}
+	cached, _ := topoWeightTableCache.LoadOrStore(key, ComputeWeightTableTopo(t))
 	return cached.(*WeightTable)
 }
 

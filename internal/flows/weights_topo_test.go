@@ -1,0 +1,117 @@
+package flows
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// TestTopoCountsMatchClosedFormOnMesh pins the generalised weight counts to
+// the Section III closed forms entry for entry on the reference mesh: the
+// topology-driven table must be the identical arithmetic, not merely an
+// equivalent one, so every WaW arbitration counter (and therefore every
+// simulated and analytical result) stays byte-identical.
+func TestTopoCountsMatchClosedFormOnMesh(t *testing.T) {
+	for _, d := range []mesh.Dim{mesh.MustDim(2, 2), mesh.MustDim(4, 4), mesh.MustDim(5, 3), mesh.MustDim(8, 8)} {
+		topo := mesh.Mesh2D{D: d}
+		for _, n := range d.AllNodes() {
+			var got, want PortCounts
+			topoCountsInto(topo, n, &got)
+			closedFormCountsInto(d, n, &want)
+			if got != want {
+				t.Errorf("%v router %v: topology counts %+v differ from closed form %+v", d, n, got, want)
+			}
+		}
+	}
+}
+
+// TestCachedWeightTableTopoMeshIdentity requires the topology-keyed cache to
+// return the very same *WeightTable pointer as the per-Dim mesh cache: the
+// mesh fast path must share storage with all pre-topology callers, so a
+// sweep mixing both entry points builds one table, not two.
+func TestCachedWeightTableTopoMeshIdentity(t *testing.T) {
+	d := mesh.MustDim(6, 6)
+	viaTopo := CachedWeightTableTopo(mesh.Mesh2D{D: d})
+	viaDim := CachedWeightTable(d)
+	if viaTopo != viaDim {
+		t.Errorf("CachedWeightTableTopo(Mesh2D{%v}) returned a distinct table from CachedWeightTable(%v)", d, d)
+	}
+	if again := CachedWeightTableTopo(mesh.Mesh2D{D: d}); again != viaTopo {
+		t.Errorf("CachedWeightTableTopo is not stable across calls")
+	}
+}
+
+// TestTopoWeightTableProperties checks the structural invariants of the
+// torus and concentrated-mesh tables: counts only on existing ports and
+// legal turns, non-Local weights summing to 1 per active output, and the
+// CMesh counts equalling the mesh counts of the router grid scaled by the
+// concentration (the Section III transfer argument).
+func TestTopoWeightTableProperties(t *testing.T) {
+	topos := []mesh.Topology{
+		mesh.TopoSpec{Kind: mesh.TopoTorus}.MustBuild(mesh.MustDim(6, 6)),
+		mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}.MustBuild(mesh.MustDim(8, 8)),
+		mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 2}.MustBuild(mesh.MustDim(8, 8)),
+	}
+	for _, topo := range topos {
+		wt := ComputeWeightTableTopo(topo)
+		rd := topo.RouterDim()
+		for _, n := range rd.AllNodes() {
+			pc := wt.Counts(n)
+			for _, out := range mesh.Directions {
+				total := 0
+				for _, in := range mesh.Directions {
+					cnt := pc.InputsPerOutput[out][in]
+					if cnt == 0 {
+						continue
+					}
+					if !topo.HasOutput(n, out) {
+						t.Errorf("%v router %v: count on missing output %v", topo, n, out)
+					}
+					if !mesh.LegalTurn(in, out) {
+						t.Errorf("%v router %v: count on illegal turn %v->%v", topo, n, in, out)
+					}
+					total += cnt
+				}
+				if total != pc.OutputTotal[out] {
+					t.Errorf("%v router %v output %v: totals disagree (%d vs %d)", topo, n, out, total, pc.OutputTotal[out])
+				}
+				if pc.OutputTotal[out] > 0 {
+					sum := 0.0
+					for _, in := range mesh.Directions {
+						sum += pc.Weight(in, out)
+					}
+					if sum < 0.999999 || sum > 1.000001 {
+						t.Errorf("%v router %v output %v: weights sum to %v", topo, n, out, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCMeshCountsScaleMeshCounts checks the concentration transfer: a CMesh
+// router's link-port counts are exactly Conc times the mesh closed forms of
+// its router grid, and its ejection port additionally carries the
+// Local->Local fan-out of the co-located cores.
+func TestCMeshCountsScaleMeshCounts(t *testing.T) {
+	topo := mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}.MustBuild(mesh.MustDim(8, 8))
+	rd := topo.RouterDim()
+	conc := 4
+	for _, n := range rd.AllNodes() {
+		var got, meshPC PortCounts
+		topoCountsInto(topo, n, &got)
+		closedFormCountsInto(rd, n, &meshPC)
+		for _, out := range mesh.Directions {
+			for _, in := range mesh.Directions {
+				want := conc * meshPC.InputsPerOutput[out][in]
+				if out == mesh.Local && in == mesh.Local {
+					want = conc - 1 // the co-located cores, not a scaled mesh term
+				}
+				if got.InputsPerOutput[out][in] != want {
+					t.Errorf("router %v turn %v->%v: count %d, want %d",
+						n, in, out, got.InputsPerOutput[out][in], want)
+				}
+			}
+		}
+	}
+}

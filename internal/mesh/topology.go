@@ -1,0 +1,616 @@
+package mesh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file extracts the topology abstraction the rest of the module consumes.
+// Historically every layer hardwired the 2D mesh: routers asked XYOutputPort
+// for the next port, networks wired neighbours through Dim.Neighbor, the
+// analytical engine walked XY geometry inline and the WaW weight derivation
+// used the Section III closed forms. A Topology bundles exactly those
+// ingredients — an endpoint index space, a router grid with per-node
+// neighbour/port tables, a deterministic allocation-free route walker (the
+// WalkXY/AppendXYHops shape generalised) and the channel-load counts behind
+// the WaW weight table — so the same simulator, analytical engine and daemon
+// run unchanged over any instance.
+//
+// Three topologies ship:
+//
+//   - Mesh (the reference instance): the paper's XY-routed 2D mesh. Every
+//     method delegates to the original Dim/XY helpers, so mesh behaviour is
+//     bit-identical to the pre-topology code.
+//   - Torus: the same grid with wrap links. Routing stays dimension-ordered
+//     (X fully, then Y) but each ring takes the shorter way around, with the
+//     half-way tie on even rings broken towards the positive direction — the
+//     "shortest-wrap with positive dateline" convention (see torus.OutputPort
+//     for the full statement and its deadlock discussion).
+//   - CMesh (concentrated mesh): Conc endpoint cores share each router
+//     through the Local port. The endpoint space stays a full W×H grid;
+//     routers form the (W/cx)×(H/cy) sub-grid and routing is XY over it.
+//
+// TopoSpec is the comparable, serialisable identity of a topology. It is the
+// zero-value-friendly handle configs and cache keys carry (the zero TopoSpec
+// is the plain mesh, so every pre-topology struct literal keeps its meaning);
+// Build turns it into the behavioural Topology instance.
+
+// TopoKind enumerates the supported topology families.
+type TopoKind int
+
+const (
+	// TopoMesh is the paper's XY-routed 2D mesh (the zero value: every
+	// pre-topology Config/Params literal denotes it implicitly).
+	TopoMesh TopoKind = iota
+	// TopoTorus is the 2D torus: the mesh grid plus wrap links, routed
+	// dimension-ordered with the shortest-wrap/positive-dateline convention.
+	TopoTorus
+	// TopoCMesh is the concentrated mesh: Conc endpoint cores per router,
+	// XY routing over the reduced router grid.
+	TopoCMesh
+)
+
+// String returns the canonical lower-case name used by CLI flags, scenario
+// specs and the wire protocol.
+func (k TopoKind) String() string {
+	switch k {
+	case TopoMesh:
+		return "mesh"
+	case TopoTorus:
+		return "torus"
+	case TopoCMesh:
+		return "cmesh"
+	default:
+		return fmt.Sprintf("TopoKind(%d)", int(k))
+	}
+}
+
+// DefaultCMeshConc is the concentration factor "cmesh" denotes when no
+// explicit factor is given: 4 cores per router in 2×2 blocks, the classic
+// CMesh configuration.
+const DefaultCMeshConc = 4
+
+// TopoSpec is the comparable identity of a topology: the family plus its
+// family-specific parameters. The zero value means the plain 2D mesh, so
+// structs that gained a TopoSpec field keep their pre-topology meaning when
+// it is left unset. TopoSpec is intentionally a small value type: it is used
+// directly inside cache keys (netcache, modelcache, the serve singleflight
+// keys) and compared with ==.
+type TopoSpec struct {
+	Kind TopoKind
+	// Conc is the number of endpoint cores per router for TopoCMesh
+	// (0 selects DefaultCMeshConc); it must be 2 (2×1 blocks) or 4 (2×2
+	// blocks). Ignored for the other kinds.
+	Conc int
+}
+
+// String renders the spec in the canonical flag syntax: "mesh", "torus",
+// "cmesh" (default concentration) or "cmesh2".
+func (s TopoSpec) String() string {
+	if s.Kind == TopoCMesh && s.Conc != 0 && s.Conc != DefaultCMeshConc {
+		return fmt.Sprintf("cmesh%d", s.Conc)
+	}
+	return s.Kind.String()
+}
+
+// ParseTopology parses the canonical topology names: "" or "mesh" (the
+// default), "torus", "cmesh" (4 cores per router) and "cmesh2"/"cmesh4"
+// (explicit concentration). Matching is case-insensitive.
+func ParseTopology(s string) (TopoSpec, error) {
+	switch t := strings.ToLower(strings.TrimSpace(s)); t {
+	case "", "mesh":
+		return TopoSpec{Kind: TopoMesh}, nil
+	case "torus":
+		return TopoSpec{Kind: TopoTorus}, nil
+	case "cmesh":
+		return TopoSpec{Kind: TopoCMesh, Conc: DefaultCMeshConc}, nil
+	case "cmesh2":
+		return TopoSpec{Kind: TopoCMesh, Conc: 2}, nil
+	case "cmesh4":
+		return TopoSpec{Kind: TopoCMesh, Conc: 4}, nil
+	default:
+		return TopoSpec{}, fmt.Errorf("mesh: unknown topology %q (want mesh, torus, cmesh, cmesh2 or cmesh4)", s)
+	}
+}
+
+// concFactors splits a CMesh concentration into its (cx, cy) block shape.
+func concFactors(conc int) (cx, cy int, err error) {
+	switch conc {
+	case 0, 4:
+		return 2, 2, nil
+	case 2:
+		return 2, 1, nil
+	default:
+		return 0, 0, fmt.Errorf("mesh: unsupported cmesh concentration %d (want 2 or 4)", conc)
+	}
+}
+
+// Build resolves the spec against an endpoint grid and returns the
+// behavioural Topology. ep is the index space traffic endpoints live on
+// (for CMesh it is the core grid; the router grid is derived by dividing by
+// the concentration block, so ep's width/height must be divisible by it).
+func (s TopoSpec) Build(ep Dim) (Topology, error) {
+	if err := ep.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case TopoMesh:
+		return Mesh2D{D: ep}, nil
+	case TopoTorus:
+		return Torus{D: ep}, nil
+	case TopoCMesh:
+		cx, cy, err := concFactors(s.Conc)
+		if err != nil {
+			return nil, err
+		}
+		if ep.Width%cx != 0 || ep.Height%cy != 0 {
+			return nil, fmt.Errorf("mesh: cmesh concentration %dx%d does not divide the %v endpoint grid (width must be a multiple of %d and height of %d)",
+				cx, cy, ep, cx, cy)
+		}
+		return CMesh{EP: ep, R: Dim{Width: ep.Width / cx, Height: ep.Height / cy}, CX: cx, CY: cy}, nil
+	default:
+		return nil, fmt.Errorf("mesh: unknown topology kind %d", int(s.Kind))
+	}
+}
+
+// MustBuild is Build for constant arguments; it panics on error.
+func (s TopoSpec) MustBuild(ep Dim) Topology {
+	t, err := s.Build(ep)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Topology is the geometry-and-routing contract every layer of the module
+// consumes: the simulator wires routers from the neighbour table and asks
+// OutputPort per head flit, the analytical engine walks routes through Walk
+// and derives contender counts from the input/port existence tables, and the
+// WaW weight derivation reads the per-destination channel-load counts.
+//
+// Two index spaces are involved. Endpoints (traffic sources/destinations,
+// the paper's PMEs) live on EndpointDim; routers live on RouterDim. For the
+// mesh and the torus the two coincide and RouterOf is the identity; for the
+// concentrated mesh several endpoints share a router. All routing methods
+// take endpoint destinations and resolve the attached router internally.
+//
+// Implementations are small immutable value types: they are freely copyable,
+// comparable, and safe for concurrent use.
+type Topology interface {
+	// Spec returns the comparable identity of the topology.
+	Spec() TopoSpec
+	// String renders the canonical name (Spec().String()).
+	String() string
+
+	// EndpointDim is the grid traffic endpoints are indexed on.
+	EndpointDim() Dim
+	// RouterDim is the router grid; per-router state (weight tables,
+	// contender arrays, simulator routers) is indexed by RouterDim().Index.
+	RouterDim() Dim
+	// RouterOf maps an endpoint to its attached router.
+	RouterOf(ep Node) Node
+	// LocalEndpoints is the number of endpoints attached to router r
+	// (the Local-port fan-out; 1 except for the concentrated mesh).
+	LocalEndpoints(r Node) int
+
+	// Neighbor returns the router adjacent to r through output direction
+	// dir (wrap links included), or false when the port does not exist.
+	Neighbor(r Node, dir Direction) (Node, bool)
+	// HasOutput reports whether output port out of router r physically
+	// exists (Local always does).
+	HasOutput(r Node, out Direction) bool
+
+	// OutputPort is the deterministic routing decision: the output port a
+	// packet at router `at` with endpoint destination `dst` takes. When the
+	// packet has reached dst's router it is ejected through Local.
+	OutputPort(at Node, dst Node) Direction
+	// Walk invokes fn for every hop of the route between endpoints src and
+	// dst in path order without materialising it (fn returning false stops
+	// early) — the allocation-free walker the analytical loops rely on.
+	Walk(src, dst Node, fn func(hop Hop) bool) error
+	// AppendHops appends the route's hops to the caller-owned buffer.
+	AppendHops(hops []Hop, src, dst Node) ([]Hop, error)
+
+	// InputLoads returns, for router r, the per-destination-normalised
+	// worst-case number of flows arriving through each input port — the
+	// I_{port} ingredients of the WaW weight closed forms (Section III of
+	// the paper for the mesh; see each implementation for its derivation).
+	InputLoads(r Node) [NumDirections]int
+	// LocalPairLoad is the per-destination flow count of the Local→Local
+	// turn (endpoints sending to a co-located endpoint): 0 unless several
+	// endpoints share the router.
+	LocalPairLoad(r Node) int
+
+	// StripeSafe reports whether the row-stripe sharded engine's two-phase
+	// commit remains deterministic and serial-equivalent on this topology
+	// (see network.Config.Shards).
+	StripeSafe() bool
+	// Analytical reports whether the paper's chained-blocking WCTT argument
+	// transfers to this topology (destination-independent channel loads
+	// and acyclic turn ordering). Topologies without it are simulation-only.
+	Analytical() bool
+}
+
+// walkTopology is the generic route walker shared by the non-mesh
+// topologies: follow OutputPort hop by hop from the source's router until
+// ejection. Like WalkXY it performs no heap allocations — the type
+// parameter keeps the concrete topology unboxed (an interface parameter
+// would heap-allocate the receiver on every walk of the analytical loops;
+// the Walk alloc test pins this).
+func walkTopology[T Topology](t T, src, dst Node, fn func(hop Hop) bool) error {
+	if err := CheckEndpoints(t.EndpointDim(), src, dst); err != nil {
+		return err
+	}
+	at := t.RouterOf(src)
+	in := Local
+	for {
+		out := t.OutputPort(at, dst)
+		if !fn(Hop{Router: at, In: in, Out: out}) {
+			return nil
+		}
+		if out == Local {
+			return nil
+		}
+		next, ok := t.Neighbor(at, out)
+		if !ok {
+			return fmt.Errorf("mesh: %v routing left the fabric at %v towards %v (dst %v)", t, at, out, dst)
+		}
+		in = out
+		at = next
+	}
+}
+
+// appendTopologyHops is the caller-buffer variant of walkTopology.
+func appendTopologyHops[T Topology](t T, hops []Hop, src, dst Node) ([]Hop, error) {
+	err := t.Walk(src, dst, func(h Hop) bool {
+		hops = append(hops, h)
+		return true
+	})
+	return hops, err
+}
+
+// TopologyRoute materialises the full route between two endpoints — the
+// allocating adapter over Topology.Walk, mirroring XYRoute.
+func TopologyRoute(t Topology, src, dst Node) (Route, error) {
+	route := Route{Src: src, Dst: dst}
+	hops, err := t.AppendHops(nil, src, dst)
+	if err != nil {
+		return Route{}, err
+	}
+	route.Hops = hops
+	return route, nil
+}
+
+// LegalInputsForTopo generalises LegalInputsFor to any topology: the input
+// ports of router r that physically exist (their upstream neighbour exists)
+// and may legally feed output out under the dimension-ordered turn rules.
+// This is the contender set of the chained-blocking WCTT analysis.
+func LegalInputsForTopo(t Topology, r Node, out Direction) []Direction {
+	var inputs []Direction
+	for _, in := range Directions {
+		if in == Local {
+			if LegalTurn(in, out) {
+				inputs = append(inputs, in)
+			}
+			continue
+		}
+		// The input port named `in` carries flits travelling in direction
+		// `in`, arriving from the neighbour in the opposite direction; the
+		// port exists only when that neighbour link does.
+		if _, ok := t.Neighbor(r, in.Opposite()); !ok {
+			continue
+		}
+		if LegalTurn(in, out) {
+			inputs = append(inputs, in)
+		}
+	}
+	return inputs
+}
+
+// Mesh2D is the reference Topology: the paper's XY-routed 2D mesh. Every
+// method delegates to the original Dim/XY helpers so behaviour (including
+// error text and iteration order) is bit-identical to the pre-topology code.
+type Mesh2D struct{ D Dim }
+
+// Spec implements Topology.
+func (m Mesh2D) Spec() TopoSpec { return TopoSpec{Kind: TopoMesh} }
+
+// String implements Topology.
+func (m Mesh2D) String() string { return "mesh" }
+
+// EndpointDim implements Topology.
+func (m Mesh2D) EndpointDim() Dim { return m.D }
+
+// RouterDim implements Topology.
+func (m Mesh2D) RouterDim() Dim { return m.D }
+
+// RouterOf implements Topology: every endpoint owns its router.
+func (m Mesh2D) RouterOf(ep Node) Node { return ep }
+
+// LocalEndpoints implements Topology.
+func (m Mesh2D) LocalEndpoints(Node) int { return 1 }
+
+// Neighbor implements Topology.
+func (m Mesh2D) Neighbor(r Node, dir Direction) (Node, bool) { return m.D.Neighbor(r, dir) }
+
+// HasOutput implements Topology.
+func (m Mesh2D) HasOutput(r Node, out Direction) bool { return OutputExists(m.D, r, out) }
+
+// OutputPort implements Topology with plain XY dimension-ordered routing.
+func (m Mesh2D) OutputPort(at, dst Node) Direction { return XYOutputPort(at, dst) }
+
+// Walk implements Topology via the original allocation-free XY walker.
+func (m Mesh2D) Walk(src, dst Node, fn func(hop Hop) bool) error {
+	return WalkXY(m.D, src, dst, fn)
+}
+
+// AppendHops implements Topology via AppendXYHops.
+func (m Mesh2D) AppendHops(hops []Hop, src, dst Node) ([]Hop, error) {
+	return AppendXYHops(hops, m.D, src, dst)
+}
+
+// InputLoads implements Topology with the Section III closed forms:
+// I_{X+}=x, I_{X-}=N-x-1, I_{Y+}=N*y, I_{Y-}=N*(M-y-1), I_{PME}=1.
+func (m Mesh2D) InputLoads(r Node) [NumDirections]int {
+	N, M := m.D.Width, m.D.Height
+	var in [NumDirections]int
+	in[XPlus] = r.X
+	in[XMinus] = N - r.X - 1
+	in[YPlus] = N * r.Y
+	in[YMinus] = N * (M - r.Y - 1)
+	in[Local] = 1
+	return in
+}
+
+// LocalPairLoad implements Topology: a mesh node never sends to itself.
+func (m Mesh2D) LocalPairLoad(Node) int { return 0 }
+
+// StripeSafe implements Topology: XY routing crosses a row-stripe boundary
+// only on Y links, at most once per boundary per route — the invariant the
+// sharded engine's commit order was designed around.
+func (m Mesh2D) StripeSafe() bool { return true }
+
+// Analytical implements Topology: the paper's bounds are derived here.
+func (m Mesh2D) Analytical() bool { return true }
+
+// Torus is the 2D torus: the mesh grid plus wrap links on every row and
+// column ring, routed dimension-ordered (X fully, then Y) with each ring
+// taking the shorter way around.
+//
+// # Dateline / shortest-wrap convention
+//
+// Within a ring of size S the displacement towards the destination is taken
+// modulo S; the packet travels in the positive direction when the positive
+// displacement m satisfies 2m <= S and in the negative direction otherwise.
+// On even rings the half-way tie (m = S/2) therefore always routes through
+// the positive dateline (the wrap link from coordinate S-1 to 0), making the
+// choice deterministic and direction-unique per (src,dst) pair — a route
+// never uses both wrap links of one ring, and never crosses any dateline
+// twice (each ring is traversed monotonically in one direction for fewer
+// than S hops; the per-topology property tests pin this).
+//
+// # Deadlock
+//
+// Dimension-ordered routing removes inter-dimension cycles (no Y→X turns),
+// but a wrap ring is itself a cyclic channel dependency: a single-VC
+// wormhole torus can deadlock beyond saturation, which real datelined
+// implementations break with a second virtual channel. This simulator has
+// no virtual channels, so the torus is offered for average-performance
+// studies below saturation: bounded runs surface a cyclic stall as a
+// non-completion error / Drained=false, exactly like a post-saturation
+// load-curve point. For the same reason — channel loads are not
+// destination-independent on a ring — the paper's chained-blocking WCTT
+// argument does not transfer, and Analytical() reports false: the torus is
+// simulation-only (wctt/wcet verbs reject it).
+type Torus struct{ D Dim }
+
+// Spec implements Topology.
+func (t Torus) Spec() TopoSpec { return TopoSpec{Kind: TopoTorus} }
+
+// String implements Topology.
+func (t Torus) String() string { return "torus" }
+
+// EndpointDim implements Topology.
+func (t Torus) EndpointDim() Dim { return t.D }
+
+// RouterDim implements Topology.
+func (t Torus) RouterDim() Dim { return t.D }
+
+// RouterOf implements Topology.
+func (t Torus) RouterOf(ep Node) Node { return ep }
+
+// LocalEndpoints implements Topology.
+func (t Torus) LocalEndpoints(Node) int { return 1 }
+
+// Neighbor implements Topology: coordinates wrap modulo the ring size. A
+// ring of size 1 has no links (a wrap link to oneself is meaningless), so
+// those directions report false exactly like the 1-wide mesh.
+func (t Torus) Neighbor(r Node, dir Direction) (Node, bool) {
+	W, H := t.D.Width, t.D.Height
+	switch dir {
+	case XPlus:
+		if W < 2 {
+			return Node{}, false
+		}
+		return Node{X: (r.X + 1) % W, Y: r.Y}, true
+	case XMinus:
+		if W < 2 {
+			return Node{}, false
+		}
+		return Node{X: (r.X - 1 + W) % W, Y: r.Y}, true
+	case YPlus:
+		if H < 2 {
+			return Node{}, false
+		}
+		return Node{X: r.X, Y: (r.Y + 1) % H}, true
+	case YMinus:
+		if H < 2 {
+			return Node{}, false
+		}
+		return Node{X: r.X, Y: (r.Y - 1 + H) % H}, true
+	default:
+		return Node{}, false
+	}
+}
+
+// HasOutput implements Topology: every ring of size >= 2 closes, so interior
+// and boundary routers alike have all four link ports.
+func (t Torus) HasOutput(r Node, out Direction) bool {
+	if out == Local {
+		return true
+	}
+	_, ok := t.Neighbor(r, out)
+	return ok
+}
+
+// OutputPort implements Topology: dimension-ordered shortest-wrap routing
+// (see the type comment for the dateline convention).
+func (t Torus) OutputPort(at, dst Node) Direction {
+	if dx := dst.X - at.X; dx != 0 {
+		W := t.D.Width
+		m := ((dx % W) + W) % W // positive displacement, 1..W-1
+		if 2*m <= W {
+			return XPlus
+		}
+		return XMinus
+	}
+	if dy := dst.Y - at.Y; dy != 0 {
+		H := t.D.Height
+		m := ((dy % H) + H) % H
+		if 2*m <= H {
+			return YPlus
+		}
+		return YMinus
+	}
+	return Local
+}
+
+// Walk implements Topology via the generic allocation-free walker.
+func (t Torus) Walk(src, dst Node, fn func(hop Hop) bool) error {
+	return walkTopology(t, src, dst, fn)
+}
+
+// AppendHops implements Topology.
+func (t Torus) AppendHops(hops []Hop, src, dst Node) ([]Hop, error) {
+	return appendTopologyHops(t, hops, src, dst)
+}
+
+// InputLoads implements Topology with the worst-case-over-destinations
+// closed forms of shortest-wrap routing: at most floor(W/2) sources feed a
+// positive X input (the longest positive ring segment), floor((W-1)/2) a
+// negative one (ties go positive), and a Y input carries up to W flows per
+// upstream row. Unlike the mesh forms these are maxima, not exact
+// destination-independent counts — which is precisely why the WCTT argument
+// does not transfer (Analytical() is false) and the table only parameterises
+// the WaW arbitration counters of the simulator.
+func (t Torus) InputLoads(Node) [NumDirections]int {
+	W, H := t.D.Width, t.D.Height
+	var in [NumDirections]int
+	in[XPlus] = W / 2
+	in[XMinus] = (W - 1) / 2
+	in[YPlus] = W * (H / 2)
+	in[YMinus] = W * ((H - 1) / 2)
+	in[Local] = 1
+	return in
+}
+
+// LocalPairLoad implements Topology.
+func (t Torus) LocalPairLoad(Node) int { return 0 }
+
+// StripeSafe implements Topology: the sharded engine's cross-shard outbox is
+// addressed by target shard, not by stripe adjacency, so the Y wrap link
+// (last row → first row) stages like any other cross-stripe transfer and the
+// serial-equivalence argument goes through unchanged; X wrap links stay
+// within their stripe. Pinned by the sharded torus equivalence tests.
+func (t Torus) StripeSafe() bool { return true }
+
+// Analytical implements Topology: see the deadlock/dateline discussion in
+// the type comment — the torus is simulation-only.
+func (t Torus) Analytical() bool { return false }
+
+// CMesh is the concentrated mesh: CX×CY blocks of the endpoint grid share
+// one router through its Local port (Conc = CX*CY cores per router, the
+// "Local port fan-out"). The endpoint index space stays the full EP grid —
+// traffic patterns, flow IDs and WCTT queries are expressed on cores — while
+// the fabric is a plain XY-routed R mesh of routers, so the paper's
+// chained-blocking argument transfers with every channel load scaled by the
+// concentration (see InputLoads).
+type CMesh struct {
+	EP     Dim // endpoint (core) grid
+	R      Dim // router grid: EP scaled down by the concentration block
+	CX, CY int // concentration block shape (cores per router = CX*CY)
+}
+
+// Spec implements Topology.
+func (c CMesh) Spec() TopoSpec { return TopoSpec{Kind: TopoCMesh, Conc: c.CX * c.CY} }
+
+// String implements Topology.
+func (c CMesh) String() string { return c.Spec().String() }
+
+// EndpointDim implements Topology.
+func (c CMesh) EndpointDim() Dim { return c.EP }
+
+// RouterDim implements Topology.
+func (c CMesh) RouterDim() Dim { return c.R }
+
+// RouterOf implements Topology: block mapping, core (x,y) attaches to
+// router (x/CX, y/CY).
+func (c CMesh) RouterOf(ep Node) Node { return Node{X: ep.X / c.CX, Y: ep.Y / c.CY} }
+
+// LocalEndpoints implements Topology.
+func (c CMesh) LocalEndpoints(Node) int { return c.CX * c.CY }
+
+// Neighbor implements Topology: plain mesh adjacency on the router grid.
+func (c CMesh) Neighbor(r Node, dir Direction) (Node, bool) { return c.R.Neighbor(r, dir) }
+
+// HasOutput implements Topology.
+func (c CMesh) HasOutput(r Node, out Direction) bool { return OutputExists(c.R, r, out) }
+
+// OutputPort implements Topology: XY routing over the router grid towards
+// the destination core's router; co-located destinations eject immediately
+// (the Local→Local turn, legal under the XY turn rules).
+func (c CMesh) OutputPort(at, dst Node) Direction {
+	return XYOutputPort(at, c.RouterOf(dst))
+}
+
+// Walk implements Topology via the generic allocation-free walker. A route
+// between co-located cores is the single Local→Local hop through their
+// shared router.
+func (c CMesh) Walk(src, dst Node, fn func(hop Hop) bool) error {
+	return walkTopology(c, src, dst, fn)
+}
+
+// AppendHops implements Topology.
+func (c CMesh) AppendHops(hops []Hop, src, dst Node) ([]Hop, error) {
+	return appendTopologyHops(c, hops, src, dst)
+}
+
+// InputLoads implements Topology: the mesh closed forms on the router grid
+// with every count scaled by the concentration — each upstream router now
+// aggregates Conc cores, and the Local input injects Conc per-destination
+// flows (one per attached core): I_{X+}=Conc·x, I_{X-}=Conc·(n-x-1),
+// I_{Y+}=Conc·n·y, I_{Y-}=Conc·n·(m-y-1), I_{PME}=Conc, with (n,m) the
+// router-grid dimensions. Destination-independence holds by the same XY
+// argument as the mesh, so the WCTT bounds transfer (Analytical() is true).
+func (c CMesh) InputLoads(r Node) [NumDirections]int {
+	n, m := c.R.Width, c.R.Height
+	conc := c.CX * c.CY
+	var in [NumDirections]int
+	in[XPlus] = conc * r.X
+	in[XMinus] = conc * (n - r.X - 1)
+	in[YPlus] = conc * n * r.Y
+	in[YMinus] = conc * n * (m - r.Y - 1)
+	in[Local] = conc
+	return in
+}
+
+// LocalPairLoad implements Topology: towards a destination core, the other
+// Conc-1 cores of its own router send through the Local→Local turn.
+func (c CMesh) LocalPairLoad(Node) int { return c.CX*c.CY - 1 }
+
+// StripeSafe implements Topology: stripes partition the router grid, which
+// is a plain XY mesh.
+func (c CMesh) StripeSafe() bool { return true }
+
+// Analytical implements Topology: see InputLoads.
+func (c CMesh) Analytical() bool { return true }

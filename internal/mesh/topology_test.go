@@ -1,0 +1,379 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testTopologies returns one built instance of every topology family on
+// grids its constraints allow, square and non-square.
+func testTopologies(t *testing.T) []Topology {
+	t.Helper()
+	var topos []Topology
+	build := func(spec TopoSpec, w, h int) {
+		topo, err := spec.Build(MustDim(w, h))
+		if err != nil {
+			t.Fatalf("Build(%v, %dx%d): %v", spec, w, h, err)
+		}
+		topos = append(topos, topo)
+	}
+	for _, d := range [][2]int{{2, 2}, {3, 3}, {4, 4}, {5, 3}, {3, 5}, {8, 8}, {1, 4}, {4, 1}} {
+		build(TopoSpec{Kind: TopoMesh}, d[0], d[1])
+		build(TopoSpec{Kind: TopoTorus}, d[0], d[1])
+	}
+	for _, d := range [][2]int{{2, 2}, {4, 4}, {6, 4}, {8, 8}} {
+		build(TopoSpec{Kind: TopoCMesh, Conc: 4}, d[0], d[1])
+	}
+	for _, d := range [][2]int{{2, 2}, {4, 3}, {6, 5}, {8, 8}} {
+		build(TopoSpec{Kind: TopoCMesh, Conc: 2}, d[0], d[1])
+	}
+	return topos
+}
+
+// TestTopologyRouteProperties checks, for every ordered endpoint pair of
+// every test topology, the route invariants all consumers rely on: the walk
+// starts at the source's router entering through Local, every hop is a legal
+// dimension-ordered turn, every link step lands on the neighbour the
+// topology wires for that port, the walk terminates with a Local ejection at
+// the destination's router, and X hops strictly precede Y hops.
+func TestTopologyRouteProperties(t *testing.T) {
+	for _, topo := range testTopologies(t) {
+		name := fmt.Sprintf("%v-%v", topo, topo.EndpointDim())
+		t.Run(name, func(t *testing.T) {
+			ep := topo.EndpointDim()
+			for _, src := range ep.AllNodes() {
+				for _, dst := range ep.AllNodes() {
+					hops, err := topo.AppendHops(nil, src, dst)
+					if err != nil {
+						t.Fatalf("route %v->%v: %v", src, dst, err)
+					}
+					checkRoute(t, topo, src, dst, hops)
+				}
+			}
+		})
+	}
+}
+
+func checkRoute(t *testing.T, topo Topology, src, dst Node, hops []Hop) {
+	t.Helper()
+	if len(hops) == 0 {
+		t.Fatalf("route %v->%v: empty", src, dst)
+	}
+	if hops[0].Router != topo.RouterOf(src) || hops[0].In != Local {
+		t.Fatalf("route %v->%v: first hop %v should enter %v through Local", src, dst, hops[0], topo.RouterOf(src))
+	}
+	last := hops[len(hops)-1]
+	if last.Out != Local || last.Router != topo.RouterOf(dst) {
+		t.Fatalf("route %v->%v: last hop %v should eject at %v", src, dst, last, topo.RouterOf(dst))
+	}
+	// Hop-count sanity: a route visits each router at most once, so it can
+	// never be longer than the router count (a cycle would exceed it).
+	if len(hops) > topo.RouterDim().Nodes() {
+		t.Fatalf("route %v->%v: %d hops on a %v router grid (cycle?)", src, dst, len(hops), topo.RouterDim())
+	}
+	seenY := false
+	for i, h := range hops {
+		if !LegalTurn(h.In, h.Out) {
+			t.Fatalf("route %v->%v: illegal turn %v", src, dst, h)
+		}
+		if h.Out.IsX() && seenY {
+			t.Fatalf("route %v->%v: X hop %v after a Y hop (dimension order violated)", src, dst, h)
+		}
+		if h.Out.IsY() {
+			seenY = true
+		}
+		if h.Out == Local {
+			if i != len(hops)-1 {
+				t.Fatalf("route %v->%v: ejection before the last hop", src, dst)
+			}
+			continue
+		}
+		next, ok := topo.Neighbor(h.Router, h.Out)
+		if !ok {
+			t.Fatalf("route %v->%v: hop %v uses a missing port", src, dst, h)
+		}
+		if i+1 >= len(hops) {
+			t.Fatalf("route %v->%v: link hop %v is the last hop", src, dst, h)
+		}
+		if hops[i+1].Router != next || hops[i+1].In != h.Out {
+			t.Fatalf("route %v->%v: hop %v should continue at %v in %v, got %v", src, dst, h, next, h.Out, hops[i+1])
+		}
+	}
+}
+
+// TestMesh2DMatchesXYWalk pins the reference instance to the original
+// helpers hop for hop: the mesh topology must be the identical geometry the
+// pre-topology code computed, not merely an equivalent one.
+func TestMesh2DMatchesXYWalk(t *testing.T) {
+	for _, d := range []Dim{MustDim(3, 3), MustDim(5, 2), MustDim(1, 6)} {
+		m := Mesh2D{D: d}
+		for _, src := range d.AllNodes() {
+			for _, dst := range d.AllNodes() {
+				got, err := m.AppendHops(nil, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := AppendXYHops(nil, d, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v->%v: %d hops vs XY's %d", src, dst, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v->%v hop %d: %v vs XY's %v", src, dst, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// torusRingDist is the shortest-wrap distance on a ring of size s.
+func torusRingDist(a, b, s int) int {
+	m := ((b-a)%s + s) % s
+	if s-m < m {
+		return s - m
+	}
+	return m
+}
+
+// TestTorusRouteProperties checks the torus-specific invariants on top of
+// the generic ones: every route is minimal under shortest-wrap distance,
+// each ring is traversed in one direction only, the positive dateline wins
+// the even-ring tie, and no route crosses any dateline twice.
+func TestTorusRouteProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []Dim{MustDim(4, 4), MustDim(5, 5), MustDim(6, 3), MustDim(3, 8), MustDim(16, 16)} {
+		topo := Torus{D: d}
+		// Exhaustive on small grids, 2000 fuzzed pairs on large ones.
+		pairs := [][2]Node{}
+		if d.Nodes() <= 64 {
+			for _, src := range d.AllNodes() {
+				for _, dst := range d.AllNodes() {
+					pairs = append(pairs, [2]Node{src, dst})
+				}
+			}
+		} else {
+			for i := 0; i < 2000; i++ {
+				pairs = append(pairs, [2]Node{d.NodeAt(rng.Intn(d.Nodes())), d.NodeAt(rng.Intn(d.Nodes()))})
+			}
+		}
+		for _, p := range pairs {
+			src, dst := p[0], p[1]
+			hops, err := topo.AppendHops(nil, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRoute(t, topo, src, dst, hops)
+			var dirUsed [NumDirections]int
+			xWraps, yWraps := 0, 0
+			for i, h := range hops {
+				if h.Out == Local {
+					continue
+				}
+				dirUsed[h.Out]++
+				next := hops[i+1].Router
+				// A dateline crossing is a link step whose coordinate moves
+				// against the travel direction (W-1 -> 0 going XPlus, etc.).
+				switch h.Out {
+				case XPlus:
+					if next.X < h.Router.X {
+						xWraps++
+					}
+				case XMinus:
+					if next.X > h.Router.X {
+						xWraps++
+					}
+				case YPlus:
+					if next.Y < h.Router.Y {
+						yWraps++
+					}
+				case YMinus:
+					if next.Y > h.Router.Y {
+						yWraps++
+					}
+				}
+			}
+			if dirUsed[XPlus] > 0 && dirUsed[XMinus] > 0 {
+				t.Fatalf("%v: route %v->%v uses both X directions", d, src, dst)
+			}
+			if dirUsed[YPlus] > 0 && dirUsed[YMinus] > 0 {
+				t.Fatalf("%v: route %v->%v uses both Y directions", d, src, dst)
+			}
+			if xWraps > 1 || yWraps > 1 {
+				t.Fatalf("%v: route %v->%v crosses a dateline twice (x=%d y=%d)", d, src, dst, xWraps, yWraps)
+			}
+			wantX := torusRingDist(src.X, dst.X, d.Width)
+			wantY := torusRingDist(src.Y, dst.Y, d.Height)
+			if gotX := dirUsed[XPlus] + dirUsed[XMinus]; gotX != wantX {
+				t.Fatalf("%v: route %v->%v takes %d X hops, shortest-wrap needs %d", d, src, dst, gotX, wantX)
+			}
+			if gotY := dirUsed[YPlus] + dirUsed[YMinus]; gotY != wantY {
+				t.Fatalf("%v: route %v->%v takes %d Y hops, shortest-wrap needs %d", d, src, dst, gotY, wantY)
+			}
+			// Even-ring half-way ties must break towards the positive
+			// dateline (the documented convention).
+			if m := ((dst.X-src.X)%d.Width + d.Width) % d.Width; d.Width%2 == 0 && m == d.Width/2 && dirUsed[XMinus] > 0 {
+				t.Fatalf("%v: route %v->%v breaks the X tie negatively", d, src, dst)
+			}
+			if m := ((dst.Y-src.Y)%d.Height + d.Height) % d.Height; d.Height%2 == 0 && m == d.Height/2 && dirUsed[YMinus] > 0 {
+				t.Fatalf("%v: route %v->%v breaks the Y tie negatively", d, src, dst)
+			}
+		}
+	}
+}
+
+// TestCMeshMapping checks the endpoint/router split of the concentrated
+// mesh: the block mapping partitions the cores evenly, LocalEndpoints
+// matches the actual fan-in, and co-located cores reach each other through
+// the single Local->Local hop of their shared router.
+func TestCMeshMapping(t *testing.T) {
+	for _, spec := range []TopoSpec{{Kind: TopoCMesh, Conc: 4}, {Kind: TopoCMesh, Conc: 2}} {
+		topo, err := spec.Build(MustDim(8, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, rd := topo.EndpointDim(), topo.RouterDim()
+		if ep.Nodes() != rd.Nodes()*spec.Conc {
+			t.Fatalf("%v: %d endpoints on %d routers with conc %d", spec, ep.Nodes(), rd.Nodes(), spec.Conc)
+		}
+		fanIn := make(map[Node]int)
+		for _, core := range ep.AllNodes() {
+			r := topo.RouterOf(core)
+			if !rd.Contains(r) {
+				t.Fatalf("%v: RouterOf(%v) = %v outside %v", spec, core, r, rd)
+			}
+			fanIn[r]++
+		}
+		for _, r := range rd.AllNodes() {
+			if fanIn[r] != topo.LocalEndpoints(r) {
+				t.Fatalf("%v: router %v has %d cores, LocalEndpoints says %d", spec, r, fanIn[r], topo.LocalEndpoints(r))
+			}
+			if topo.LocalPairLoad(r) != spec.Conc-1 {
+				t.Fatalf("%v: LocalPairLoad(%v) = %d, want %d", spec, r, topo.LocalPairLoad(r), spec.Conc-1)
+			}
+		}
+		// Two distinct co-located cores: one hop, Local in and out.
+		src, dst := Node{X: 0, Y: 0}, Node{X: 1, Y: 0}
+		if topo.RouterOf(src) != topo.RouterOf(dst) {
+			t.Fatalf("%v: %v and %v should share a router", spec, src, dst)
+		}
+		hops, err := topo.AppendHops(nil, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hops) != 1 || hops[0].In != Local || hops[0].Out != Local {
+			t.Fatalf("%v: co-located route %v->%v = %v, want one Local->Local hop", spec, src, dst, hops)
+		}
+	}
+}
+
+// TestParseTopology checks the flag grammar and its round trip through
+// TopoSpec.String.
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TopoSpec
+		str  string
+	}{
+		{"", TopoSpec{}, "mesh"},
+		{"mesh", TopoSpec{}, "mesh"},
+		{" Mesh ", TopoSpec{}, "mesh"},
+		{"torus", TopoSpec{Kind: TopoTorus}, "torus"},
+		{"cmesh", TopoSpec{Kind: TopoCMesh, Conc: 4}, "cmesh"},
+		{"cmesh4", TopoSpec{Kind: TopoCMesh, Conc: 4}, "cmesh"},
+		{"cmesh2", TopoSpec{Kind: TopoCMesh, Conc: 2}, "cmesh2"},
+	}
+	for _, c := range cases {
+		got, err := ParseTopology(c.in)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTopology(%q) = %v, want %v", c.in, got, c.want)
+		}
+		if got.String() != c.str {
+			t.Errorf("ParseTopology(%q).String() = %q, want %q", c.in, got.String(), c.str)
+		}
+	}
+	for _, bad := range []string{"banana", "cmesh3", "hypercube", "2dmesh"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", bad)
+		}
+	}
+	// Build-time constraints: concentration blocks must divide the grid.
+	if _, err := (TopoSpec{Kind: TopoCMesh, Conc: 4}).Build(MustDim(5, 4)); err == nil {
+		t.Error("cmesh4 on 5x4 should fail (width not divisible by 2)")
+	}
+	if _, err := (TopoSpec{Kind: TopoCMesh, Conc: 4}).Build(MustDim(4, 5)); err == nil {
+		t.Error("cmesh4 on 4x5 should fail (height not divisible by 2)")
+	}
+	if _, err := (TopoSpec{Kind: TopoCMesh, Conc: 2}).Build(MustDim(3, 4)); err == nil {
+		t.Error("cmesh2 on 3x4 should fail (width not divisible by 2)")
+	}
+	if _, err := (TopoSpec{Kind: TopoCMesh, Conc: 3}).Build(MustDim(6, 6)); err == nil {
+		t.Error("conc 3 should fail (only 2 and 4 supported)")
+	}
+}
+
+// TestTorusNeighborWrap checks the wrap links and the degenerate rings.
+func TestTorusNeighborWrap(t *testing.T) {
+	topo := Torus{D: MustDim(4, 3)}
+	cases := []struct {
+		at   Node
+		dir  Direction
+		want Node
+	}{
+		{Node{X: 3, Y: 0}, XPlus, Node{X: 0, Y: 0}},
+		{Node{X: 0, Y: 0}, XMinus, Node{X: 3, Y: 0}},
+		{Node{X: 1, Y: 2}, YPlus, Node{X: 1, Y: 0}},
+		{Node{X: 1, Y: 0}, YMinus, Node{X: 1, Y: 2}},
+	}
+	for _, c := range cases {
+		got, ok := topo.Neighbor(c.at, c.dir)
+		if !ok || got != c.want {
+			t.Errorf("Neighbor(%v, %v) = %v/%v, want %v", c.at, c.dir, got, ok, c.want)
+		}
+	}
+	// A ring of size 1 has no links in that dimension.
+	thin := Torus{D: MustDim(1, 4)}
+	if _, ok := thin.Neighbor(Node{}, XPlus); ok {
+		t.Error("1-wide torus should have no X links")
+	}
+	if _, ok := thin.Neighbor(Node{}, YPlus); !ok {
+		t.Error("1-wide torus should keep its Y ring")
+	}
+}
+
+// TestTopologyWalkAllocs pins the walkers allocation-free: the analytical
+// hot loops call them per (src,dst) pair and rely on zero heap traffic.
+func TestTopologyWalkAllocs(t *testing.T) {
+	for _, topo := range []Topology{
+		Mesh2D{D: MustDim(8, 8)},
+		Torus{D: MustDim(8, 8)},
+		CMesh{EP: MustDim(8, 8), R: MustDim(4, 4), CX: 2, CY: 2},
+	} {
+		src, dst := Node{X: 1, Y: 2}, Node{X: 6, Y: 5}
+		hops := 0
+		// The visitor is hoisted out of the measured function: its one-time
+		// closure allocation belongs to the caller, the walk itself must not
+		// allocate.
+		visit := func(Hop) bool { hops++; return true }
+		allocs := testing.AllocsPerRun(100, func() {
+			hops = 0
+			if err := topo.Walk(src, dst, visit); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: Walk allocates %.1f times per route", topo, allocs)
+		}
+		if hops == 0 {
+			t.Errorf("%v: walk visited no hops", topo)
+		}
+	}
+}

@@ -47,7 +47,11 @@
 // Because rows are index-contiguous, a stripe partition is the index-order
 // analogue of the column-stripe partitions used by barrier-synchronized NoC
 // co-simulators; XY routing crosses a stripe boundary only on Y links, at
-// most once per boundary per route. The per-(router, input-port) uniqueness
+// most once per boundary per route. The outboxes are addressed by the id of
+// the shard owning the target router — not by stripe adjacency — so the
+// torus's Y wrap link (last row to first row) stages exactly like any other
+// cross-stripe transfer; see Topology.StripeSafe for the per-topology gate.
+// The per-(router, input-port) uniqueness
 // of arrivals and the commutativity of credit increments make the commit
 // order above reproduce the serial engine's state evolution exactly; the
 // one serial-order-sensitive event stream — message deliveries, whose
@@ -161,10 +165,17 @@ func (d Design) Packetization() nic.Scheme {
 
 // Config describes a simulated NoC instance.
 type Config struct {
+	// Dim is the endpoint (traffic) grid. For the mesh and the torus it is
+	// also the router grid; for the concentrated mesh the router grid is
+	// Dim scaled down by the concentration block (see mesh.TopoSpec.Build).
 	Dim    mesh.Dim
 	Design Design
 	Router router.Config
 	Link   flit.LinkConfig
+
+	// Topo selects the network topology; the zero value is the paper's
+	// XY-routed 2D mesh, so pre-topology Config literals keep their meaning.
+	Topo mesh.TopoSpec
 
 	// Engine selects the simulation scheduling strategy; the zero value is
 	// the active-set engine. The engine is fixed at construction time.
@@ -219,6 +230,13 @@ func (c Config) Validate() error {
 	if c.Shards > 1 && c.Engine != EngineActiveSet {
 		return fmt.Errorf("network: sharded stepping requires the active-set engine, got %v", c.Engine)
 	}
+	topo, err := c.Topo.Build(c.Dim)
+	if err != nil {
+		return err
+	}
+	if c.Shards > 1 && !topo.StripeSafe() {
+		return fmt.Errorf("network: topology %v does not support sharded stepping (StripeSafe), use -shards 1", topo)
+	}
 	if c.Router.Arbitration != c.Design.Arbitration() {
 		return fmt.Errorf("network: design %v requires %v arbitration, config says %v",
 			c.Design, c.Design.Arbitration(), c.Router.Arbitration)
@@ -227,8 +245,8 @@ func (c Config) Validate() error {
 		if c.Design.Arbitration() != arbiter.KindWeighted {
 			return fmt.Errorf("network: custom weights require a weighted-arbitration design, got %v", c.Design)
 		}
-		if c.CustomWeights.Dim != c.Dim {
-			return fmt.Errorf("network: custom weight table is for a %v mesh, network is %v", c.CustomWeights.Dim, c.Dim)
+		if c.CustomWeights.Dim != topo.RouterDim() {
+			return fmt.Errorf("network: custom weight table is for a %v mesh, network is %v", c.CustomWeights.Dim, topo.RouterDim())
 		}
 	}
 	return nil
@@ -320,12 +338,19 @@ type shard struct {
 	delivered uint64 // messages delivered at this stripe's NICs
 }
 
-// Network is a cycle-accurate simulation of one mesh NoC instance.
+// Network is a cycle-accurate simulation of one NoC instance.
 type Network struct {
 	cfg Config
 
-	routers []*router.Router // indexed by Dim.Index
-	nics    []*nic.NIC       // indexed by Dim.Index
+	// topo is the resolved topology instance; rdim caches its router grid,
+	// the index space of every per-router array below. For the mesh and the
+	// torus rdim equals cfg.Dim; for the concentrated mesh it is the reduced
+	// router grid.
+	topo mesh.Topology
+	rdim mesh.Dim
+
+	routers []*router.Router // indexed by rdim.Index
+	nics    []*nic.NIC       // indexed by rdim.Index
 
 	// neighborIdx precomputes, per router index and port direction, the
 	// dense index of the neighbouring router (-1 outside the mesh), so the
@@ -381,9 +406,16 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	nodes := cfg.Dim.Nodes()
+	topo, err := cfg.Topo.Build(cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	rdim := topo.RouterDim()
+	nodes := rdim.Nodes()
 	n := &Network{
 		cfg:           cfg,
+		topo:          topo,
+		rdim:          rdim,
 		routers:       make([]*router.Router, nodes),
 		nics:          make([]*nic.NIC, nodes),
 		neighborIdx:   make([][mesh.NumDirections]int32, nodes),
@@ -399,15 +431,16 @@ func New(cfg Config) (*Network, error) {
 		if cfg.CustomWeights != nil {
 			weightTable = cfg.CustomWeights
 		} else {
-			weightTable = flows.CachedWeightTable(cfg.Dim)
+			weightTable = flows.CachedWeightTableTopo(topo)
 		}
 	}
-	for _, node := range cfg.Dim.AllNodes() {
+	concentrated := topo.EndpointDim() != rdim
+	for _, node := range rdim.AllNodes() {
 		var counts *flows.PortCounts
 		if weightTable != nil {
 			counts = weightTable.Counts(node)
 		}
-		r, err := router.New(cfg.Dim, node, cfg.Router, counts, cfg.Router.BufferDepth)
+		r, err := router.NewTopo(topo, node, cfg.Router, counts, cfg.Router.BufferDepth)
 		if err != nil {
 			return nil, err
 		}
@@ -415,17 +448,23 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		idx := cfg.Dim.Index(node)
+		if concentrated {
+			// Several endpoint cores share this NIC through the Local port:
+			// it owns every endpoint whose attached router is this node.
+			rn := node
+			ni.SetEndpointOwner(func(ep mesh.Node) bool { return topo.RouterOf(ep) == rn })
+		}
+		idx := rdim.Index(node)
 		ni.AttachPool(n.shards[n.shardOf[idx]].pool)
 		n.routers[idx] = r
 		n.nics[idx] = ni
 	}
 	for idx := 0; idx < nodes; idx++ {
-		node := cfg.Dim.NodeAt(idx)
+		node := rdim.NodeAt(idx)
 		for _, dir := range mesh.Directions {
 			n.neighborIdx[idx][dir] = -1
-			if nb, ok := cfg.Dim.Neighbor(node, dir); ok {
-				n.neighborIdx[idx][dir] = int32(cfg.Dim.Index(nb))
+			if nb, ok := topo.Neighbor(node, dir); ok {
+				n.neighborIdx[idx][dir] = int32(rdim.Index(nb))
 			}
 		}
 		// Every router starts in the active set; the quiescent ones drop
@@ -438,27 +477,33 @@ func New(cfg Config) (*Network, error) {
 }
 
 // EffectiveShards resolves the configured shard count to the partition the
-// network will actually build: at least one, at most one per mesh row (a
-// stripe must hold whole rows to stay index-contiguous). Configurations with
-// the same effective count build identical networks, which is what lets the
-// scenario layer's network cache key on this value.
+// network will actually build: at least one, at most one per router-grid row
+// (a stripe must hold whole rows to stay index-contiguous; for the mesh and
+// the torus the router grid is Dim itself, for the concentrated mesh the
+// reduced grid). Configurations with the same effective count build identical
+// networks, which is what lets the scenario layer's network cache key on this
+// value.
 func (c Config) EffectiveShards() int {
 	s := c.Shards
 	if s < 1 {
 		s = 1
 	}
-	if s > c.Dim.Height {
-		s = c.Dim.Height
+	h := c.Dim.Height
+	if t, err := c.Topo.Build(c.Dim); err == nil {
+		h = t.RouterDim().Height
+	}
+	if s > h {
+		s = h
 	}
 	return s
 }
 
-// buildShards carves the mesh into count row stripes (rows distributed as
-// evenly as possible), assigns every router index to its stripe and, for a
+// buildShards carves the router grid into count row stripes (rows distributed
+// as evenly as possible), assigns every router index to its stripe and, for a
 // multi-shard network, builds the outboxes and the barrier worker gang.
 func (n *Network) buildShards(count int) {
-	width := n.cfg.Dim.Width
-	height := n.cfg.Dim.Height
+	width := n.rdim.Width
+	height := n.rdim.Height
 	n.shards = make([]*shard, count)
 	for s := 0; s < count; s++ {
 		rowLo := s * height / count
@@ -504,6 +549,9 @@ func MustNew(cfg Config) *Network {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// Topology returns the resolved topology instance the network was built on.
+func (n *Network) Topology() mesh.Topology { return n.topo }
+
 // Shards returns the effective shard count of the engine (1 for the serial
 // engines).
 func (n *Network) Shards() int { return len(n.shards) }
@@ -518,11 +566,12 @@ func (n *Network) Pool() *flit.Pool { return n.pool }
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() uint64 { return n.cycle }
 
-// Router returns the router at node nd (panics when outside the mesh).
-func (n *Network) Router(nd mesh.Node) *router.Router { return n.routers[n.cfg.Dim.Index(nd)] }
+// Router returns the router at router-grid node nd (panics when outside the
+// grid). For the mesh and the torus the router grid is Dim itself.
+func (n *Network) Router(nd mesh.Node) *router.Router { return n.routers[n.rdim.Index(nd)] }
 
-// NIC returns the NIC at node nd (panics when outside the mesh).
-func (n *Network) NIC(nd mesh.Node) *nic.NIC { return n.nics[n.cfg.Dim.Index(nd)] }
+// NIC returns the NIC at router-grid node nd (panics when outside the grid).
+func (n *Network) NIC(nd mesh.Node) *nic.NIC { return n.nics[n.rdim.Index(nd)] }
 
 // Send queues a message for transmission from its source node's NIC at the
 // current cycle and returns the assigned message identifier. Traffic must
@@ -535,7 +584,7 @@ func (n *Network) Send(msg *flit.Message) (uint64, error) {
 	if !n.cfg.Dim.Contains(msg.Flow.Src) || !n.cfg.Dim.Contains(msg.Flow.Dst) {
 		return 0, fmt.Errorf("network: flow %v outside %v mesh", msg.Flow, n.cfg.Dim)
 	}
-	idx := n.cfg.Dim.Index(msg.Flow.Src)
+	idx := n.rdim.Index(n.topo.RouterOf(msg.Flow.Src))
 	id, err := n.nics[idx].Send(msg, n.cycle)
 	if err == nil {
 		n.activateNIC(n.shards[n.shardOf[idx]], int32(idx))
@@ -1110,12 +1159,12 @@ func (n *Network) Drained() bool {
 
 // FlowStatsFor returns the delivered-message statistics of a flow, or nil
 // when the flow has delivered nothing yet. A flow's statistics live in the
-// shard owning its destination node.
+// shard owning its destination endpoint's router.
 func (n *Network) FlowStatsFor(f flit.FlowID) *FlowStats {
 	if !n.cfg.Dim.Contains(f.Dst) {
 		return nil
 	}
-	return n.shards[n.shardOf[n.cfg.Dim.Index(f.Dst)]].flowStats[f]
+	return n.shards[n.shardOf[n.rdim.Index(n.topo.RouterOf(f.Dst))]].flowStats[f]
 }
 
 // AllFlowStats returns the statistics of every flow that delivered at least

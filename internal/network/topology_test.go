@@ -1,0 +1,209 @@
+// Topology equivalence tests for the cycle-accurate engines: the torus and
+// concentrated meshes must run on all three engines (full-scan, active-set,
+// sharded) with byte-identical results, the torus wrap links must actually
+// shorten routes, and the configuration layer must reject topology/parameter
+// combinations it cannot honour.
+package network_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/mesh"
+	"repro/internal/network"
+	"repro/internal/traffic"
+)
+
+// buildTopoGen builds a generator on the topology's endpoint grid.
+func buildTopoGen(t *testing.T, topo mesh.Topology, pattern string, seed int64) traffic.Generator {
+	t.Helper()
+	ep := topo.EndpointDim()
+	var gen traffic.Generator
+	var err error
+	switch pattern {
+	case "uniform":
+		gen, err = traffic.NewUniformRandom(ep, seed, 80, traffic.CacheLinePayloadBits, 300)
+	case "tornado":
+		gen, err = traffic.NewPermutationTopo(topo, traffic.Tornado, traffic.CacheLinePayloadBits, 8, 20)
+	case "transpose":
+		gen, err = traffic.NewPermutationTopo(topo, traffic.Transpose, traffic.RequestPayloadBits, 8, 10)
+	default:
+		t.Fatalf("unknown pattern %q", pattern)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// runTopo drives the pattern through a fresh network of the given topology,
+// engine and shard count until drained.
+func runTopo(t *testing.T, spec mesh.TopoSpec, engine network.Engine, shards int, d mesh.Dim, design network.Design, pattern string, seed int64) *network.Network {
+	t.Helper()
+	cfg := network.DefaultConfig(d, design)
+	cfg.Topo = spec
+	cfg.Engine = engine
+	cfg.Shards = shards
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := buildTopoGen(t, net.Topology(), pattern, seed)
+	if _, done := traffic.Drive(net, gen, 1_000_000); !done {
+		t.Fatalf("%v/%v/%v/%s/seed=%d did not drain", spec, d, design, pattern, seed)
+	}
+	return net
+}
+
+// TestTopologyEnginesAndShardsEquivalent checks that, on the torus and both
+// concentrated meshes, the full-scan engine, the active-set engine and
+// every sharded partition produce byte-identical results — cycles, flit
+// counts and every per-flow latency sampler. For the torus this is the test
+// behind StripeSafe()=true: the Y wrap link crosses the stripe boundary
+// between the last and first rows, and the shard-id-addressed outboxes must
+// stage it exactly like any interior cross-stripe transfer.
+func TestTopologyEnginesAndShardsEquivalent(t *testing.T) {
+	cases := []struct {
+		spec mesh.TopoSpec
+		dim  mesh.Dim
+	}{
+		{mesh.TopoSpec{Kind: mesh.TopoTorus}, mesh.MustDim(4, 4)},
+		{mesh.TopoSpec{Kind: mesh.TopoTorus}, mesh.MustDim(3, 5)},
+		{mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}, mesh.MustDim(4, 4)},
+		{mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 2}, mesh.MustDim(6, 4)},
+	}
+	designs := []network.Design{network.DesignRegular, network.DesignWaWWaP}
+	patterns := []string{"uniform", "tornado", "transpose"}
+	for _, c := range cases {
+		for _, design := range designs {
+			for _, pattern := range patterns {
+				name := fmt.Sprintf("%v/%v/%v/%s", c.spec, c.dim, design, pattern)
+				t.Run(name, func(t *testing.T) {
+					ref := runTopo(t, c.spec, network.EngineFullScan, 1, c.dim, design, pattern, 7)
+					rf := flowFingerprint(ref)
+					for _, alt := range []struct {
+						engine network.Engine
+						shards int
+					}{
+						{network.EngineActiveSet, 1},
+						{network.EngineActiveSet, 2},
+						{network.EngineActiveSet, 3},
+						{network.EngineActiveSet, 8},
+					} {
+						act := runTopo(t, c.spec, alt.engine, alt.shards, c.dim, design, pattern, 7)
+						if ref.Cycle() != act.Cycle() {
+							t.Errorf("%v shards=%d cycles: %d vs %d", alt.engine, alt.shards, ref.Cycle(), act.Cycle())
+						}
+						if ref.TotalInjectedFlits() != act.TotalInjectedFlits() {
+							t.Errorf("%v shards=%d injected flits: %d vs %d",
+								alt.engine, alt.shards, ref.TotalInjectedFlits(), act.TotalInjectedFlits())
+						}
+						if ref.TotalDeliveredMessages() != act.TotalDeliveredMessages() {
+							t.Errorf("%v shards=%d delivered: %d vs %d",
+								alt.engine, alt.shards, ref.TotalDeliveredMessages(), act.TotalDeliveredMessages())
+						}
+						if af := flowFingerprint(act); rf != af {
+							t.Errorf("%v shards=%d flow stats differ:\nref:\n%s\ngot:\n%s", alt.engine, alt.shards, rf, af)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTorusWrapShortensRoutes checks the wrap links do real work: the
+// zero-load latency between opposite edge columns of a torus equals the
+// one-hop latency (the wrap link), not the mesh's full crossing.
+func TestTorusWrapShortensRoutes(t *testing.T) {
+	lat := func(spec mesh.TopoSpec, src, dst mesh.Node) float64 {
+		cfg := network.DefaultConfig(mesh.MustDim(4, 4), network.DesignRegular)
+		cfg.Topo = spec
+		n, err := network.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Send(&flit.Message{Flow: flit.FlowID{Src: src, Dst: dst}, PayloadBits: 48, Class: flit.ClassRequest}); err != nil {
+			t.Fatal(err)
+		}
+		if !n.RunUntilDrained(200) {
+			t.Fatal("did not drain")
+		}
+		return n.FlowStatsFor(flit.FlowID{Src: src, Dst: dst}).Latency.Mean()
+	}
+	src, far := mesh.Node{X: 0, Y: 0}, mesh.Node{X: 3, Y: 0}
+	near := mesh.Node{X: 1, Y: 0}
+	torusFar := lat(mesh.TopoSpec{Kind: mesh.TopoTorus}, src, far)
+	torusNear := lat(mesh.TopoSpec{Kind: mesh.TopoTorus}, src, near)
+	meshFar := lat(mesh.TopoSpec{}, src, far)
+	if torusFar != torusNear {
+		t.Errorf("torus (0,0)->(3,0) should take the 1-hop wrap link: latency %.0f vs 1-hop %.0f", torusFar, torusNear)
+	}
+	if torusFar >= meshFar {
+		t.Errorf("torus wrap latency %.0f should beat the mesh crossing %.0f", torusFar, meshFar)
+	}
+}
+
+// TestCMeshColocatedDelivery checks traffic between cores sharing a router:
+// the message turns Local->Local without touching any link.
+func TestCMeshColocatedDelivery(t *testing.T) {
+	cfg := network.DefaultConfig(mesh.MustDim(4, 4), network.DesignWaWWaP)
+	cfg.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := flit.FlowID{Src: mesh.Node{X: 0, Y: 0}, Dst: mesh.Node{X: 1, Y: 1}}
+	if _, err := n.Send(&flit.Message{Flow: flow, PayloadBits: 48, Class: flit.ClassRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.RunUntilDrained(200) {
+		t.Fatal("did not drain")
+	}
+	fs := n.FlowStatsFor(flow)
+	if fs == nil || fs.Messages != 1 {
+		t.Fatal("co-located message not delivered")
+	}
+	cross := flit.FlowID{Src: mesh.Node{X: 0, Y: 0}, Dst: mesh.Node{X: 3, Y: 3}}
+	n2, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Send(&flit.Message{Flow: cross, PayloadBits: 48, Class: flit.ClassRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if !n2.RunUntilDrained(200) {
+		t.Fatal("did not drain")
+	}
+	if local, far := fs.Latency.Mean(), n2.FlowStatsFor(cross).Latency.Mean(); local >= far {
+		t.Errorf("co-located latency %.0f should beat the diagonal crossing %.0f", local, far)
+	}
+}
+
+// TestTopologyConfigValidation checks the construction-time rejections.
+func TestTopologyConfigValidation(t *testing.T) {
+	// Indivisible cmesh grid.
+	cfg := network.DefaultConfig(mesh.MustDim(5, 5), network.DesignRegular)
+	cfg.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	if err := cfg.Validate(); err == nil {
+		t.Error("cmesh4 on 5x5 should fail validation")
+	}
+	// Custom weight tables must cover the ROUTER grid, not the endpoint grid.
+	cfg = network.DefaultConfig(mesh.MustDim(4, 4), network.DesignWaWWaP)
+	cfg.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatalf("cmesh4 on 4x4 should build: %v", err)
+	}
+	if got, want := net.Topology().RouterDim(), mesh.MustDim(2, 2); got != want {
+		t.Errorf("router grid %v, want %v", got, want)
+	}
+	// Unknown topology kind fails with a parse-style error.
+	cfg = network.DefaultConfig(mesh.MustDim(4, 4), network.DesignRegular)
+	cfg.Topo = mesh.TopoSpec{Kind: mesh.TopoKind(42)}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Errorf("unknown topology kind should fail mentioning topology, got %v", err)
+	}
+}

@@ -185,6 +185,13 @@ type DeliveredMessage struct {
 type NIC struct {
 	Node mesh.Node
 
+	// owns, when non-nil, widens the NIC's endpoint identity beyond Node:
+	// on a concentrated topology one NIC serves every core attached to its
+	// router (the Local port fan-out), so source/destination validation asks
+	// the predicate instead of comparing against Node. Nil means the default
+	// one-endpoint-per-router identity.
+	owns func(mesh.Node) bool
+
 	packetizer *Packetizer
 
 	// pool, when attached, supplies the flits the NIC packetizes and the
@@ -255,6 +262,19 @@ func MustNew(node mesh.Node, scheme Scheme, link flit.LinkConfig) *NIC {
 // Packetizer returns the NIC's packetizer (shared configuration).
 func (n *NIC) Packetizer() *Packetizer { return n.packetizer }
 
+// SetEndpointOwner installs the endpoint-identity predicate of a NIC that
+// serves several endpoints through one router (the concentrated-mesh Local
+// fan-out). It is construction-time configuration and survives Reset.
+func (n *NIC) SetEndpointOwner(owns func(mesh.Node) bool) { n.owns = owns }
+
+// ownsEndpoint reports whether the endpoint is attached to this NIC.
+func (n *NIC) ownsEndpoint(ep mesh.Node) bool {
+	if n.owns != nil {
+		return n.owns(ep)
+	}
+	return ep == n.Node
+}
+
 // AttachPool connects the NIC to a message/flit free-list pool — the owning
 // network's, or the owning shard's arena on a sharded network, so every NIC
 // pool stays single-threaded under concurrent shard stepping. See the
@@ -310,10 +330,10 @@ func (n *NIC) Send(msg *flit.Message, now uint64) (uint64, error) {
 	if msg == nil {
 		return 0, fmt.Errorf("nic %v: nil message", n.Node)
 	}
-	if msg.Flow.Src != n.Node {
+	if !n.ownsEndpoint(msg.Flow.Src) {
 		return 0, fmt.Errorf("nic %v: message source %v is not this node", n.Node, msg.Flow.Src)
 	}
-	if msg.Flow.Dst == n.Node {
+	if msg.Flow.Dst == msg.Flow.Src {
 		return 0, fmt.Errorf("nic %v: message destination is the local node", n.Node)
 	}
 	if msg.ID == 0 {
@@ -450,7 +470,7 @@ func (n *NIC) Receive(f *flit.Flit, now uint64) (*flit.Message, error) {
 	if f == nil {
 		return nil, fmt.Errorf("nic %v: received nil flit", n.Node)
 	}
-	if f.Flow.Dst != n.Node {
+	if !n.ownsEndpoint(f.Flow.Dst) {
 		return nil, fmt.Errorf("nic %v: received flit for %v", n.Node, f.Flow.Dst)
 	}
 	f.EjectedAt = now

@@ -82,6 +82,13 @@ type Router struct {
 	Node mesh.Node
 	cfg  Config
 
+	// topo supplies the routing decision and port tables. xy caches whether
+	// it is the reference 2D mesh, so the per-head-flit routing decision of
+	// the dominant topology stays the direct, inlinable XYOutputPort call
+	// instead of an interface dispatch.
+	topo mesh.Topology
+	xy   bool
+
 	// downstreamDepth is the credit budget each non-local output port was
 	// constructed with (the input-buffer depth of the neighbouring
 	// routers); Reset restores the counters to it.
@@ -122,9 +129,17 @@ type Router struct {
 // The downstream credit counters are initialised to downstreamDepth, the
 // input-buffer depth of the neighbouring routers (normally cfg.BufferDepth).
 func New(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts, downstreamDepth int) (*Router, error) {
+	return NewTopo(mesh.Mesh2D{D: d}, n, cfg, counts, downstreamDepth)
+}
+
+// NewTopo builds a router at router-grid node n of topology t: port
+// existence comes from the topology's port table and the per-head-flit
+// routing decision from its OutputPort — New is the 2D-mesh adapter over it.
+func NewTopo(t mesh.Topology, n mesh.Node, cfg Config, counts *flows.PortCounts, downstreamDepth int) (*Router, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	d := t.RouterDim()
 	if !d.Contains(n) {
 		return nil, fmt.Errorf("router: node %v outside %v mesh", n, d)
 	}
@@ -134,9 +149,10 @@ func New(d mesh.Dim, n mesh.Node, cfg Config, counts *flows.PortCounts, downstre
 	if downstreamDepth < 1 {
 		downstreamDepth = cfg.BufferDepth
 	}
-	r := &Router{Dim: d, Node: n, cfg: cfg, downstreamDepth: downstreamDepth}
+	r := &Router{Dim: d, Node: n, cfg: cfg, downstreamDepth: downstreamDepth,
+		topo: t, xy: t.Spec().Kind == mesh.TopoMesh}
 	for _, dir := range mesh.Directions {
-		op := &outputPort{exists: mesh.OutputExists(d, n, dir)}
+		op := &outputPort{exists: t.HasOutput(n, dir)}
 		if op.exists {
 			switch cfg.Arbitration {
 			case arbiter.KindRoundRobin:
@@ -326,11 +342,15 @@ func (r *Router) ReturnCredit(dir mesh.Direction) {
 }
 
 // desiredOutput returns the output port the flit at the head of input port
-// `in` wants. For head flits this is the XY routing decision; body/tail flits
-// follow the wormhole reservation of their packet and are handled through the
-// output lock, so desiredOutput is only meaningful for head flits.
+// `in` wants. For head flits this is the topology's routing decision;
+// body/tail flits follow the wormhole reservation of their packet and are
+// handled through the output lock, so desiredOutput is only meaningful for
+// head flits.
 func (r *Router) desiredOutput(f *flit.Flit) mesh.Direction {
-	return mesh.XYOutputPort(r.Node, f.Flow.Dst)
+	if r.xy {
+		return mesh.XYOutputPort(r.Node, f.Flow.Dst)
+	}
+	return r.topo.OutputPort(r.Node, f.Flow.Dst)
 }
 
 // ComputeTransfers decides, for the current cycle, which flit every output

@@ -68,6 +68,9 @@ func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 		Dim:    d.String(),
 		Design: s.Design.String(),
 	}
+	if ts, err := s.TopoSpec(); err == nil && ts.Kind != mesh.TopoMesh {
+		res.Topology = ts.String()
+	}
 	switch s.Mode {
 	case ModeWCTT:
 		err = executeWCTT(s, d, &res)
@@ -97,7 +100,9 @@ func ExecuteContext(ctx context.Context, s Spec) (Result, error) {
 }
 
 func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
-	m, err := acquireModel(analysis.DefaultParams(d))
+	p := analysis.DefaultParams(d)
+	p.Topo, _ = s.TopoSpec() // Validate already vetted the name
+	m, err := acquireModel(p)
 	if err != nil {
 		return err
 	}
@@ -115,10 +120,12 @@ func executeWCTT(s Spec, d mesh.Dim, res *Result) error {
 }
 
 // simConfig is the network configuration of a cycle-accurate scenario: the
-// default platform for its mesh and design, sharded as the spec requests.
+// default platform for its mesh, topology and design, sharded as the spec
+// requests.
 func simConfig(s Spec, d mesh.Dim) network.Config {
 	cfg := network.DefaultConfig(d, s.Design)
 	cfg.Shards = s.Shards
+	cfg.Topo, _ = s.TopoSpec() // Validate already vetted the name
 	return cfg
 }
 
@@ -181,11 +188,12 @@ func buildGenerator(s Spec, d mesh.Dim) (traffic.Generator, error) {
 			rate = defaultUniformRate
 		}
 		return traffic.NewUniformRandom(d, s.Seed, rate, payload, messages)
-	case "transpose", "bitcomp", "neighbor":
+	case "transpose", "bitcomp", "neighbor", "tornado":
 		perms := map[string]traffic.Permutation{
 			"transpose": traffic.Transpose,
 			"bitcomp":   traffic.BitComplement,
 			"neighbor":  traffic.NearestNeighbor,
+			"tornado":   traffic.Tornado,
 		}
 		interval := t.Rate
 		if interval == 0 {

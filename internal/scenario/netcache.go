@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/mesh"
 	"repro/internal/network"
 )
 
@@ -35,6 +36,7 @@ const netCacheCapacity = 64
 
 type netKey struct {
 	width, height int
+	topo          mesh.TopoSpec
 	design        network.Design
 	engine        network.Engine
 	shards        int
@@ -53,12 +55,13 @@ func cacheable(cfg network.Config) bool {
 	want := network.DefaultConfig(cfg.Dim, cfg.Design)
 	want.Engine = cfg.Engine
 	want.Shards = cfg.Shards
+	want.Topo = cfg.Topo
 	return cfg == want
 }
 
 // keyFor builds the cache key of a cacheable configuration.
 func keyFor(cfg network.Config) netKey {
-	return netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Design, cfg.Engine, cfg.EffectiveShards()}
+	return netKey{cfg.Dim.Width, cfg.Dim.Height, cfg.Topo, cfg.Design, cfg.Engine, cfg.EffectiveShards()}
 }
 
 // acquireNetwork returns a reset network for the default configuration of

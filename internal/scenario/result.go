@@ -12,6 +12,10 @@ type Result struct {
 	Mode   string `json:"mode"`
 	Dim    string `json:"dim"`
 	Design string `json:"design"`
+	// Topology names the network topology when it is not the default 2D
+	// mesh ("torus", "cmesh", "cmesh2"); it is omitted for the mesh so
+	// pre-topology result JSON is reproduced byte-identically.
+	Topology string `json:"topology,omitempty"`
 	// Workload, Placement, MaxPacketFlits and Seed carry the remaining
 	// identifying parameters when the mode uses them.
 	Workload       string `json:"workload,omitempty"`

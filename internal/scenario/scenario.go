@@ -181,7 +181,8 @@ func parseIntList(s, what string) ([]int, error) {
 type Traffic struct {
 	// Pattern is one of "hotspot" (all-to-one towards Target, the
 	// default), "uniform" (uniform-random destinations), "transpose",
-	// "bitcomp" or "neighbor" (deterministic permutations).
+	// "bitcomp", "neighbor" or "tornado" (deterministic permutations on the
+	// topology's endpoint grid).
 	Pattern string `json:"pattern,omitempty"`
 	// Rate is the injection intensity. Hotspot: per-node injection
 	// probability per cycle in percent. Uniform: messages per node per
@@ -216,9 +217,17 @@ type Spec struct {
 	Name string `json:"name,omitempty"`
 	// Mode selects the experiment kind.
 	Mode Mode `json:"-"`
-	// Width and Height are the mesh dimensions.
+	// Width and Height are the endpoint-grid dimensions (the mesh size; for
+	// the concentrated mesh the core grid, whose router grid is derived from
+	// the concentration).
 	Width  int `json:"width"`
 	Height int `json:"height"`
+	// Topology selects the network topology by canonical name: "" or "mesh"
+	// (the default), "torus", "cmesh"/"cmesh4" (4 cores per router) or
+	// "cmesh2". Analytical modes (wctt, wcet-map, parallel-wcet) require a
+	// topology with an analytical model; manycore requires the mesh; see
+	// Validate for the exact gating.
+	Topology string `json:"topology,omitempty"`
 	// Design is the NoC design point under evaluation.
 	Design network.Design `json:"-"`
 	// Seed is the pseudo-random seed of ModeSimulate scenarios.
@@ -313,20 +322,40 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 // Dim returns the validated mesh dimensions of the spec.
 func (s Spec) Dim() (mesh.Dim, error) { return mesh.NewDim(s.Width, s.Height) }
 
+// TopoSpec parses the spec's topology name ("" selects the mesh).
+func (s Spec) TopoSpec() (mesh.TopoSpec, error) { return mesh.ParseTopology(s.Topology) }
+
 // Validate checks a concrete (already expanded) spec.
 func (s Spec) Validate() error {
 	if len(s.Sizes) > 0 || len(s.Designs) > 0 || len(s.Workloads) > 0 {
 		return fmt.Errorf("scenario: spec %q still carries sweep axes; call Expand first", s.Name)
 	}
-	if _, err := s.Dim(); err != nil {
+	d, err := s.Dim()
+	if err != nil {
+		return err
+	}
+	ts, err := s.TopoSpec()
+	if err != nil {
+		return err
+	}
+	// Resolving the topology against the grid catches geometry mismatches
+	// (e.g. a cmesh concentration that does not divide the endpoint grid).
+	topo, err := ts.Build(d)
+	if err != nil {
 		return err
 	}
 	switch s.Mode {
-	case ModeWCTT, ModeWCETMap, ModeParallelWCET:
-		// Purely analytical; nothing further to check here.
+	case ModeWCTT:
+		if !topo.Analytical() {
+			return fmt.Errorf("scenario: mode wctt needs an analytical WCTT model, which topology %v does not have (simulation-only); use -mode simulate or -mode load-curve", topo)
+		}
+	case ModeWCETMap, ModeParallelWCET:
+		if ts.Kind != mesh.TopoMesh {
+			return fmt.Errorf("scenario: mode %v models the paper's many-core platform, which is defined on the 2D mesh only; topology %v is not supported", s.Mode, topo)
+		}
 	case ModeSimulate:
 		switch s.Traffic.Pattern {
-		case "", "hotspot", "uniform", "transpose", "bitcomp", "neighbor":
+		case "", "hotspot", "uniform", "transpose", "bitcomp", "neighbor", "tornado":
 		default:
 			return fmt.Errorf("scenario: unknown traffic pattern %q", s.Traffic.Pattern)
 		}
@@ -336,6 +365,9 @@ func (s Spec) Validate() error {
 	case ModeManycore:
 		if s.Workload == "" {
 			return fmt.Errorf("scenario: manycore scenario %q needs a workload", s.Name)
+		}
+		if ts.Kind != mesh.TopoMesh {
+			return fmt.Errorf("scenario: mode manycore models the paper's many-core platform, which is defined on the 2D mesh only; topology %v is not supported", topo)
 		}
 	case ModeLoadCurve:
 		switch s.Traffic.Pattern {
@@ -418,9 +450,16 @@ func (s Spec) Expand() ([]Spec, error) {
 	return out, nil
 }
 
-// childName labels an expanded scenario: "<base>/<dim>/<design>[/<workload>]".
+// childName labels an expanded scenario:
+// "<base>/<dim>[/<topology>]/<design>[/<workload>]". The topology segment
+// appears only for non-mesh topologies, so mesh sweep output keeps its
+// pre-topology names.
 func childName(base string, c Spec) string {
-	parts := []string{fmt.Sprintf("%dx%d", c.Width, c.Height), c.Design.String()}
+	parts := []string{fmt.Sprintf("%dx%d", c.Width, c.Height)}
+	if ts, err := c.TopoSpec(); err == nil && ts.Kind != mesh.TopoMesh {
+		parts = append(parts, ts.String())
+	}
+	parts = append(parts, c.Design.String())
 	if c.Workload != "" {
 		parts = append(parts, c.Workload)
 	}

@@ -122,7 +122,7 @@ func TestValidateRejections(t *testing.T) {
 	cases := map[string]Spec{
 		"unexpanded axes":  {Mode: ModeWCTT, Width: 2, Height: 2, Sizes: []int{2}},
 		"bad mesh":         {Mode: ModeWCTT, Width: 0, Height: 2},
-		"bad pattern":      {Mode: ModeSimulate, Width: 2, Height: 2, Traffic: Traffic{Pattern: "tornado"}},
+		"bad pattern":      {Mode: ModeSimulate, Width: 2, Height: 2, Traffic: Traffic{Pattern: "butterfly"}},
 		"negative rate":    {Mode: ModeSimulate, Width: 2, Height: 2, Traffic: Traffic{Rate: -1}},
 		"missing workload": {Mode: ModeManycore, Width: 2, Height: 2},
 		"negative budget":  {Mode: ModeWCTT, Width: 2, Height: 2, MaxCycles: -1},

@@ -36,7 +36,8 @@ type Coord struct {
 //
 //	ping        liveness probe
 //	wctt        one analytical WCTT bound: design, width, height, src, dst,
-//	            payload_bits (0 = the platform's one-flit request payload)
+//	            payload_bits (0 = the platform's one-flit request payload),
+//	            topology ("" = mesh; cmesh/cmesh2 allowed, torus rejected)
 //	wcet        one per-core WCET estimate: design, width, height, core,
 //	            workload, max_packet_flits (0 = platform default)
 //	batch       a vector of WCTT queries sharing design/mesh/payload:
@@ -47,9 +48,16 @@ type Coord struct {
 //	            scenario.Result JSON byte-identical to the one-shot CLI
 //	stats       server counters, cache stats and the latency histogram
 type Request struct {
-	ID             int64           `json:"id,omitempty"`
-	Op             string          `json:"op"`
-	Design         string          `json:"design,omitempty"`
+	ID     int64  `json:"id,omitempty"`
+	Op     string `json:"op"`
+	Design string `json:"design,omitempty"`
+	// Topology selects the network topology for the wctt and batch verbs:
+	// "" or "mesh" (the default) for the paper's 2D mesh, "cmesh"/"cmesh4"
+	// or "cmesh2" for the concentrated meshes. "torus" is accepted by the
+	// parser but rejected by the analytical verbs (it has no WCTT model;
+	// simulate it through the scenario verb instead), and the wcet verbs
+	// are defined on the mesh platform only.
+	Topology       string          `json:"topology,omitempty"`
 	Width          int             `json:"width,omitempty"`
 	Height         int             `json:"height,omitempty"`
 	Src            *Coord          `json:"src,omitempty"`

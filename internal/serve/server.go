@@ -321,17 +321,34 @@ func (s *Server) dispatch(ctx context.Context, line []byte) ([]byte, bool) {
 	}
 }
 
-// queryTarget resolves the design/mesh fields shared by every query verb.
-func queryTarget(req *Request) (network.Design, mesh.Dim, error) {
+// queryTarget resolves the design/mesh/topology fields shared by every
+// query verb. The topology defaults to the 2D mesh; whether a non-default
+// topology is acceptable is the verb's decision (the analytical verbs defer
+// to the model, the WCET verbs are mesh-only).
+func queryTarget(req *Request) (network.Design, mesh.Dim, mesh.TopoSpec, error) {
 	design, err := scenario.ParseDesign(req.Design)
 	if err != nil {
-		return 0, mesh.Dim{}, err
+		return 0, mesh.Dim{}, mesh.TopoSpec{}, err
 	}
 	dim, err := mesh.NewDim(req.Width, req.Height)
 	if err != nil {
-		return 0, mesh.Dim{}, err
+		return 0, mesh.Dim{}, mesh.TopoSpec{}, err
 	}
-	return design, dim, nil
+	ts, err := mesh.ParseTopology(req.Topology)
+	if err != nil {
+		return 0, mesh.Dim{}, mesh.TopoSpec{}, err
+	}
+	return design, dim, ts, nil
+}
+
+// meshOnly rejects non-mesh topologies for the WCET verbs, which model the
+// paper's many-core platform (memory controller placement, EEMBC traffic
+// phases) and are defined on the 2D mesh only.
+func meshOnly(verb string, ts mesh.TopoSpec) error {
+	if ts.Kind != mesh.TopoMesh {
+		return fmt.Errorf("%s: the paper's many-core WCET platform is defined on the 2D mesh only; topology %v is not supported (omit the topology field or set it to \"mesh\")", verb, ts)
+	}
+	return nil
 }
 
 // bound answers one analytical WCTT query: a lock-free probe of the shared
@@ -351,7 +368,7 @@ func (s *Server) bound(m *analysis.Model, design network.Design, src, dst mesh.N
 
 // wcttOne answers the wctt verb.
 func (s *Server) wcttOne(req *Request) ([]byte, bool) {
-	design, dim, err := queryTarget(req)
+	design, dim, ts, err := queryTarget(req)
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}
@@ -362,7 +379,9 @@ func (s *Server) wcttOne(req *Request) ([]byte, bool) {
 	if payload <= 0 {
 		payload = traffic.RequestPayloadBits
 	}
-	m, err := scenario.SharedModel(analysis.DefaultParams(dim))
+	p := analysis.DefaultParams(dim)
+	p.Topo = ts
+	m, err := scenario.SharedModel(p)
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}
@@ -395,7 +414,7 @@ func (s *Server) mergeQueryStats(n uint64, hit, shared bool) {
 // accumulate in locals and merge once — the million-QPS path touches no
 // shared cache line per query.
 func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
-	design, dim, err := queryTarget(req)
+	design, dim, ts, err := queryTarget(req)
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}
@@ -403,7 +422,9 @@ func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
 	if defPayload <= 0 {
 		defPayload = traffic.RequestPayloadBits
 	}
-	m, err := scenario.SharedModel(analysis.DefaultParams(dim))
+	p := analysis.DefaultParams(dim)
+	p.Topo = ts
+	m, err := scenario.SharedModel(p)
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}
@@ -456,8 +477,11 @@ func (s *Server) engineFor(dim mesh.Dim, maxPacketFlits int) (*wcet.Engine, erro
 
 // wcetOne answers the wcet verb.
 func (s *Server) wcetOne(req *Request) ([]byte, bool) {
-	design, dim, err := queryTarget(req)
+	design, dim, ts, err := queryTarget(req)
 	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	if err := meshOnly("wcet", ts); err != nil {
 		return errorResponse(req.ID, err), true
 	}
 	if req.Core == nil {
@@ -482,8 +506,11 @@ func (s *Server) wcetOne(req *Request) ([]byte, bool) {
 // wcetBatch answers the wcet-batch verb: per-core WCET estimates sharing
 // one design/mesh/workload, queries = [[cx,cy],...].
 func (s *Server) wcetBatch(req *Request) ([]byte, bool) {
-	design, dim, err := queryTarget(req)
+	design, dim, ts, err := queryTarget(req)
 	if err != nil {
+		return errorResponse(req.ID, err), true
+	}
+	if err := meshOnly("wcet-batch", ts); err != nil {
 		return errorResponse(req.ID, err), true
 	}
 	b, err := workload.BenchmarkByName(req.Workload)

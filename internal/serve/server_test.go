@@ -464,3 +464,89 @@ func TestParseTuples(t *testing.T) {
 		}
 	}
 }
+
+// TestServeTopologyField pins the wire-level topology contract: the cmesh
+// bound matches the analytical model built with the same TopoSpec, the
+// mesh-only and simulation-only verbs reject other topologies with
+// actionable errors, and the scenario verb runs a torus simulation.
+func TestServeTopologyField(t *testing.T) {
+	p := analysis.DefaultParams(mesh.MustDim(8, 8))
+	p.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	m := analysis.MustNewModel(p)
+	want, err := m.MessageWCTT(network.DesignWaWWaP, mesh.Node{X: 0, Y: 0}, mesh.Node{X: 7, Y: 7}, traffic.RequestPayloadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := run(t, 2,
+		`{"id":1,"op":"wctt","design":"waw+wap","width":8,"height":8,"topology":"cmesh","src":{"x":0,"y":0},"dst":{"x":7,"y":7}}`,
+		`{"id":2,"op":"wctt","design":"waw+wap","width":8,"height":8,"topology":"torus","src":{"x":0,"y":0},"dst":{"x":7,"y":7}}`,
+		`{"id":3,"op":"batch","design":"regular","width":4,"height":4,"topology":"torus","queries":[[0,0,3,3]]}`,
+		`{"id":4,"op":"wcet","design":"waw+wap","width":4,"height":4,"topology":"cmesh","core":{"x":1,"y":1},"workload":"a2time"}`,
+		`{"id":5,"op":"wcet-batch","design":"regular","width":4,"height":4,"topology":"torus","workload":"cacheb","queries":[[0,0]]}`,
+		`{"id":6,"op":"wctt","design":"regular","width":4,"height":4,"topology":"banana","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		`{"id":7,"op":"wctt","design":"waw+wap","width":8,"height":8,"topology":"mesh","src":{"x":0,"y":0},"dst":{"x":7,"y":7}}`,
+		`{"id":8,"op":"wctt","design":"waw+wap","width":8,"height":8,"src":{"x":0,"y":0},"dst":{"x":7,"y":7}}`,
+	)
+	if got := cyclesScalar(t, resps[0]); got != want {
+		t.Errorf("served cmesh WCTT %d, model says %d", got, want)
+	}
+	if resps[1].OK || !strings.Contains(resps[1].Error, "simulation-only") {
+		t.Errorf("torus wctt not rejected with simulation-only pointer: %+v", resps[1])
+	}
+	if resps[2].OK || !strings.Contains(resps[2].Error, "torus") {
+		t.Errorf("torus batch not rejected: %+v", resps[2])
+	}
+	if resps[3].OK || !strings.Contains(resps[3].Error, "mesh only") {
+		t.Errorf("cmesh wcet not rejected as mesh-only: %+v", resps[3])
+	}
+	if resps[4].OK || !strings.Contains(resps[4].Error, "mesh only") {
+		t.Errorf("torus wcet-batch not rejected as mesh-only: %+v", resps[4])
+	}
+	if resps[5].OK || !strings.Contains(resps[5].Error, "unknown topology") {
+		t.Errorf("banana topology not rejected: %+v", resps[5])
+	}
+	// "mesh", "" and an absent field are the same topology.
+	if a, b := cyclesScalar(t, resps[6]), cyclesScalar(t, resps[7]); a != b {
+		t.Errorf("explicit mesh WCTT %d differs from default %d", a, b)
+	}
+}
+
+// TestServeScenarioTorus runs a torus simulation through the scenario verb
+// and pins it to the one-shot Execute path.
+func TestServeScenarioTorus(t *testing.T) {
+	spec := scenario.Spec{
+		Name:     "serve-torus",
+		Mode:     scenario.ModeSimulate,
+		Topology: "torus",
+		Width:    4,
+		Height:   4,
+		Design:   network.DesignRegular,
+		Seed:     9,
+		Traffic:  scenario.Traffic{Pattern: "tornado", Rate: 30, Messages: 200},
+	}
+	res, err := scenario.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := run(t, 2,
+		fmt.Sprintf(`{"id":1,"op":"scenario","spec":%s}`, specJSON),
+		`{"id":2,"op":"scenario","spec":{"mode":"wctt","topology":"torus","width":4,"height":4,"design":"regular"}}`,
+	)
+	if !resps[0].OK {
+		t.Fatalf("torus scenario failed: %s", resps[0].Error)
+	}
+	if !bytes.Equal(resps[0].Result, want) {
+		t.Fatalf("served torus result differs from Execute:\nserve: %s\nexec:  %s", resps[0].Result, want)
+	}
+	if resps[1].OK || !strings.Contains(resps[1].Error, "simulation-only") {
+		t.Errorf("torus wctt scenario not rejected: %+v", resps[1])
+	}
+}

@@ -152,3 +152,88 @@ func TestPermutationTrafficDelivered(t *testing.T) {
 		}
 	}
 }
+
+// TestPatternsAreBijectionsPerTopology checks every permutation pattern on
+// the endpoint index space of every topology family, square and
+// rectangular: each map must be a total bijection on the endpoint grid —
+// the property the per-round generators and the saturation analysis rely
+// on — regardless of which fabric carries the traffic.
+func TestPatternsAreBijectionsPerTopology(t *testing.T) {
+	patterns := map[string]Permutation{
+		"transpose": Transpose,
+		"bitcomp":   BitComplement,
+		"neighbor":  NearestNeighbor,
+		"tornado":   Tornado,
+	}
+	topos := []mesh.Topology{
+		mesh.TopoSpec{Kind: mesh.TopoMesh}.MustBuild(mesh.MustDim(8, 8)),
+		mesh.TopoSpec{Kind: mesh.TopoMesh}.MustBuild(mesh.MustDim(5, 3)),
+		mesh.TopoSpec{Kind: mesh.TopoTorus}.MustBuild(mesh.MustDim(8, 8)),
+		mesh.TopoSpec{Kind: mesh.TopoTorus}.MustBuild(mesh.MustDim(7, 4)),
+		mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}.MustBuild(mesh.MustDim(8, 8)),
+		mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 2}.MustBuild(mesh.MustDim(6, 4)),
+	}
+	for _, topo := range topos {
+		ep := topo.EndpointDim()
+		for name, perm := range patterns {
+			seen := make(map[mesh.Node]mesh.Node, ep.Nodes())
+			for _, src := range ep.AllNodes() {
+				dst := perm(ep, src)
+				if !ep.Contains(dst) {
+					t.Errorf("%v %v: %s(%v) = %v outside the endpoint grid", topo, ep, name, src, dst)
+					continue
+				}
+				if prev, dup := seen[dst]; dup {
+					t.Errorf("%v %v: %s is not a permutation: %v and %v both map to %v", topo, ep, name, prev, src, dst)
+				}
+				seen[dst] = src
+			}
+			if len(seen) != ep.Nodes() {
+				t.Errorf("%v %v: %s image covers %d of %d endpoints", topo, ep, name, len(seen), ep.Nodes())
+			}
+		}
+	}
+}
+
+// TestTornadoMapping pins the tornado displacement: almost half-way around
+// the row ring, the classic adversarial pattern for shortest-wrap torus
+// routing (every flow just avoids the dateline tie, loading one direction).
+func TestTornadoMapping(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	if got := Tornado(d, mesh.Node{X: 0, Y: 3}); got != (mesh.Node{X: 3, Y: 3}) {
+		t.Errorf("Tornado((0,3)) = %v, want (3,3)", got)
+	}
+	if got := Tornado(d, mesh.Node{X: 6, Y: 0}); got != (mesh.Node{X: 1, Y: 0}) {
+		t.Errorf("Tornado((6,0)) = %v, want (1,0)", got)
+	}
+	odd := mesh.MustDim(5, 5)
+	// ceil(5/2)-1 = 2 columns to the east.
+	if got := Tornado(odd, mesh.Node{X: 4, Y: 2}); got != (mesh.Node{X: 1, Y: 2}) {
+		t.Errorf("Tornado((4,2)) on 5x5 = %v, want (1,2)", got)
+	}
+	// On a 1-wide grid tornado degenerates to the identity and the
+	// generator's self-filtering drops every flow; it must stay total.
+	thin := mesh.MustDim(1, 4)
+	for _, src := range thin.AllNodes() {
+		if Tornado(thin, src) != src {
+			t.Errorf("Tornado on 1-wide grid should be the identity")
+		}
+	}
+}
+
+// TestNewPermutationTopo checks the topology-aware constructor: the
+// generator is defined on the topology's endpoint grid and rejects the same
+// invalid arguments as NewPermutation.
+func TestNewPermutationTopo(t *testing.T) {
+	topo := mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}.MustBuild(mesh.MustDim(4, 4))
+	g, err := NewPermutationTopo(topo, Tornado, 64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.dim != topo.EndpointDim() {
+		t.Errorf("generator dim %v, want the endpoint grid %v", g.dim, topo.EndpointDim())
+	}
+	if _, err := NewPermutationTopo(topo, nil, 64, 1, 1); err == nil {
+		t.Error("nil permutation should fail")
+	}
+}
