@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -26,6 +27,21 @@ import (
 	"repro/internal/wcet"
 	"repro/internal/workload"
 )
+
+// TestMain doubles the test binary as a sweep worker, so the multi-process
+// benchmarks below can spawn real subprocesses: the coordinator re-execs
+// os.Args[0] with NOCTOOL_SWEEP_WORKER set, and the role is recognised here
+// before any test runs.
+func TestMain(m *testing.M) {
+	if os.Getenv("NOCTOOL_SWEEP_WORKER") == "1" {
+		if err := sweep.ServeWorker(context.Background(), os.Stdin, os.Stdout, sweep.WorkerHooks{}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // BenchmarkTableI_Weights regenerates Table I: the WaW arbitration weights of
 // router R(1,1) of a 2x2 mesh.
@@ -334,6 +350,52 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		b.ReportMetric(float64(points), "curve-points")
 	})
+
+	// in-process vs multi-process on one identical cycle-accurate grid: the
+	// ratio prices the coordinator's wire overhead (spec/result JSON, the
+	// per-task round trip) and, on a multi-core host, measures the
+	// -worker-procs scaling. The recording container is 1-CPU, so the
+	// baseline's multiproc numbers track overhead only; the CI multi-core
+	// step records the real parallel ratio.
+	mpGrid := scenario.Spec{
+		Name:    "bench-mp",
+		Mode:    scenario.ModeSimulate,
+		Sizes:   []int{3, 4, 5},
+		Designs: []network.Design{network.DesignRegular, network.DesignWaWWaP},
+		Seed:    9,
+		Traffic: scenario.Traffic{Pattern: "uniform", Rate: 40, Messages: 400},
+	}
+	mpSpecs, err := mpGrid.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runExec := func(b *testing.B, exec sweep.Executor) {
+		var delivered uint64
+		for i := 0; i < b.N; i++ {
+			c := sweep.NewCollector(len(mpSpecs))
+			if err := sweep.Stream(context.Background(), sweep.Tasks(mpSpecs), sweep.Options{}, exec, c); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Err(); err != nil {
+				b.Fatal(err)
+			}
+			delivered = 0
+			for _, r := range c.Results() {
+				delivered += r.Sim.Delivered
+			}
+		}
+		b.ReportMetric(float64(delivered), "messages-delivered")
+	}
+	b.Run("multiproc-inprocess", func(b *testing.B) { runExec(b, sweep.InProcess{}) })
+	for _, procs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("multiproc-%dworkers", procs), func(b *testing.B) {
+			runExec(b, &sweep.Coordinator{
+				Command: []string{os.Args[0]},
+				Env:     append(os.Environ(), "NOCTOOL_SWEEP_WORKER=1"),
+				Procs:   procs,
+			})
+		})
+	}
 }
 
 // BenchmarkEngine compares the active-set engine against the full-scan

@@ -25,6 +25,13 @@
 // latency-vs-throughput saturation curve of the mesh (see -rates, -warmup,
 // -measure).
 //
+// Large sweeps scale out and survive interruption: -worker-procs fans the
+// grid to `noctool sweep -worker` subprocesses speaking the JSON-line worker
+// protocol (PROTOCOL.md), -out streams every result as a JSON line the
+// moment it completes, and -checkpoint/-resume recover an interrupted run
+// by recomputing only unfinished scenarios. Output stays byte-identical
+// across worker counts and kill/resume schedules.
+//
 // Every command accepts -format text|csv|markdown|json. The experiment
 // commands are thin adapters over the internal/scenario and internal/sweep
 // layers, so grids of design points and mesh sizes execute across all CPU
@@ -67,7 +74,9 @@ Commands:
   area         NoC area overhead of the WaW+WaP modifications
   simulate     cycle-accurate hotspot simulation comparing both designs
   sweep        run a scenario grid (sizes x designs x workloads) in parallel
-               (-mode load-curve sweeps injection rates into saturation curves)
+               (-mode load-curve sweeps injection rates into saturation curves;
+               -worker-procs scales out to worker subprocesses, and
+               -out/-checkpoint/-resume stream results and survive interruption)
   serve        run the NoC timing daemon: WCTT/WCET queries and scenario
                specs over the JSON-line protocol (stdin/stdout, -listen TCP,
                -http HTTP; see PROTOCOL.md)

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/mesh"
 	"repro/internal/scenario"
@@ -17,11 +18,24 @@ import (
 	"repro/internal/tablegen"
 )
 
+// workerEnv marks a process as a sweep worker. The coordinator sets it when
+// spawning `noctool sweep -worker` children so re-exec'd test binaries (which
+// cannot parse noctool arguments) recognise the role too.
+const workerEnv = "NOCTOOL_SWEEP_WORKER"
+
 // cmdSweep runs a declarative scenario grid (sizes x designs x workloads)
 // through the parallel sweep engine and renders the aggregated results.
 // Because scenario execution is deterministic and the engine aggregates in
-// spec order, the output is identical for -jobs 1 and -jobs N.
+// spec order, the output is identical for -jobs 1 and -jobs N — and, via the
+// multi-process executor, for every -worker-procs count and every
+// kill/resume schedule (see -out, -checkpoint, -resume).
 func cmdSweep(args []string, w io.Writer) error {
+	return sweepOn(args, os.Stdin, w)
+}
+
+// sweepOn is cmdSweep with the stdin stream injectable for tests (the
+// worker mode speaks the line protocol over it).
+func sweepOn(args []string, in io.Reader, w io.Writer) error {
 	fs, format := newFlagSet("sweep")
 	mode := fs.String("mode", "wctt", "scenario mode: wctt, simulate, manycore, parallel-wcet, wcet-map or load-curve")
 	topology := fs.String("topology", "mesh", "network topology: mesh, torus, cmesh (4 cores/router) or cmesh2")
@@ -41,11 +55,43 @@ func cmdSweep(args []string, w io.Writer) error {
 	scale := fs.Int("scale", 0, "workload instruction-count scale-down factor (manycore mode)")
 	placement := fs.String("placement", "", "thread placement P0-P3 (parallel-wcet mode)")
 	maxPacket := fs.Int("max-packet-flits", 0, "maximum packet size in flits (parallel-wcet mode)")
-	progress := fs.Bool("progress", false, "report per-scenario completion on stderr")
+	progress := fs.Bool("progress", false, "report per-scenario completion with rate and ETA on stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile taken after the sweep to this file")
+	worker := fs.Bool("worker", false, "run as a sweep worker: execute scenario specs received on stdin over the JSON-line worker protocol (spawned by the coordinator; see PROTOCOL.md)")
+	workerProcs := fs.Int("worker-procs", 0, "fan the grid out to this many `noctool sweep -worker` subprocesses; 0 = in-process, -1 = one per core")
+	out := fs.String("out", "", "stream each result as a JSON line to this file the moment it completes, then merge into spec order")
+	checkpoint := fs.String("checkpoint", "", "record finished grid indices + result hashes in this file (requires -out); enables -resume")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from -out/-checkpoint, recomputing only unfinished scenarios")
+	unordered := fs.Bool("unordered", false, "leave -out in completion order (skip the final spec-order merge)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
+	// Worker mode: the process is a protocol endpoint, not a grid runner;
+	// every grid-shaping flag belongs to the coordinator that spawned us.
+	if *worker {
+		for name := range explicit {
+			if name != "worker" {
+				return fmt.Errorf("sweep: flag -%s is not supported with -worker", name)
+			}
+		}
+		return sweep.ServeWorker(context.Background(), in, w, sweep.WorkerHooks{})
+	}
+	if *checkpoint != "" && *out == "" {
+		return fmt.Errorf("sweep: -checkpoint requires -out")
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("sweep: -resume requires -checkpoint")
+	}
+	if *unordered && *out == "" {
+		return fmt.Errorf("sweep: -unordered requires -out")
+	}
+	if *workerProcs < -1 {
+		return fmt.Errorf("sweep: invalid -worker-procs %d", *workerProcs)
 	}
 
 	// Validate the output format before spending any compute on the grid.
@@ -66,16 +112,8 @@ func cmdSweep(args []string, w io.Writer) error {
 	// placements need an 8x8 mesh or larger, so the generic 2..8 size
 	// default would fail outright. Default to the platform size unless
 	// the user explicitly picked sizes.
-	if m == scenario.ModeParallelWCET || m == scenario.ModeWCETMap {
-		explicit := false
-		fs.Visit(func(fl *flag.Flag) {
-			if fl.Name == "sizes" {
-				explicit = true
-			}
-		})
-		if !explicit {
-			*sizes = "8"
-		}
+	if (m == scenario.ModeParallelWCET || m == scenario.ModeWCETMap) && !explicit["sizes"] {
+		*sizes = "8"
 	}
 	// The normalised suite map (wcet-map without workloads) already compares
 	// both designs in one scenario; crossing it with the design axis would
@@ -100,8 +138,6 @@ func cmdSweep(args []string, w io.Writer) error {
 	// Reject explicitly-set flags the selected mode would silently ignore:
 	// the load-curve mode generates its own sustained uniform-random
 	// traffic, and only it reads the window flags.
-	explicit := map[string]bool{}
-	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 	incompatible := []string{"rates", "warmup", "measure"}
 	if m == scenario.ModeLoadCurve {
 		incompatible = []string{"pattern", "rate", "messages", "max-cycles",
@@ -144,16 +180,122 @@ func cmdSweep(args []string, w io.Writer) error {
 		}
 	}
 
+	specs, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	total := len(specs)
+
+	// Recover the finished prefix of an interrupted run: confirmed-done
+	// indices preload the collector and drop out of the task list, so only
+	// unfinished scenarios recompute. Raw result bytes from disk are
+	// appended verbatim at merge time, keeping the resumed stream
+	// byte-identical to an uninterrupted one.
+	var resumed *sweep.Resume
+	gridKey := ""
+	if *checkpoint != "" {
+		if gridKey, err = sweep.GridKey(specs); err != nil {
+			return err
+		}
+	}
+	if *resume {
+		if resumed, err = sweep.LoadResume(*out, *checkpoint, total, gridKey); err != nil {
+			return err
+		}
+	}
+	collector := sweep.NewCollector(total)
+	tasks := make([]sweep.Task, 0, total)
+	for i, s := range specs {
+		if resumed.Done(i) {
+			r, err := resumed.Result(i)
+			if err != nil {
+				return err
+			}
+			collector.Preset(i, r)
+			continue
+		}
+		tasks = append(tasks, sweep.Task{Index: i, Spec: s})
+	}
+	already := total - len(tasks)
+
+	// Streaming sinks: the JSONL stream (with optional checkpointing)
+	// rides alongside the in-memory collector behind one Tee.
+	sinks := []sweep.ResultSink{collector}
+	var outFile, ckFile *os.File
+	if *out != "" {
+		var ckw *sweep.CheckpointWriter
+		if *resume {
+			if outFile, err = sweep.OpenResumeOutput(*out); err != nil {
+				return err
+			}
+			// Compact the checkpoint to exactly the confirmed-done state
+			// (clearing torn lines) and keep appending to it.
+			if ckFile, ckw, err = sweep.RewriteCheckpoint(*checkpoint, total, gridKey, resumed); err != nil {
+				outFile.Close()
+				return err
+			}
+		} else {
+			if outFile, err = os.Create(*out); err != nil {
+				return fmt.Errorf("sweep: create -out: %w", err)
+			}
+			if *checkpoint != "" {
+				if ckFile, err = os.Create(*checkpoint); err != nil {
+					outFile.Close()
+					return fmt.Errorf("sweep: create -checkpoint: %w", err)
+				}
+				if ckw, err = sweep.NewCheckpointWriter(ckFile, total, gridKey); err != nil {
+					outFile.Close()
+					ckFile.Close()
+					return err
+				}
+			}
+		}
+		sinks = append(sinks, sweep.NewJSONLSink(outFile, ckw))
+	}
+	closeFiles := func() {
+		if outFile != nil {
+			outFile.Close()
+			outFile = nil
+		}
+		if ckFile != nil {
+			ckFile.Close()
+			ckFile = nil
+		}
+	}
+	defer closeFiles()
+
 	// The engine shard count is execution policy, not part of the scenario
 	// identity: results are byte-identical for every value (pinned by the
 	// sharded-equivalence tests), so auto-resolution cannot change output.
-	// -shards 0 defers to sweep.AutoShards, which splits GOMAXPROCS between
-	// the concurrently running points and each point's shard gang once the
-	// grid size is known.
+	// -shards 0 defers to sweep.AutoShards/AutoSplit, which split GOMAXPROCS
+	// between worker processes, concurrent points and each point's shard
+	// gang once the grid size is known.
 	opts := sweep.Options{Jobs: *jobs, AutoShards: *shards == 0}
 	if *progress {
-		opts.Progress = func(done, total int, r scenario.Result) {
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s\n", done, total, r.Name)
+		start := time.Now()
+		opts.Progress = func(done, tot int, r scenario.Result) {
+			fmt.Fprintln(os.Stderr, progressLine(already+done, already+tot, time.Since(start), r.Name))
+		}
+	}
+
+	// Executor selection: in-process goroutines by default; -worker-procs
+	// fans the grid out to worker subprocesses of this same binary. Output
+	// is byte-identical either way (pinned by the coordinator goldens).
+	var exec sweep.Executor = sweep.InProcess{}
+	if *workerProcs != 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("sweep: locate worker binary: %w", err)
+		}
+		procs := *workerProcs
+		if procs < 0 {
+			procs = 0 // AutoSplit: one per core, capped by the grid
+		}
+		exec = &sweep.Coordinator{
+			Command: []string{exe, "sweep", "-worker"},
+			Env:     append(os.Environ(), workerEnv+"=1"),
+			Procs:   procs,
+			Stderr:  os.Stderr,
 		}
 	}
 
@@ -181,13 +323,24 @@ func cmdSweep(args []string, w io.Writer) error {
 		defer f.Close()
 		memOut = f
 	}
-	results, err := sweep.Expand(context.Background(), spec, opts)
+	err = sweep.Stream(context.Background(), tasks, opts, exec, sweep.Tee(sinks...))
 	// Stop explicitly before rendering so the profile really covers only
 	// the sweep (the deferred stop only backstops early error returns;
 	// StopCPUProfile is a no-op when no profile is active).
 	pprof.StopCPUProfile()
 	if err != nil {
 		return err
+	}
+	if err := collector.Err(); err != nil {
+		// Leave -out in completion order: the run is resumable, and a
+		// partial stream must never masquerade as a merged one.
+		return err
+	}
+	closeFiles()
+	if *out != "" && !*unordered {
+		if err := sweep.MergeJSONL(*out, total); err != nil {
+			return err
+		}
 	}
 	if memOut != nil {
 		runtime.GC() // settle allocations so the profile shows live heap
@@ -196,12 +349,25 @@ func cmdSweep(args []string, w io.Writer) error {
 		}
 	}
 
+	results := collector.Results()
 	if f == tablegen.FormatJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)
 	}
 	return sweepTable(m, results).Render(w, f)
+}
+
+// progressLine formats one -progress stderr line: done/total, completion
+// rate, remaining-time estimate, and the scenario that just finished.
+func progressLine(done, total int, elapsed time.Duration, name string) string {
+	rate := float64(done) / max(elapsed.Seconds(), 1e-9)
+	eta := "?"
+	if done > 0 && done <= total {
+		left := time.Duration(float64(total-done) / rate * float64(time.Second))
+		eta = left.Round(time.Second).String()
+	}
+	return fmt.Sprintf("sweep: %d/%d (%.1f/s, ETA %s) %s", done, total, rate, eta, name)
 }
 
 // sweepTable renders one row per scenario with mode-appropriate columns.

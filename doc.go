@@ -30,10 +30,17 @@
 //     validate, carry sweep axes (sizes x designs x workloads) that Expand
 //     crosses into concrete scenarios, and execute into a stable,
 //     JSON-serialisable Result.
-//   - internal/sweep executes spec lists on a worker pool (Run/Expand with
-//     a configurable job count, GOMAXPROCS by default) with deterministic,
-//     spec-ordered aggregation and progress callbacks: a sweep's aggregated
-//     output is byte-identical for 1 worker and for N.
+//   - internal/sweep executes spec lists through a pluggable Executor +
+//     ResultSink pair: an Executor (the in-process worker pool, or the
+//     multi-process Coordinator fanning tasks out to `noctool sweep -worker`
+//     subprocesses over the JSON-line protocol of PROTOCOL.md) pushes each
+//     finished scenario into composable sinks — the in-memory spec-ordered
+//     Collector behind Run, a streaming JSONL sink, and a checkpoint writer
+//     whose finished-index + result-hash log makes interrupted sweeps
+//     resumable (`noctool sweep -out -checkpoint -resume`). Aggregated
+//     output is byte-identical for 1 worker and for N, for every
+//     -worker-procs count, and across any kill/resume schedule — execution
+//     policy never touches results.
 //
 // The cycle-accurate simulator (internal/network) schedules its cycle loop
 // with an active-set engine: Step only visits routers holding flits and
@@ -114,5 +121,9 @@
 // (internal/core) -> CLI/examples/benchmarks. The core package's table and
 // figure functions, the noctool commands (including the grid-running
 // `noctool sweep`) and the examples are all thin adapters over this layer.
+// Process boundaries share one infrastructure slice: internal/lineio owns
+// the JSON-line framing limits, scenario.CanonicalJSON is the single wire
+// and cache-key encoding of a spec, and both the serve daemon and the sweep
+// worker protocol are built on the pair.
 // See README.md for the user-facing documentation.
 package repro

@@ -1,0 +1,32 @@
+// Package lineio holds the JSON-line framing discipline shared by every
+// wire protocol of this repository: the serve daemon (PROTOCOL.md), and the
+// sweep coordinator/worker protocol of the multi-process executor (the same
+// one-request-per-line, one-response-per-line framing uPIMulator uses to
+// drive BookSim2 as an external timing process). Centralising the scanner
+// construction pins one line-size budget for every transport, so a batch
+// accepted by one layer is never rejected by another.
+package lineio
+
+import (
+	"bufio"
+	"io"
+)
+
+const (
+	// MaxLineBytes bounds one protocol line. A million-query batch verb
+	// line runs to ~16 MB of tuples, and a 32x32 wcet-map result to a few
+	// MB; 64 MB leaves headroom without letting one line exhaust memory.
+	MaxLineBytes = 64 << 20
+
+	// initialBufBytes is the scanner's starting buffer; it grows on demand
+	// up to MaxLineBytes, so short-line streams never pay for the ceiling.
+	initialBufBytes = 64 << 10
+)
+
+// NewScanner returns a newline-splitting scanner sized for protocol lines:
+// a 64 KiB initial buffer growing up to MaxLineBytes.
+func NewScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, initialBufBytes), MaxLineBytes)
+	return sc
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
+	"repro/internal/lineio"
 	"repro/internal/mesh"
 	"repro/internal/network"
 	"repro/internal/scenario"
@@ -32,10 +33,11 @@ const (
 	// instead of unbounded buffering.
 	defaultQueueDepth = 256
 
-	// maxLineBytes bounds one protocol line. A million-query batch verb line
-	// runs to ~16 MB of tuples; 64 MB leaves headroom without letting one
-	// line exhaust memory.
-	maxLineBytes = 64 << 20
+	// maxLineBytes bounds one protocol line; the budget is shared with
+	// every other JSON-line transport (the sweep worker protocol) via
+	// internal/lineio, so a batch accepted by one layer is never rejected
+	// by another.
+	maxLineBytes = lineio.MaxLineBytes
 )
 
 // wcttKey identifies one analytical bound computation for coalescing:
@@ -197,8 +199,7 @@ func (s *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) error
 		writerDone <- err
 	}()
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	sc := lineio.NewScanner(r)
 	for sc.Scan() {
 		if s.draining() || ctx.Err() != nil {
 			break
@@ -558,7 +559,9 @@ func (s *Server) scenarioOp(ctx context.Context, req *Request) ([]byte, bool) {
 	if err := spec.Validate(); err != nil {
 		return errorResponse(req.ID, err), true
 	}
-	key, err := json.Marshal(spec)
+	// The canonical wire encoding is the coalescing key, the same bytes
+	// the sweep worker protocol ships — one representation everywhere.
+	key, err := scenario.CanonicalJSON(spec)
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Record is one line of a sweep's JSONL result stream. Successful
+// scenarios carry the marshalled scenario.Result; failed ones carry the
+// spec name and the error text instead. Index is the position in the
+// expanded spec grid, which is what makes an unordered stream mergeable
+// back into deterministic spec order.
+type Record struct {
+	Index  int             `json:"index"`
+	Name   string          `json:"name,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// resultHash is the integrity fingerprint a checkpoint stores for a
+// finished scenario: the hex SHA-256 of the result's canonical JSON.
+func resultHash(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// JSONLSink streams every finished scenario to w as one JSON line the
+// moment it completes, in completion order. When a CheckpointWriter is
+// attached, each successful result's checkpoint entry is written strictly
+// after its result line (under one lock), so a crash between the two
+// leaves at worst an orphaned result that resume recomputes — never a
+// checkpoint entry whose result is missing.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	ck *CheckpointWriter
+}
+
+// NewJSONLSink builds a streaming sink over w; ck may be nil for a plain
+// result stream without checkpointing.
+func NewJSONLSink(w io.Writer, ck *CheckpointWriter) *JSONLSink {
+	return &JSONLSink{w: w, ck: ck}
+}
+
+// Put implements ResultSink. Failed scenarios are streamed (so an
+// unordered consumer sees every outcome) but never checkpointed: a resumed
+// sweep retries them.
+func (s *JSONLSink) Put(i int, r scenario.Result, err error) error {
+	rec := Record{Index: i}
+	hash := ""
+	if err != nil {
+		rec.Name, rec.Error = r.Name, err.Error()
+	} else {
+		raw, merr := json.Marshal(r)
+		if merr != nil {
+			return fmt.Errorf("sweep: marshal result %d: %w", i, merr)
+		}
+		rec.Result = raw
+		hash = resultHash(raw)
+	}
+	line, merr := json.Marshal(rec)
+	if merr != nil {
+		return fmt.Errorf("sweep: marshal record %d: %w", i, merr)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, werr := s.w.Write(line); werr != nil {
+		return fmt.Errorf("sweep: write result %d: %w", i, werr)
+	}
+	if err == nil && s.ck != nil {
+		if cerr := s.ck.Mark(i, hash); cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

@@ -1,18 +1,24 @@
 // Package sweep is the parallel execution engine of the experiment layer:
-// it runs lists of scenario specs across a pool of worker goroutines and
-// aggregates the results deterministically, in spec order, regardless of how
-// many workers run or in which order scenarios finish. Because scenario
-// execution itself is deterministic (every source of pseudo-randomness is
-// seeded from the spec), a sweep's aggregated output is byte-identical for
-// one worker and for GOMAXPROCS workers — which is what makes the engine
-// safe to drop under every table- and figure-generating code path.
+// it runs lists of scenario specs and aggregates the results
+// deterministically, in spec order, regardless of how many workers run or in
+// which order scenarios finish. Because scenario execution itself is
+// deterministic (every source of pseudo-randomness is seeded from the spec),
+// a sweep's aggregated output is byte-identical for one worker and for
+// GOMAXPROCS workers — which is what makes the engine safe to drop under
+// every table- and figure-generating code path.
+//
+// The engine is layered as Executor + ResultSink: an Executor decides
+// *where* scenarios run (the InProcess goroutine pool, or the Coordinator
+// fanning specs out to worker subprocesses over the JSON-line protocol),
+// and a ResultSink decides *what happens* to each finished result the
+// moment it completes (the in-memory Collector behind Run, the streaming
+// JSONL/checkpoint sinks behind `noctool sweep -out/-checkpoint`, or any
+// Tee of those). Results carry their spec index, so deterministic
+// spec-ordered aggregation is a cheap final merge no matter the executor.
 package sweep
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
 
 	"repro/internal/scenario"
 	"repro/internal/sweep/pool"
@@ -20,16 +26,17 @@ import (
 
 // Options tunes a sweep run.
 type Options struct {
-	// Jobs is the number of worker goroutines; values < 1 select
-	// runtime.GOMAXPROCS(0).
+	// Jobs is the number of worker goroutines of the InProcess executor;
+	// values < 1 select runtime.GOMAXPROCS(0). The multi-process
+	// Coordinator sizes itself from its own Procs/Window knobs instead.
 	Jobs int
 	// Progress, when non-nil, is called after every finished scenario
-	// (successful or failed) with the number of scenarios finished so
-	// far, the total, and the scenario's result — a zero Result carrying
-	// only the spec name when the scenario failed. Calls are serialised
-	// but not ordered by spec index; done increases monotonically and
-	// reaches total unless the sweep is cancelled before every scenario
-	// was dispatched to a worker.
+	// (successful, failed or skipped) with the number of scenarios
+	// finished so far, the total, and the scenario's result — a zero
+	// Result carrying only the spec name when the scenario failed. Calls
+	// are serialised and done increases monotonically to total, but the
+	// callback runs outside the engine's internal locks: a slow callback
+	// delays further progress reports, never the workers' completions.
 	Progress func(done, total int, r scenario.Result)
 	// AutoShards resolves every cycle-accurate spec that left Shards at 0
 	// to AutoShards(GOMAXPROCS, Jobs, len(specs)) — splitting the cores
@@ -54,17 +61,63 @@ func AutoShards(cores, jobs, points int) int {
 	return max(1, cores/max(1, workers))
 }
 
-// resolveShards applies Options.AutoShards to a copy of the specs.
-func resolveShards(specs []scenario.Spec, opts Options) []scenario.Spec {
-	if !opts.AutoShards {
-		return specs
+// Split is the three-level parallelism plan of a multi-process sweep:
+// worker processes x points in flight per worker x engine shards per
+// point. Every level is execution policy — results are byte-identical for
+// every split, pinned by the coordinator goldens.
+type Split struct {
+	// Procs is the number of worker subprocesses.
+	Procs int
+	// Window is the in-flight task window per worker process.
+	Window int
+	// Shards is the engine shard count per cycle-accurate point.
+	Shards int
+}
+
+// AutoSplit extends AutoShards to the multi-process executor's three
+// levels: given the machine's core count, a requested worker-process count
+// (<1 = one per core, capped by the grid) and the grid size, it splits the
+// cores between worker processes and each point's shard gang, and bounds
+// the per-worker in-flight window so the coordinator keeps every process
+// busy (one executing + one queued) without racing far ahead of the
+// checkpoint stream. Workers execute one task at a time, so the concurrent
+// points equal the processes and shards-per-point x procs never
+// oversubscribes cores.
+func AutoSplit(cores, procs, points int) Split {
+	if cores < 1 {
+		cores = 1
 	}
-	shards := AutoShards(pool.Jobs(0), opts.Jobs, len(specs))
-	out := append([]scenario.Spec(nil), specs...)
+	if points < 1 {
+		points = 1
+	}
+	if procs < 1 {
+		procs = cores
+	}
+	if procs > points {
+		procs = points
+	}
+	window := 2
+	if perProc := (points + procs - 1) / procs; window > perProc {
+		window = perProc
+	}
+	return Split{
+		Procs:  procs,
+		Window: window,
+		Shards: max(1, cores/procs),
+	}
+}
+
+// resolveShardsTasks applies Options.AutoShards to a copy of the tasks.
+func resolveShardsTasks(tasks []Task, opts Options) []Task {
+	if !opts.AutoShards {
+		return tasks
+	}
+	shards := AutoShards(pool.Jobs(0), opts.Jobs, len(tasks))
+	out := append([]Task(nil), tasks...)
 	for i := range out {
-		if out[i].Shards == 0 &&
-			(out[i].Mode == scenario.ModeSimulate || out[i].Mode == scenario.ModeLoadCurve) {
-			out[i].Shards = shards
+		if out[i].Spec.Shards == 0 &&
+			(out[i].Spec.Mode == scenario.ModeSimulate || out[i].Spec.Mode == scenario.ModeLoadCurve) {
+			out[i].Spec.Shards = shards
 		}
 	}
 	return out
@@ -72,49 +125,19 @@ func resolveShards(specs []scenario.Spec, opts Options) []scenario.Spec {
 
 // Run executes every spec and returns the results in spec order. All specs
 // are attempted even if some fail; the returned error joins the individual
-// failures in spec order (and includes ctx's error if the sweep was
-// cancelled). Results of failed or skipped scenarios are zero-valued.
-// The worker-pool mechanics live in the sweep/pool subpackage, shared with
-// the other parallel loops of the repository.
+// failures in spec order, with scenarios skipped by cancellation summarised
+// into a single counted error (which includes ctx's error). Results of
+// failed or skipped scenarios are zero-valued. Run is a thin driver over
+// the streaming engine: an InProcess executor feeding a Collector sink.
 func Run(ctx context.Context, specs []scenario.Spec, opts Options) ([]scenario.Result, error) {
-	results := make([]scenario.Result, len(specs))
-	errs := make([]error, len(specs))
+	c := NewCollector(len(specs))
 	if len(specs) == 0 {
-		return results, nil
+		return c.Results(), nil
 	}
-	specs = resolveShards(specs, opts)
-
-	var mu sync.Mutex
-	done := 0
-	report := func(r scenario.Result) {
-		if opts.Progress == nil {
-			return
-		}
-		mu.Lock()
-		done++
-		opts.Progress(done, len(specs), r)
-		mu.Unlock()
+	if err := Stream(ctx, Tasks(specs), opts, InProcess{}, c); err != nil {
+		return c.Results(), err
 	}
-
-	pool.ForEach(ctx, len(specs), opts.Jobs, func(i int) {
-		if err := ctx.Err(); err != nil {
-			errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, err)
-			report(scenario.Result{Name: specs[i].Name})
-			return
-		}
-		r, err := scenario.ExecuteContext(ctx, specs[i])
-		if err != nil {
-			errs[i] = err
-			report(scenario.Result{Name: specs[i].Name})
-			return
-		}
-		results[i] = r
-		report(r)
-	}, func(i int) {
-		errs[i] = fmt.Errorf("sweep: scenario %d skipped: %w", i, ctx.Err())
-	})
-
-	return results, errors.Join(errs...)
+	return c.Results(), c.Err()
 }
 
 // RunAll is Run with a background context and default options — the
