@@ -33,6 +33,9 @@ func serveOn(args []string, in io.Reader, w io.Writer) error {
 	httpAddr := fs.String("http", "", "also serve HTTP on this address (POST = protocol lines, GET = stats)")
 	workers := fs.Int("workers", 0, "request workers shared across all transports; 0 = GOMAXPROCS")
 	queue := fs.Int("queue", 0, "per-connection response queue depth (the backpressure bound); 0 = default")
+	maxInflight := fs.Int("max-inflight", 0, "admitted-but-unanswered lines across all transports before excess lines are answered with the retryable \"overloaded\" error; 0 = unbounded (backpressure only)")
+	queryTimeout := fs.Duration("query-timeout", 0, "deadline budget per query verb (wctt, batch, wcet, wcet-batch); 0 = none")
+	scenarioTimeout := fs.Duration("scenario-timeout", 0, "deadline budget per scenario verb; 0 = none")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	noStdin := fs.Bool("no-stdin", false, "do not serve stdin/stdout (daemon mode; requires -listen or -http)")
 	if err := fs.Parse(args); err != nil {
@@ -44,8 +47,17 @@ func serveOn(args []string, in io.Reader, w io.Writer) error {
 	if *workers < 0 || *queue < 0 {
 		return fmt.Errorf("serve: negative -workers or -queue")
 	}
+	if *maxInflight < 0 || *queryTimeout < 0 || *scenarioTimeout < 0 {
+		return fmt.Errorf("serve: negative -max-inflight or timeout")
+	}
 
-	srv := serve.New(*workers, *queue)
+	srv := serve.NewServer(serve.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		MaxInflight:     *maxInflight,
+		QueryTimeout:    *queryTimeout,
+		ScenarioTimeout: *scenarioTimeout,
+	})
 	defer srv.Close()
 	ctx := context.Background()
 

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjectedReset is the error a faulted connection op returns after the
+// injector severed the link, so harness logs distinguish scripted resets
+// from real failures.
+var ErrInjectedReset = errors.New("faultinject: connection reset")
+
+// ConnFaults configures per-operation faults of a wrapped connection.
+// Probabilities are evaluated once per Read/Write call.
+//
+// Read-side garbling is the only silent-corruption channel, and it is
+// restricted to the read path on purpose: responses of the query protocols
+// are all-numeric, so a '#' substitution always breaks their JSON and the
+// client detects it (parse error, id mismatch) and retries. Request lines
+// carry free-form strings whose corruption a checksum-less protocol cannot
+// distinguish from a differently-spelled valid request; scripting that as
+// a "survivable" fault would assert something the wire cannot promise.
+// Garbled requests are exercised separately, by the server-side harness,
+// which asserts the error-line contract rather than value identity.
+type ConnFaults struct {
+	// ReadGarbleProb corrupts bytes of the data a Read returns.
+	ReadGarbleProb float64
+	// ReadDelayProb sleeps up to ReadDelayMax before reading — jittery
+	// network latency.
+	ReadDelayProb float64
+	ReadDelayMax  time.Duration
+	// ReadStallProb sleeps for ReadStall before reading — a stalled peer,
+	// long enough to trip the caller's read deadline.
+	ReadStallProb float64
+	ReadStall     time.Duration
+	// ResetProb severs the connection (close + error) at an op boundary,
+	// on reads and writes alike — in-flight requests are lost.
+	ResetProb float64
+}
+
+// conn wraps a net.Conn with fault injection.
+type conn struct {
+	net.Conn
+	s *Stream
+	f ConnFaults
+}
+
+// WrapConn returns c with the given faults injected on its Read/Write
+// paths. Deadlines, addresses and Close pass through to the underlying
+// connection, so callers' timeout handling works unchanged.
+func WrapConn(c net.Conn, s *Stream, f ConnFaults) net.Conn {
+	return &conn{Conn: c, s: s, f: f}
+}
+
+func (c *conn) reset() error {
+	_ = c.Conn.Close()
+	return ErrInjectedReset
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.s.Hit(c.f.ResetProb) {
+		return 0, c.reset()
+	}
+	if c.f.ReadStall > 0 && c.s.Hit(c.f.ReadStallProb) {
+		// The sleep runs first, then the underlying read observes any
+		// deadline that expired meanwhile — a stalled peer tripping the
+		// caller's timeout, not a hung harness.
+		time.Sleep(c.f.ReadStall)
+	} else if c.f.ReadDelayMax > 0 && c.s.Hit(c.f.ReadDelayProb) {
+		time.Sleep(c.s.Duration(c.f.ReadDelayMax))
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.s.Hit(c.f.ReadGarbleProb) {
+		c.s.garble(p[:n])
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.s.Hit(c.f.ResetProb) {
+		return 0, c.reset()
+	}
+	return c.Conn.Write(p)
+}

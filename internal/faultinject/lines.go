@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"repro/internal/lineio"
+)
+
+// LineFaults configures per-line faults of a LineReader. Probabilities are
+// evaluated once per source line, in order, from the reader's Stream.
+type LineFaults struct {
+	// GarbleProb corrupts bytes within the line (the newline survives, so
+	// framing is intact and the receiver must answer a parse error line).
+	GarbleProb float64
+	// TruncateProb emits only an unterminated prefix of the line; the next
+	// line follows immediately — the "interleaved torn line" shape a
+	// writer killed (or preempted) mid-write leaves in a shared stream.
+	TruncateProb float64
+	// DelayProb sleeps up to DelayMax before the line is served — a slow
+	// producer, exercising read timeouts without breaking framing.
+	DelayProb float64
+	DelayMax  time.Duration
+}
+
+// faultLineReader replays an underlying reader line by line through the
+// shared lineio framing, injecting LineFaults deterministically. It tracks
+// what the downstream scanner will actually observe, so a chaos harness
+// can assert exact response accounting ("one response per surviving
+// frame") even after truncations merged neighbouring lines.
+type faultLineReader struct {
+	scanner interface {
+		Scan() bool
+		Bytes() []byte
+		Err() error
+	}
+	s *Stream
+	f LineFaults
+
+	buf  []byte
+	done bool
+	err  error
+
+	linesRead   int
+	frames      int  // complete frames the downstream scanner will yield
+	pendingFrag bool // an unterminated fragment is ahead of the next line
+	corrupt     map[int]bool
+}
+
+// Lines wraps r with per-line fault injection. The returned reader's
+// framing is the shared lineio discipline (same line-size budget as every
+// transport), so injected faults are exactly the ones the protocols must
+// survive.
+func Lines(r io.Reader, s *Stream, f LineFaults) *FaultReader {
+	return &FaultReader{inner: faultLineReader{
+		scanner: lineio.NewScanner(r),
+		s:       s,
+		f:       f,
+		corrupt: make(map[int]bool),
+	}}
+}
+
+// FaultReader is the io.Reader returned by Lines, with accounting methods
+// valid once the stream has been fully consumed.
+type FaultReader struct {
+	inner faultLineReader
+}
+
+// Read implements io.Reader.
+func (fr *FaultReader) Read(p []byte) (int, error) {
+	lr := &fr.inner
+	for len(lr.buf) == 0 {
+		if lr.done {
+			if lr.err != nil {
+				return 0, lr.err
+			}
+			return 0, io.EOF
+		}
+		lr.next()
+	}
+	n := copy(p, lr.buf)
+	lr.buf = lr.buf[n:]
+	return n, nil
+}
+
+// next pulls one source line, applies its faults, and loads the output
+// buffer.
+func (lr *faultLineReader) next() {
+	if !lr.scanner.Scan() {
+		lr.done = true
+		lr.err = lr.scanner.Err()
+		if lr.pendingFrag {
+			// The stream ends on an unterminated fragment; a scanner still
+			// yields it as one final (corrupt) frame.
+			lr.frames++
+			lr.pendingFrag = false
+		}
+		return
+	}
+	i := lr.linesRead
+	lr.linesRead++
+	line := append([]byte(nil), lr.scanner.Bytes()...)
+
+	if lr.f.DelayMax > 0 && lr.s.Hit(lr.f.DelayProb) {
+		time.Sleep(lr.s.Duration(lr.f.DelayMax))
+	}
+	if lr.s.Hit(lr.f.GarbleProb) && lr.s.garble(line) {
+		lr.corrupt[i] = true
+	}
+	if len(line) > 1 && lr.s.Hit(lr.f.TruncateProb) {
+		// Torn line: an unterminated prefix. It fuses with the next line
+		// into one corrupt frame.
+		line = line[:1+lr.s.Intn(len(line)-1)]
+		lr.corrupt[i] = true
+		lr.pendingFrag = true
+		lr.buf = line
+		return
+	}
+	if lr.pendingFrag {
+		// This line completes a frame that began with a torn fragment.
+		lr.corrupt[i] = true
+		lr.pendingFrag = false
+	}
+	lr.frames++
+	lr.buf = append(line, '\n')
+}
+
+// LinesRead reports how many source lines were consumed.
+func (fr *FaultReader) LinesRead() int { return fr.inner.linesRead }
+
+// Frames reports how many frames (scanner tokens) the downstream observed;
+// valid after the stream has been read to EOF. A line protocol server must
+// answer exactly one response per frame.
+func (fr *FaultReader) Frames() int { return fr.inner.frames }
+
+// Corrupt reports whether source line i was garbled, torn, or fused with a
+// torn predecessor — its frame's response is an error line (or a response
+// to a mutated request), so value assertions must skip it.
+func (fr *FaultReader) Corrupt(i int) bool { return fr.inner.corrupt[i] }
+
+// The helpers below corrupt byte images of line-oriented files — the
+// checkpoint/result streams of the sweep layer — in the exact shapes
+// crashes produce. They operate on copies; inputs are never mutated.
+
+// splitKeepNewlines splits data after each '\n', keeping the terminators.
+func splitKeepNewlines(data []byte) [][]byte {
+	var lines [][]byte
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			lines = append(lines, data)
+			break
+		}
+		lines = append(lines, data[:nl+1])
+		data = data[nl+1:]
+	}
+	return lines
+}
+
+// TornTail cuts data strictly inside its final non-empty line — a process
+// SIGKILLed mid-write. The cut point is deterministic in the stream.
+func TornTail(data []byte, s *Stream) []byte {
+	lines := splitKeepNewlines(data)
+	if len(lines) == 0 {
+		return append([]byte(nil), data...)
+	}
+	last := lines[len(lines)-1]
+	body := bytes.TrimSuffix(last, []byte("\n"))
+	if len(body) < 2 {
+		return append([]byte(nil), data...)
+	}
+	keep := len(data) - len(last) + 1 + s.Intn(len(body)-1)
+	return append([]byte(nil), data[:keep]...)
+}
+
+// TearLine truncates line i (0-based) mid-byte and removes its newline, so
+// line i's head and line i+1 run together — an interleaved torn line, the
+// shape a stalled writer racing another leaves mid-file. Unlike TornTail
+// this is NOT a clean crash signature: loaders must reject it.
+func TearLine(data []byte, i int, s *Stream) []byte {
+	lines := splitKeepNewlines(data)
+	if i < 0 || i >= len(lines) {
+		return append([]byte(nil), data...)
+	}
+	body := bytes.TrimSuffix(lines[i], []byte("\n"))
+	if len(body) < 2 {
+		return append([]byte(nil), data...)
+	}
+	cut := 1 + s.Intn(len(body)-1)
+	out := make([]byte, 0, len(data))
+	for j, l := range lines {
+		if j == i {
+			out = append(out, l[:cut]...)
+			continue
+		}
+		out = append(out, l...)
+	}
+	return out
+}
+
+// GarbleLine corrupts bytes inside line i (0-based), keeping framing
+// intact — bit rot or a buggy writer, which loaders must reject (for a
+// checkpoint) or refuse to confirm (for a result stream).
+func GarbleLine(data []byte, i int, s *Stream) []byte {
+	lines := splitKeepNewlines(data)
+	if i < 0 || i >= len(lines) {
+		return append([]byte(nil), data...)
+	}
+	out := make([]byte, 0, len(data))
+	for j, l := range lines {
+		if j == i {
+			l = append([]byte(nil), l...)
+			s.garble(l[:len(l)-1])
+		}
+		out = append(out, l...)
+	}
+	return out
+}

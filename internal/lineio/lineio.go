@@ -30,3 +30,16 @@ func NewScanner(r io.Reader) *bufio.Scanner {
 	sc.Buffer(make([]byte, initialBufBytes), MaxLineBytes)
 	return sc
 }
+
+// WriteLine writes one protocol line — body plus terminator — as a single
+// Write call, so concurrent writers on the same stream (a worker's response
+// goroutines, a client's attempts) can never interleave a torn frame, and a
+// crash between body and newline cannot occur. The body must not itself
+// contain a newline.
+func WriteLine(w io.Writer, body []byte) error {
+	line := make([]byte, 0, len(body)+1)
+	line = append(line, body...)
+	line = append(line, '\n')
+	_, err := w.Write(line)
+	return err
+}

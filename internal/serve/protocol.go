@@ -18,7 +18,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -68,6 +70,12 @@ type Request struct {
 	MaxPacketFlits int             `json:"max_packet_flits,omitempty"`
 	Queries        json.RawMessage `json:"queries,omitempty"`
 	Spec           *scenario.Spec  `json:"spec,omitempty"`
+	// TimeoutMS is the caller's deadline budget for this request in
+	// milliseconds. It can only tighten the server's per-verb budget (the
+	// effective deadline is the minimum of the two); 0 means the server
+	// default. A request that exceeds its deadline is answered with the
+	// coded "deadline" error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Responses are emitted as hand-built JSON so the hot path never pays
@@ -79,6 +87,52 @@ type Request struct {
 //	{"id":4,"ok":true,"stats":{...}}
 //	{"id":5,"ok":true}
 //	{"id":6,"ok":false,"error":"..."}
+//	{"id":7,"ok":false,"error":"...","code":"overloaded","retryable":true}
+//
+// Only the serving-condition errors of the taxonomy below carry the code
+// and retryable fields; every pre-existing error shape (parse errors,
+// unknown ops, model rejections) is unchanged byte for byte.
+
+// protoError is a coded protocol error: a serving condition (not a fault
+// of the request itself) that clients may be able to route around. Its
+// code is a stable machine-readable label and retryable tells a client
+// whether resubmitting the identical request can succeed. See the error
+// taxonomy appendix of PROTOCOL.md.
+type protoError struct {
+	msg       string
+	code      string
+	retryable bool
+}
+
+func (e *protoError) Error() string { return e.msg }
+
+// The serving-condition errors. Messages and codes are wire contract,
+// pinned by tests — changing them breaks deployed clients.
+var (
+	// errOverloaded: admission control turned the line away because the
+	// server-wide in-flight budget is exhausted. Retryable after backoff.
+	errOverloaded = &protoError{msg: "server overloaded", code: "overloaded", retryable: true}
+	// errDraining: the server is shutting down gracefully; lines already
+	// buffered are answered with this instead of being dropped silently —
+	// the stdin/TCP mirror of the HTTP 503. Retryable against a replica.
+	errDraining = &protoError{msg: "server draining", code: "draining", retryable: true}
+)
+
+// wireError maps context sentinels that surface from a verb into their
+// coded wire form; any other error passes through unchanged.
+func wireError(op string, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Not retryable: an identical resubmission gets the same budget and
+		// times out again. The client must raise timeout_ms instead.
+		return &protoError{msg: op + ": deadline exceeded", code: "deadline", retryable: false}
+	}
+	if errors.Is(err, context.Canceled) {
+		// Retryable: cancellation came from outside the request (a coalesced
+		// leader's disconnect, server teardown), not from its content.
+		return &protoError{msg: op + ": canceled", code: "canceled", retryable: true}
+	}
+	return err
+}
 
 // appendHeader starts a response object. The id field is always present —
 // echoing 0 for requests that did not set one keeps the layout fixed.
@@ -102,6 +156,16 @@ func appendError(buf []byte, id int64, err error) []byte {
 		msg = []byte(`"internal error"`)
 	}
 	buf = append(buf, msg...)
+	var pe *protoError
+	if errors.As(err, &pe) {
+		buf = append(buf, `,"code":"`...)
+		buf = append(buf, pe.code...)
+		if pe.retryable {
+			buf = append(buf, `","retryable":true`...)
+		} else {
+			buf = append(buf, `","retryable":false`...)
+		}
+	}
 	return append(buf, '}')
 }
 

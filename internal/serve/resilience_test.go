@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeErrorWireShapes pins the exact bytes of the coded error lines —
+// the stdin/TCP mirror of the HTTP 503 taxonomy — and that pre-existing
+// error shapes carry no code field. These strings are wire contract;
+// see the error-taxonomy appendix of PROTOCOL.md.
+func TestServeErrorWireShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"overloaded", errorResponse(7, errOverloaded),
+			`{"id":7,"ok":false,"error":"server overloaded","code":"overloaded","retryable":true}`},
+		{"draining", errorResponse(8, errDraining),
+			`{"id":8,"ok":false,"error":"server draining","code":"draining","retryable":true}`},
+		{"deadline", errorResponse(9, wireError("batch", fmt.Errorf("wrapped: %w", context.DeadlineExceeded))),
+			`{"id":9,"ok":false,"error":"batch: deadline exceeded","code":"deadline","retryable":false}`},
+		{"canceled", errorResponse(10, wireError("scenario", context.Canceled)),
+			`{"id":10,"ok":false,"error":"scenario: canceled","code":"canceled","retryable":true}`},
+		{"plain errors stay uncoded", errorResponse(11, errors.New("boom")),
+			`{"id":11,"ok":false,"error":"boom"}`},
+	}
+	for _, c := range cases {
+		if string(c.got) != c.want {
+			t.Errorf("%s:\ngot  %s\nwant %s", c.name, c.got, c.want)
+		}
+	}
+	if err := wireError("x", errors.New("boom")); err.Error() != "boom" {
+		t.Errorf("wireError rewrote a non-context error: %v", err)
+	}
+}
+
+// TestServeOverloadAdmission saturates a MaxInflight=1 server with a slow
+// scenario and pins that the lines behind it are answered immediately with
+// the exact overloaded error bytes, in request order, and counted as
+// rejections rather than handled requests.
+func TestServeOverloadAdmission(t *testing.T) {
+	s := NewServer(Config{Workers: 1, Queue: 8, MaxInflight: 1})
+	defer s.Close()
+	lines := strings.Join([]string{
+		`{"id":1,"op":"scenario","spec":{"name":"slow","mode":"simulate","width":4,"height":4,"design":"regular","seed":1,"traffic":{"pattern":"uniform","rate":40,"messages":2000}}}`,
+		`{"id":2,"op":"ping"}`,
+		`{"id":3,"op":"ping"}`,
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := s.ServeLines(context.Background(), strings.NewReader(lines), &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	resps := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses, want 3:\n%s", len(resps), out.Bytes())
+	}
+	if !bytes.Contains(resps[0], []byte(`"ok":true`)) {
+		t.Fatalf("scenario line failed: %s", resps[0])
+	}
+	for i, id := range []int{2, 3} {
+		want := fmt.Sprintf(`{"id":%d,"ok":false,"error":"server overloaded","code":"overloaded","retryable":true}`, id)
+		if string(resps[i+1]) != want {
+			t.Errorf("rejection %d:\ngot  %s\nwant %s", id, resps[i+1], want)
+		}
+	}
+	st := s.Stats()
+	if st.Rejected != 2 {
+		t.Errorf("rejected counter %d, want 2", st.Rejected)
+	}
+	if st.Requests != 1 {
+		t.Errorf("rejections leaked into the request counter: %d requests, want 1", st.Requests)
+	}
+}
+
+// drainGateReader yields its first chunk immediately and the rest only once
+// the server drains. It deliberately lacks SetReadDeadline, so Shutdown
+// cannot poke it — the scan loop itself must answer the buffered tail.
+type drainGateReader struct {
+	s      *Server
+	chunks [][]byte
+	i      int
+}
+
+func (r *drainGateReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.chunks) {
+		return 0, io.EOF
+	}
+	if r.i > 0 {
+		for !r.s.draining() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	n := copy(p, r.chunks[r.i])
+	if n < len(r.chunks[r.i]) {
+		r.chunks[r.i] = r.chunks[r.i][n:]
+	} else {
+		r.i++
+	}
+	return n, nil
+}
+
+// TestServeDrainingAnswersBufferedLines pins the drain contract on the
+// line transports: requests that arrive behind the drain point get the
+// exact coded draining error instead of silence, and Shutdown still
+// terminates.
+func TestServeDrainingAnswersBufferedLines(t *testing.T) {
+	s := New(1, 4)
+	defer s.Close()
+	r := &drainGateReader{s: s, chunks: [][]byte{
+		[]byte(`{"id":1,"op":"ping"}` + "\n"),
+		[]byte(`{"id":2,"op":"ping"}` + "\n" + `{"id":3,"op":"ping"}` + "\n"),
+	}}
+	var mu sync.Mutex
+	var out bytes.Buffer
+	served := make(chan error, 1)
+	go func() { served <- s.ServeLines(context.Background(), r, lockedWriter{&mu, &out}) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := bytes.Count(out.Bytes(), []byte("\n"))
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no response to the pre-drain line")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Shutdown()
+	if err := <-served; err != nil {
+		t.Fatalf("ServeLines after drain: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	resps := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses, want 3:\n%s", len(resps), out.Bytes())
+	}
+	if string(resps[0]) != `{"id":1,"ok":true}` {
+		t.Errorf("pre-drain ping: %s", resps[0])
+	}
+	for i, id := range []int{2, 3} {
+		want := fmt.Sprintf(`{"id":%d,"ok":false,"error":"server draining","code":"draining","retryable":true}`, id)
+		if string(resps[i+1]) != want {
+			t.Errorf("buffered line %d:\ngot  %s\nwant %s", id, resps[i+1], want)
+		}
+	}
+}
+
+// TestServeRequestTimeout runs a load-curve scenario far larger than its
+// 1ms timeout_ms budget and pins the coded deadline error. The scenario
+// layer polls the context between rates and every 4096 simulated cycles,
+// so whichever check fires first yields the identical wire bytes.
+func TestServeRequestTimeout(t *testing.T) {
+	s := New(2, 0)
+	defer s.Close()
+	line := `{"id":4,"op":"scenario","timeout_ms":1,"spec":{"name":"dl","mode":"load-curve","width":8,"height":8,"design":"regular","seed":1,"traffic":{"rates":[100,200,300],"warmup_cycles":2000,"measure_cycles":20000}}}` + "\n"
+	var out bytes.Buffer
+	if err := s.ServeLines(context.Background(), strings.NewReader(line), &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	got := string(bytes.TrimSpace(out.Bytes()))
+	want := `{"id":4,"ok":false,"error":"scenario: deadline exceeded","code":"deadline","retryable":false}`
+	if got != want {
+		t.Fatalf("timed-out scenario:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestServeVerbTimeoutBudget checks the server-side per-verb budget with no
+// client timeout_ms: ScenarioTimeout bounds the scenario verb, and the
+// query verbs (different budget class) are unaffected by it.
+func TestServeVerbTimeoutBudget(t *testing.T) {
+	s := NewServer(Config{Workers: 2, ScenarioTimeout: time.Millisecond})
+	defer s.Close()
+	lines := `{"id":1,"op":"scenario","spec":{"name":"dl","mode":"load-curve","width":8,"height":8,"design":"regular","seed":1,"traffic":{"rates":[100,200,300],"warmup_cycles":2000,"measure_cycles":20000}}}` + "\n" +
+		`{"id":2,"op":"wctt","design":"regular","width":4,"height":4,"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}` + "\n"
+	var out bytes.Buffer
+	if err := s.ServeLines(context.Background(), strings.NewReader(lines), &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	resps := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses, want 2:\n%s", len(resps), out.Bytes())
+	}
+	want := `{"id":1,"ok":false,"error":"scenario: deadline exceeded","code":"deadline","retryable":false}`
+	if string(resps[0]) != want {
+		t.Errorf("scenario under ScenarioTimeout:\ngot  %s\nwant %s", resps[0], want)
+	}
+	if !bytes.Contains(resps[1], []byte(`"ok":true`)) {
+		t.Errorf("query verb caught by the scenario budget: %s", resps[1])
+	}
+}

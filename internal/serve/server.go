@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -66,7 +67,12 @@ type engineFlightKey struct {
 type Server struct {
 	workers *pool.Workers
 	queue   int
+	cfg     Config
 	stats   counters
+
+	// admitted counts server-wide admitted-but-unanswered lines; the
+	// admission gate (Config.MaxInflight) reads it before queueing a line.
+	admitted atomic.Int64
 
 	wcttFlight   cache.Group[wcttKey, uint64]
 	engineFlight cache.Group[engineFlightKey, *wcet.Engine]
@@ -88,18 +94,47 @@ type deadlineReader interface {
 	SetReadDeadline(t time.Time) error
 }
 
-// New builds a server with the given worker count (<1 = GOMAXPROCS, the
-// pool.Jobs convention) and per-connection response-queue depth (<1 = the
-// default). The worker pool is shared by every transport the server is
-// attached to, so total concurrency is bounded regardless of connection
-// count.
+// Config tunes the server's resilience policy. The zero value reproduces
+// the historic behaviour: per-connection backpressure only, no admission
+// gate, no deadlines.
+type Config struct {
+	// Workers is the shared pool size (<1 = GOMAXPROCS, the pool.Jobs
+	// convention).
+	Workers int
+	// Queue is the per-connection response-queue depth (<1 = the default).
+	Queue int
+	// MaxInflight bounds admitted-but-unanswered lines across every
+	// transport; excess lines are answered immediately with the retryable
+	// "server overloaded" error instead of queueing behind a backlog the
+	// caller's deadline cannot survive. 0 disables the gate (per-connection
+	// backpressure still applies).
+	MaxInflight int
+	// QueryTimeout is the default deadline budget of the query verbs
+	// (wctt, batch, wcet, wcet-batch); ScenarioTimeout that of the
+	// scenario verb. 0 means no deadline. A request's timeout_ms can only
+	// tighten its budget.
+	QueryTimeout    time.Duration
+	ScenarioTimeout time.Duration
+}
+
+// New builds a server with the given worker count and per-connection
+// response-queue depth and the zero resilience policy. The worker pool is
+// shared by every transport the server is attached to, so total
+// concurrency is bounded regardless of connection count.
 func New(workers, queue int) *Server {
+	return NewServer(Config{Workers: workers, Queue: queue})
+}
+
+// NewServer builds a server with the full resilience policy.
+func NewServer(cfg Config) *Server {
+	queue := cfg.Queue
 	if queue < 1 {
 		queue = defaultQueueDepth
 	}
 	return &Server{
-		workers:   pool.NewWorkers(workers, queue),
+		workers:   pool.NewWorkers(cfg.Workers, queue),
 		queue:     queue,
+		cfg:       cfg,
 		drainCh:   make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		readers:   make(map[deadlineReader]struct{}),
@@ -154,7 +189,7 @@ func (s *Server) Stats() Stats { return s.stats.snapshot() }
 // backpressure — so at most queue-depth lines are in flight per connection.
 func (s *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) error {
 	if s.draining() {
-		return errors.New("serve: server is draining")
+		return fmt.Errorf("serve: %w", errDraining)
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Done()
@@ -200,19 +235,41 @@ func (s *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) error
 	}()
 
 	sc := lineio.NewScanner(r)
+	drainAnswers := 0
 	for sc.Scan() {
-		if s.draining() || ctx.Err() != nil {
+		if ctx.Err() != nil {
 			break
 		}
 		raw := sc.Bytes()
 		if len(bytes.TrimSpace(raw)) == 0 {
 			continue
 		}
+		if s.draining() {
+			// Answer lines still buffered behind the drain point with the
+			// coded retryable error — the stdin/TCP mirror of the HTTP 503 —
+			// instead of dropping them silently. The answer count is bounded
+			// so Shutdown terminates even on a reader the deadline poke
+			// cannot unblock (an HTTP request body).
+			if drainAnswers >= s.queue {
+				break
+			}
+			drainAnswers++
+			s.reject(order, raw, errDraining)
+			continue
+		}
+		if s.cfg.MaxInflight > 0 && s.admitted.Load() >= int64(s.cfg.MaxInflight) {
+			s.reject(order, raw, errOverloaded)
+			continue
+		}
+		s.admitted.Add(1)
 		line := make([]byte, len(raw))
 		copy(line, raw)
 		promise := make(chan []byte, 1)
 		order <- promise
-		s.workers.Submit(func() { promise <- s.handleLine(ctx, line) })
+		s.workers.Submit(func() {
+			defer s.admitted.Add(-1)
+			promise <- s.handleLine(ctx, line)
+		})
 	}
 	readErr := sc.Err()
 	close(order)
@@ -288,6 +345,21 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// reject answers a line without admitting it to the worker pool: the id is
+// recovered from the raw bytes (best effort — an unparsable line rejects
+// with id 0) and the coded error resolves through the ordered-response
+// queue, so rejections interleave in request order with real responses.
+func (s *Server) reject(order chan chan []byte, raw []byte, pe *protoError) {
+	var hdr struct {
+		ID int64 `json:"id"`
+	}
+	_ = json.Unmarshal(raw, &hdr)
+	s.stats.reject()
+	promise := make(chan []byte, 1)
+	promise <- errorResponse(hdr.ID, pe)
+	order <- promise
+}
+
 // handleLine dispatches one request line and records its latency.
 func (s *Server) handleLine(ctx context.Context, line []byte) []byte {
 	start := time.Now()
@@ -296,11 +368,43 @@ func (s *Server) handleLine(ctx context.Context, line []byte) []byte {
 	return resp
 }
 
+// requestCtx derives the request's deadline context: the verb's configured
+// budget, tightened by the request's own timeout_ms. The returned cancel is
+// nil when no deadline applies.
+func (s *Server) requestCtx(ctx context.Context, req *Request) (context.Context, context.CancelFunc) {
+	var budget time.Duration
+	switch req.Op {
+	case "scenario":
+		budget = s.cfg.ScenarioTimeout
+	case "wctt", "batch", "wcet", "wcet-batch":
+		budget = s.cfg.QueryTimeout
+	}
+	if req.TimeoutMS > 0 {
+		t := time.Duration(req.TimeoutMS) * time.Millisecond
+		if budget == 0 || t < budget {
+			budget = t
+		}
+	}
+	if budget <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
 // dispatch parses and answers one line; the bool reports failure.
 func (s *Server) dispatch(ctx context.Context, line []byte) ([]byte, bool) {
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
 		return errorResponse(0, fmt.Errorf("parse: %w", err)), true
+	}
+	rctx, cancel := s.requestCtx(ctx, &req)
+	if cancel != nil {
+		defer cancel()
+	}
+	// A line whose budget expired while it sat in the queue is answered
+	// with the coded deadline error before any work starts.
+	if err := rctx.Err(); err != nil {
+		return errorResponse(req.ID, wireError(req.Op, err)), true
 	}
 	switch req.Op {
 	case "ping":
@@ -308,13 +412,13 @@ func (s *Server) dispatch(ctx context.Context, line []byte) ([]byte, bool) {
 	case "wctt":
 		return s.wcttOne(&req)
 	case "batch":
-		return s.wcttBatch(&req)
+		return s.wcttBatch(rctx, &req)
 	case "wcet":
 		return s.wcetOne(&req)
 	case "wcet-batch":
-		return s.wcetBatch(&req)
+		return s.wcetBatch(rctx, &req)
 	case "scenario":
-		return s.scenarioOp(ctx, &req)
+		return s.scenarioOp(rctx, &req)
 	case "stats":
 		return s.statsOp(&req)
 	default:
@@ -414,7 +518,7 @@ func (s *Server) mergeQueryStats(n uint64, hit, shared bool) {
 // scanner and answered into one hand-built response line. Query counters
 // accumulate in locals and merge once — the million-QPS path touches no
 // shared cache line per query.
-func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
+func (s *Server) wcttBatch(ctx context.Context, req *Request) ([]byte, bool) {
 	design, dim, ts, err := queryTarget(req)
 	if err != nil {
 		return errorResponse(req.ID, err), true
@@ -433,6 +537,14 @@ func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
 	buf = append(buf, `,"cycles":[`...)
 	var n, hits, misses, coalesced uint64
 	err = parseTuples(req.Queries, 4, 5, func(vals []int64) error {
+		// Deadline checks are amortised: one ctx.Err() per 1024 tuples keeps
+		// the million-QPS hot path unburdened while a stalled batch still
+		// stops within a bounded slice of work.
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		src := mesh.Node{X: int(vals[0]), Y: int(vals[1])}
 		dst := mesh.Node{X: int(vals[2]), Y: int(vals[3])}
 		payload := defPayload
@@ -460,7 +572,7 @@ func (s *Server) wcttBatch(req *Request) ([]byte, bool) {
 	})
 	s.stats.merge(n, hits, misses, coalesced)
 	if err != nil {
-		return errorResponse(req.ID, err), true
+		return errorResponse(req.ID, wireError("batch", err)), true
 	}
 	return append(buf, ']', '}'), false
 }
@@ -506,7 +618,7 @@ func (s *Server) wcetOne(req *Request) ([]byte, bool) {
 
 // wcetBatch answers the wcet-batch verb: per-core WCET estimates sharing
 // one design/mesh/workload, queries = [[cx,cy],...].
-func (s *Server) wcetBatch(req *Request) ([]byte, bool) {
+func (s *Server) wcetBatch(ctx context.Context, req *Request) ([]byte, bool) {
 	design, dim, ts, err := queryTarget(req)
 	if err != nil {
 		return errorResponse(req.ID, err), true
@@ -526,6 +638,11 @@ func (s *Server) wcetBatch(req *Request) ([]byte, bool) {
 	buf = append(buf, `,"cycles":[`...)
 	var n uint64
 	err = parseTuples(req.Queries, 2, 2, func(vals []int64) error {
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		c, err := eng.BenchmarkWCET(design, mesh.Node{X: int(vals[0]), Y: int(vals[1])}, b)
 		if err != nil {
 			return err
@@ -539,7 +656,7 @@ func (s *Server) wcetBatch(req *Request) ([]byte, bool) {
 	})
 	s.stats.merge(n, 0, 0, 0)
 	if err != nil {
-		return errorResponse(req.ID, err), true
+		return errorResponse(req.ID, wireError("wcet-batch", err)), true
 	}
 	return append(buf, ']', '}'), false
 }
@@ -576,7 +693,7 @@ func (s *Server) scenarioOp(ctx context.Context, req *Request) ([]byte, bool) {
 		s.stats.merge(0, 0, 0, 1)
 	}
 	if err != nil {
-		return errorResponse(req.ID, err), true
+		return errorResponse(req.ID, wireError("scenario", err)), true
 	}
 	buf := appendHeader(make([]byte, 0, len(res)+32), req.ID, true)
 	buf = append(buf, `,"result":`...)

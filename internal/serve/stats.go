@@ -19,6 +19,7 @@ type counters struct {
 	wcttHits  atomic.Uint64 // bounds served from the model memo
 	wcttMiss  atomic.Uint64 // bounds computed (or awaited) on a cold memo
 	coalesced atomic.Uint64 // queries that piggybacked on another's computation
+	rejected  atomic.Uint64 // lines turned away coded (overloaded/draining)
 
 	// latency is a power-of-two histogram of per-line handling time:
 	// bucket b counts lines that took [2^(b-1), 2^b) nanoseconds. 48
@@ -38,6 +39,11 @@ func (c *counters) observe(ns uint64, failed bool) {
 	}
 	c.latency[b].Add(1)
 }
+
+// reject records one line answered with a coded rejection before reaching
+// a handler. Rejections are deliberately not requests: they never enter
+// the latency histogram, so overload spikes don't fake fast handling.
+func (c *counters) reject() { c.rejected.Add(1) }
 
 // merge folds a batch's locally accumulated query counters in.
 func (c *counters) merge(queries, hits, misses, coalesced uint64) {
@@ -83,6 +89,9 @@ type Stats struct {
 	WCTTMemoHits   uint64 `json:"wctt_memo_hits"`
 	WCTTMemoMisses uint64 `json:"wctt_memo_misses"`
 	Coalesced      uint64 `json:"coalesced"`
+	// Rejected counts lines answered with a coded rejection (overloaded or
+	// draining) without reaching a handler.
+	Rejected uint64 `json:"rejected"`
 	// Caches snapshots the scenario-layer shared caches (networks, models,
 	// compiled engines) — the same caches the sweep path uses.
 	Caches scenario.SharedCacheStats `json:"caches"`
@@ -99,6 +108,7 @@ func (c *counters) snapshot() Stats {
 		WCTTMemoHits:   c.wcttHits.Load(),
 		WCTTMemoMisses: c.wcttMiss.Load(),
 		Coalesced:      c.coalesced.Load(),
+		Rejected:       c.rejected.Load(),
 		Caches:         scenario.CacheStats(),
 	}
 	var total uint64

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// corruptCopy writes fn(contents of src) to dst.
+func corruptCopy(t *testing.T, src, dst string, fn func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadResumeInjectedCorruption drives LoadResume through the injector's
+// file-corruption shapes across the seed matrix:
+//
+//   - TornTail (a process SIGKILLed mid-write: final line cut mid-byte) on
+//     both files is the one legal crash signature — resume must succeed and
+//     finish to a merged stream byte-identical to the uninterrupted run;
+//   - TearLine (an interleaved torn line mid-file, fusing two records — a
+//     stalled writer racing another) is NOT a crash signature — resume must
+//     refuse both a torn result stream and a torn checkpoint;
+//   - GarbleLine (bit rot inside one result record) must never let the
+//     damaged record be confirmed done: either the loader rejects the
+//     stream, or the record's index is recomputed.
+func TestLoadResumeInjectedCorruption(t *testing.T) {
+	specs, err := tableIISpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(specs)
+	grid, err := GridKey(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The uninterrupted reference.
+	refDir := t.TempDir()
+	refOut := refDir + "/out.jsonl"
+	runStreamed(t, specs, grid, refOut, refDir+"/sweep.ckpt", InProcess{})
+	if err := MergeJSONL(refOut, total); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faultinject.New(seed)
+			cut := 3 + inj.Stream("cut").Intn(total-4)
+			base := t.TempDir()
+			out, ck := base+"/out.jsonl", base+"/sweep.ckpt"
+			abort := fmt.Errorf("simulated death")
+			runStreamedAbort(t, specs, grid, out, ck, InProcess{}, cut, abort)
+
+			t.Run("torn-tail-resumes", func(t *testing.T) {
+				dir := t.TempDir()
+				o, c := dir+"/out.jsonl", dir+"/sweep.ckpt"
+				corruptCopy(t, out, o, func(d []byte) []byte {
+					return faultinject.TornTail(d, inj.Stream("torn-out"))
+				})
+				corruptCopy(t, ck, c, func(d []byte) []byte {
+					return faultinject.TornTail(d, inj.Stream("torn-ck"))
+				})
+				st, err := LoadResume(o, c, total, grid)
+				if err != nil {
+					t.Fatalf("torn tails rejected: %v", err)
+				}
+				if st == nil || len(st.Raw) == 0 {
+					t.Fatalf("nothing recovered from %d checkpointed records", cut)
+				}
+				var tasks []Task
+				for i, s := range specs {
+					if !st.Done(i) {
+						tasks = append(tasks, Task{Index: i, Spec: s})
+					}
+				}
+				outF, err := OpenResumeOutput(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ckF, ckw, err := RewriteCheckpoint(c, total, grid, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Stream(context.Background(), tasks, Options{}, InProcess{}, NewJSONLSink(outF, ckw)); err != nil {
+					t.Fatalf("resumed stream: %v", err)
+				}
+				outF.Close()
+				ckF.Close()
+				if err := MergeJSONL(o, total); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+				got, err := os.ReadFile(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Error("resumed merged stream differs from uninterrupted run")
+				}
+			})
+
+			t.Run("torn-middle-rejected", func(t *testing.T) {
+				dir := t.TempDir()
+				o := dir + "/out.jsonl"
+				// Tear the first record: it fuses mid-byte with the second —
+				// not a crash tail, and the loader must say so.
+				corruptCopy(t, out, o, func(d []byte) []byte {
+					return faultinject.TearLine(d, 0, inj.Stream("tear-out"))
+				})
+				if _, err := LoadResume(o, ck, total, grid); err == nil {
+					t.Error("result stream with an interleaved torn line accepted")
+				}
+
+				c := dir + "/sweep.ckpt"
+				corruptCopy(t, ck, c, func(d []byte) []byte {
+					return faultinject.TearLine(d, 1, inj.Stream("tear-ck"))
+				})
+				if _, err := LoadResume(out, c, total, grid); err == nil {
+					t.Error("checkpoint with an interleaved torn entry accepted")
+				}
+			})
+
+			t.Run("garbled-record-never-confirmed", func(t *testing.T) {
+				dir := t.TempDir()
+				o := dir + "/out.jsonl"
+				lines, _, err := scanLines(out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pick := inj.Stream("pick").Intn(len(lines) - 1) // not the final line
+				var rec Record
+				if err := strictUnmarshal(lines[pick], &rec); err != nil {
+					t.Fatalf("picked record unreadable before garbling: %v", err)
+				}
+				corruptCopy(t, out, o, func(d []byte) []byte {
+					return faultinject.GarbleLine(d, pick, inj.Stream("garble-out"))
+				})
+				st, err := LoadResume(o, ck, total, grid)
+				if err != nil {
+					return // rejected outright: fine
+				}
+				if st.Done(rec.Index) {
+					t.Errorf("garbled record %d (line %d) confirmed done", rec.Index, pick)
+				}
+			})
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/lineio"
+	"repro/internal/retry"
 	"repro/internal/scenario"
 	"repro/internal/sweep/pool"
 )
@@ -50,6 +51,15 @@ type Coordinator struct {
 	// poison task that reliably kills workers must not retry forever);
 	// 0 selects 3.
 	MaxAttempts int
+	// RestartBackoff is the base of the jittered exponential delay before
+	// respawning a crashed worker slot, so a fast crash loop cannot become
+	// a process-spawn storm; 0 selects 100ms, <0 disables backoff.
+	RestartBackoff time.Duration
+	// RestartBackoffMax caps the respawn delay; 0 selects 2s.
+	RestartBackoffMax time.Duration
+	// BackoffSeed seeds the respawn jitter (per-slot streams are derived
+	// from it), keeping chaos schedules replayable.
+	BackoffSeed int64
 	// Stderr receives the workers' stderr; nil discards it.
 	Stderr io.Writer
 }
@@ -82,15 +92,52 @@ func (c *Coordinator) maxAttempts() int {
 	return 3
 }
 
+// slotBackoff builds one slot's respawn backoff; nil when disabled. Slots
+// derive decorrelated jitter streams from the shared seed so they do not
+// respawn in lockstep.
+func (c *Coordinator) slotBackoff(slot int) *retry.Backoff {
+	if c.RestartBackoff < 0 {
+		return nil
+	}
+	base := c.RestartBackoff
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.RestartBackoffMax
+	if max == 0 {
+		max = 2 * time.Second
+	}
+	return retry.New(base, max, c.BackoffSeed+int64(slot)*1000003)
+}
+
+// backoffSleep waits one backoff step, cut short when the run ends.
+func backoffSleep(st *coordState, b *retry.Backoff) {
+	if b == nil {
+		return
+	}
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-st.done:
+	}
+}
+
 // coordState is the shared scheduling state: a queue of runnable tasks
 // (initial grid order, then requeued crash victims), per-task attempt
 // counts, and the exactly-once reporting guard. One condition variable
 // wakes idle worker slots when tasks are requeued, the run ends, or a
 // session dies.
 type coordState struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds never-crashed runnable tasks in grid order; suspects
+	// holds tasks whose worker crashed while they were in flight. Suspects
+	// are quarantined: each is dispatched alone to a dedicated worker
+	// process, so one poison task can no longer take a batch of innocent
+	// neighbours down with it on every retry.
 	queue       []Task
+	suspects    []Task
 	attempts    map[int]int
 	reported    map[int]bool
 	outstanding int   // tasks not yet reported to the sink
@@ -120,21 +167,34 @@ func newCoordState(tasks []Task, slots int, sink ResultSink) *coordState {
 func (st *coordState) closeDone() { st.doneOnce.Do(func() { close(st.done) }) }
 
 // pop blocks until a task is runnable, the run is over, or stop (an extra
-// caller-side wake condition, e.g. "this session died") reports true.
-func (st *coordState) pop(stop func() bool) (Task, bool) {
+// caller-side wake condition, e.g. "this session died") reports true. solo
+// reports that the task is a quarantined suspect and must run alone on a
+// fresh worker. Only slot top-levels pass takeSuspects; a live session's
+// feeder must not (a suspect fed into a shared session would defeat the
+// quarantine), and instead winds its session down — returning !ok — when
+// only suspects remain, so its slot can come back for them solo.
+func (st *coordState) pop(stop func() bool, takeSuspects bool) (t Task, solo, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
 		if st.cancelCause != nil || st.outstanding == 0 || st.sinkErr != nil {
-			return Task{}, false
+			return Task{}, false, false
 		}
 		if stop != nil && stop() {
-			return Task{}, false
+			return Task{}, false, false
+		}
+		if len(st.suspects) > 0 {
+			if !takeSuspects {
+				return Task{}, false, false
+			}
+			t := st.suspects[0]
+			st.suspects = st.suspects[1:]
+			return t, true, true
 		}
 		if len(st.queue) > 0 {
 			t := st.queue[0]
 			st.queue = st.queue[1:]
-			return t, true
+			return t, false, true
 		}
 		st.cond.Wait()
 	}
@@ -182,7 +242,14 @@ func (st *coordState) requeue(t Task, maxAttempts int, cause error, charge bool)
 	attempts := st.attempts[t.Index]
 	exhausted := attempts >= maxAttempts
 	if cancelled == nil && !exhausted {
-		st.queue = append(st.queue, t)
+		if charge {
+			// The task was in flight on a worker that crashed — it may be
+			// the reason. Quarantine it: it retries alone on a dedicated
+			// process, never sharing a session with innocent tasks again.
+			st.suspects = append(st.suspects, t)
+		} else {
+			st.queue = append(st.queue, t)
+		}
 	}
 	st.mu.Unlock()
 	st.cond.Broadcast()
@@ -204,8 +271,8 @@ func (st *coordState) slotExit(cause error) {
 	st.liveSlots--
 	var orphans []Task
 	if st.liveSlots == 0 {
-		orphans = st.queue
-		st.queue = nil
+		orphans = append(st.queue, st.suspects...)
+		st.queue, st.suspects = nil, nil
 	}
 	cancelled := st.cancelCause
 	st.mu.Unlock()
@@ -230,8 +297,8 @@ func (st *coordState) cancel(cause error) {
 	if st.cancelCause == nil {
 		st.cancelCause = cause
 	}
-	orphans := st.queue
-	st.queue = nil
+	orphans := append(st.queue, st.suspects...)
+	st.queue, st.suspects = nil, nil
 	st.mu.Unlock()
 	st.cond.Broadcast()
 	for _, t := range orphans {
@@ -260,8 +327,7 @@ func (s *session) send(req workerRequest) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	_, err = s.stdin.Write(append(line, '\n'))
-	return err
+	return lineio.WriteLine(s.stdin, line)
 }
 
 // Execute implements Executor.
@@ -309,7 +375,7 @@ func (c *Coordinator) Execute(ctx context.Context, tasks []Task, opts Options, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.runSlot(ctx, st, window, &ids)
+			c.runSlot(ctx, st, slot, window, &ids)
 		}()
 	}
 	wg.Wait()
@@ -324,13 +390,18 @@ func (c *Coordinator) Execute(ctx context.Context, tasks []Task, opts Options, s
 }
 
 // runSlot is one worker slot's lifetime: spawn a process, feed it tasks
-// through the window, and on crash requeue its in-flight work and respawn,
-// up to the restart budget.
-func (c *Coordinator) runSlot(ctx context.Context, st *coordState, window int, ids *atomic.Int64) {
+// through the window, and on crash requeue its in-flight work and respawn
+// — after a jittered backoff — up to the restart budget. Quarantined
+// suspects run one per process; their crashes charge the task's attempt
+// budget (consumed by requeue), not the slot's restart budget, so a poison
+// task cannot burn down a healthy slot's restarts.
+func (c *Coordinator) runSlot(ctx context.Context, st *coordState, slot, window int, ids *atomic.Int64) {
+	bo := c.slotBackoff(slot)
 	restarts := 0
 	for {
-		// Wait for work before paying a process spawn.
-		t, ok := st.pop(nil)
+		// Wait for work before paying a process spawn. Suspects are taken
+		// here — and only here — so each gets a dedicated fresh process.
+		t, solo, ok := st.pop(nil, true)
 		if !ok {
 			st.slotExit(nil)
 			return
@@ -343,9 +414,10 @@ func (c *Coordinator) runSlot(ctx context.Context, st *coordState, window int, i
 				return
 			}
 			restarts++
+			backoffSleep(st, bo)
 			continue
 		}
-		crashErr := c.drive(ctx, st, s, window, ids, t)
+		crashErr := c.drive(ctx, st, s, window, ids, t, solo)
 		// Collect the dead session's in-flight tasks. The reader has
 		// exited, so no response can race these requeues.
 		s.imu.Lock()
@@ -356,18 +428,27 @@ func (c *Coordinator) runSlot(ctx context.Context, st *coordState, window int, i
 		s.inflight = nil
 		s.imu.Unlock()
 		if len(victims) == 0 && crashErr == nil {
-			// Clean end: the run is complete or cancelled.
-			st.slotExit(nil)
-			return
+			// Clean end: the run may be over, or only suspects remain (the
+			// feeder refuses them, winding its session down). Loop: the
+			// top-of-loop pop either hands this slot a suspect to run solo
+			// or reports the run complete.
+			continue
 		}
 		for _, vt := range victims {
 			st.requeue(vt, c.maxAttempts(), crashErr, true)
+		}
+		if solo {
+			// A quarantined task killed its dedicated worker: charged to
+			// the task above, not to this healthy slot's restart budget.
+			backoffSleep(st, bo)
+			continue
 		}
 		if restarts >= c.maxRestarts() {
 			st.slotExit(crashErr)
 			return
 		}
 		restarts++
+		backoffSleep(st, bo)
 	}
 }
 
@@ -393,11 +474,12 @@ func (c *Coordinator) spawn() (*session, error) {
 }
 
 // drive feeds one live session until it crashes, the run ends, or ctx is
-// cancelled. firstTask is the task popped before spawning. Returns nil on
-// a clean end and the crash cause otherwise; either way the session's
-// process is dead and reaped when drive returns, and whatever remains in
-// s.inflight is the caller's to requeue.
-func (c *Coordinator) drive(ctx context.Context, st *coordState, s *session, window int, ids *atomic.Int64, firstTask Task) error {
+// cancelled. firstTask is the task popped before spawning; solo marks it a
+// quarantined suspect, in which case nothing else is fed to this process.
+// Returns nil on a clean end and the crash cause otherwise; either way the
+// session's process is dead and reaped when drive returns, and whatever
+// remains in s.inflight is the caller's to requeue.
+func (c *Coordinator) drive(ctx context.Context, st *coordState, s *session, window int, ids *atomic.Int64, firstTask Task, solo bool) error {
 	tokens := make(chan struct{}, window)
 	readerDone := make(chan struct{})
 	dead := func() bool { return s.broken.Load() }
@@ -507,7 +589,11 @@ func (c *Coordinator) drive(ctx context.Context, st *coordState, s *session, win
 			sendErr = err
 			break
 		}
-		t, have = st.pop(dead)
+		if solo {
+			// Quarantine: one suspect per process, nothing rides along.
+			break
+		}
+		t, _, have = st.pop(dead, false)
 	}
 
 	// Shut the session down: closing stdin tells a healthy worker to

@@ -6,9 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
-	"syscall"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,20 +18,12 @@ import (
 // TestMain doubles as the worker-subprocess entry point: the coordinator
 // tests respawn this very test binary with SWEEP_TEST_WORKER=1, so the
 // multi-process executor is exercised against real processes and real
-// pipes without building noctool first. The companion envs inject crashes
-// (SIGKILL after the n-th response) and hangs at exact, reproducible
-// points.
+// pipes without building noctool first. Fault plans (crashes at exact,
+// reproducible points, hangs, garbled output, skewed pongs) arrive through
+// the same NOCTOOL_FAULT_* environment seam production workers decode.
 func TestMain(m *testing.M) {
 	if os.Getenv("SWEEP_TEST_WORKER") == "1" {
-		hooks := WorkerHooks{Hang: os.Getenv("SWEEP_TEST_HANG") == "1"}
-		if n, _ := strconv.Atoi(os.Getenv("SWEEP_TEST_CRASH_AFTER")); n > 0 {
-			hooks.AfterRespond = func(k int) {
-				if k >= n {
-					syscall.Kill(os.Getpid(), syscall.SIGKILL)
-				}
-			}
-		}
-		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, hooks); err != nil {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, HooksFromEnv(os.Getenv)); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}
@@ -42,13 +33,16 @@ func TestMain(m *testing.M) {
 }
 
 // testCoordinator builds a coordinator that re-execs this test binary as
-// its worker processes.
+// its worker processes. Respawn backoff is disabled — crash-schedule tests
+// pin requeue/quarantine behaviour, not pacing; the backoff test re-enables
+// it explicitly.
 func testCoordinator(procs int, extraEnv ...string) *Coordinator {
 	return &Coordinator{
-		Command: []string{os.Args[0]},
-		Env:     append(append(os.Environ(), "SWEEP_TEST_WORKER=1"), extraEnv...),
-		Procs:   procs,
-		Stderr:  os.Stderr,
+		Command:        []string{os.Args[0]},
+		Env:            append(append(os.Environ(), "SWEEP_TEST_WORKER=1"), extraEnv...),
+		Procs:          procs,
+		RestartBackoff: -1,
+		Stderr:         os.Stderr,
 	}
 }
 
@@ -126,7 +120,7 @@ func TestCoordinatorSurvivesWorkerCrashes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("in-process error: %v", err)
 	}
-	co := testCoordinator(2, "SWEEP_TEST_CRASH_AFTER=2")
+	co := testCoordinator(2, "NOCTOOL_FAULT_CRASH_AFTER=2")
 	co.MaxRestarts = 50
 	// Every single worker crashes after two results, so the same unlucky
 	// task can be in flight across many crashes; the poison-task budget
@@ -158,7 +152,7 @@ func TestCoordinatorKillsHungWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	co := testCoordinator(1, "SWEEP_TEST_HANG=1")
+	co := testCoordinator(1, "NOCTOOL_FAULT_HANG=1")
 	co.HeartbeatInterval = 20 * time.Millisecond
 	co.HeartbeatTimeout = 250 * time.Millisecond
 	co.MaxRestarts = 1
@@ -255,7 +249,7 @@ func TestKillAndResumeDeterminism(t *testing.T) {
 		// abort the whole sweep after `cut` results by failing the sink —
 		// the moral equivalent of SIGKILLing the coordinator at a record
 		// boundary, while its workers are themselves being SIGKILLed.
-		co := testCoordinator(2, "SWEEP_TEST_CRASH_AFTER=3")
+		co := testCoordinator(2, "NOCTOOL_FAULT_CRASH_AFTER=3")
 		co.MaxRestarts = 50
 		co.MaxAttempts = 50
 		abort := fmt.Errorf("simulated coordinator death")
@@ -435,6 +429,108 @@ func TestCheckpointCorruptionRejected(t *testing.T) {
 	st, err = LoadResume(out, dir+"/nope.ckpt", total, grid)
 	if err != nil || st != nil {
 		t.Errorf("missing checkpoint: st=%v err=%v, want nil/nil", st, err)
+	}
+}
+
+// recordingSink records every Put per index, so tests can assert the
+// exactly-once delivery property and compare per-index outcomes.
+type recordingSink struct {
+	mu    sync.Mutex
+	count map[int]int
+	res   map[int]scenario.Result
+	errs  map[int]error
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{count: map[int]int{}, res: map[int]scenario.Result{}, errs: map[int]error{}}
+}
+
+func (s *recordingSink) Put(i int, r scenario.Result, err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count[i]++
+	s.res[i] = r
+	s.errs[i] = err
+	return nil
+}
+
+// TestCoordinatorRestartBackoff pins the respawn pacing: a task that kills
+// every worker it touches fails after its attempt budget, and the elapsed
+// time covers the jittered backoff floors between respawns (half of each
+// exponential ceiling), so a crash loop cannot become a spawn storm.
+func TestCoordinatorRestartBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	specs, err := scenario.Spec{
+		Name:    "poison",
+		Mode:    scenario.ModeWCTT,
+		Sizes:   []int{3},
+		Designs: []network.Design{network.DesignRegular},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 40 * time.Millisecond
+	co := testCoordinator(1, "NOCTOOL_FAULT_CRASH_INDEX=0")
+	co.RestartBackoff = base
+	co.MaxAttempts = 3
+	start := time.Now()
+	_, cerr := runToJSON(t, specs, co, Options{})
+	if cerr == nil || !strings.Contains(cerr.Error(), "3 attempts") {
+		t.Fatalf("always-crashing task error = %v, want attempt exhaustion", cerr)
+	}
+	// Two backoff sleeps separate the three attempts, drawn from
+	// [base/2, base) and [base, 2*base): at least 20ms + 40ms.
+	if floor := base/2 + base; time.Since(start) < floor {
+		t.Errorf("three attempts took %v, want >= %v of backoff", time.Since(start), floor)
+	}
+}
+
+// TestCoordinatorPoisonTaskQuarantine: one task that SIGKILLs every worker
+// dispatched it must not take innocent tasks down with it. After its first
+// crash it is quarantined to dedicated solo workers; solo crashes charge
+// the task's attempt budget, not the slot's restart budget — so even with
+// MaxRestarts=1 the sweep completes, every other index matching the
+// in-process engine, and every index reported exactly once.
+func TestCoordinatorPoisonTaskQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	specs := coordGrid(t)
+	const poison = 5
+	ref := newRecordingSink()
+	if err := Stream(context.Background(), Tasks(specs), Options{}, InProcess{}, ref); err != nil {
+		t.Fatalf("in-process stream: %v", err)
+	}
+	co := testCoordinator(2, fmt.Sprintf("NOCTOOL_FAULT_CRASH_INDEX=%d", poison))
+	co.MaxRestarts = 1
+	co.MaxAttempts = 2
+	got := newRecordingSink()
+	if err := Stream(context.Background(), Tasks(specs), Options{}, co, got); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	for i := range specs {
+		if got.count[i] != 1 {
+			t.Errorf("index %d reported %d times, want exactly once", i, got.count[i])
+		}
+	}
+	if err := got.errs[poison]; err == nil || !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("poison index error = %v, want attempt exhaustion", err)
+	}
+	for i := range specs {
+		if i == poison {
+			continue
+		}
+		if err := got.errs[i]; err != nil {
+			t.Errorf("innocent index %d failed: %v", i, err)
+			continue
+		}
+		w, _ := json.Marshal(ref.res[i])
+		g, _ := json.Marshal(got.res[i])
+		if string(w) != string(g) {
+			t.Errorf("index %d result differs from in-process", i)
+		}
 	}
 }
 

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/lineio"
 	"repro/internal/scenario"
 )
@@ -45,7 +48,7 @@ type workerResponse struct {
 	Error  string          `json:"error,omitempty"`
 }
 
-// WorkerHooks are test seams for the worker loop; the zero value is
+// WorkerHooks are fault seams for the worker loop; the zero value is
 // production behaviour.
 type WorkerHooks struct {
 	// AfterRespond, when non-nil, runs after every run-response is written
@@ -53,10 +56,54 @@ type WorkerHooks struct {
 	// process here to exercise coordinator restart and resume paths at
 	// exact, reproducible points.
 	AfterRespond func(n int)
+	// BeforeRun, when non-nil, runs as each run request is accepted, with
+	// its grid index — the poison-task seam: a harness SIGKILLs here on a
+	// chosen index, before any work happens, so the task reliably kills
+	// every worker it is dispatched to.
+	BeforeRun func(index int)
+	// PongDelay postpones every heartbeat pong — a clock-skewed (slow but
+	// live) worker the coordinator must tolerate as long as the skew stays
+	// inside its liveness timeout.
+	PongDelay time.Duration
+	// GarbleEvery replaces every k-th run response with a garbage line —
+	// wire corruption the coordinator must treat as a worker crash (the
+	// stream's framing can no longer be trusted).
+	GarbleEvery int
 	// Hang, when true, makes the worker stop reading and responding
 	// entirely after the first run request — a *hung* worker (as opposed
 	// to a busy one), which the coordinator's heartbeat must detect.
 	Hang bool
+}
+
+// HooksFromEnv decodes a scripted fault plan from the environment (the
+// NOCTOOL_FAULT_* keys of internal/faultinject) into worker hooks. This is
+// the worker half of the coordinator's Command/Env injection seam: a chaos
+// harness appends faultinject.WorkerFaults.Env() to the worker command's
+// environment, and the worker process turns it into scripted crashes,
+// garbled output, skewed heartbeats or hangs. A production environment
+// decodes to the zero hooks.
+func HooksFromEnv(getenv func(string) string) WorkerHooks {
+	f := faultinject.WorkerFaultsFromEnv(getenv)
+	h := WorkerHooks{
+		PongDelay:   f.PongDelay,
+		GarbleEvery: f.GarbleEvery,
+		Hang:        f.Hang,
+	}
+	if n := f.CrashAfter; n > 0 {
+		h.AfterRespond = func(k int) {
+			if k >= n {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	if idx := f.CrashIndex; idx >= 0 {
+		h.BeforeRun = func(i int) {
+			if i == idx {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	return h
 }
 
 // ServeWorker runs the worker side of the protocol over r/w until r hits
@@ -67,16 +114,18 @@ type WorkerHooks struct {
 // keeps servicing pings while a scenario runs.
 func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, hooks WorkerHooks) error {
 	var wmu sync.Mutex // serialises response lines from reader + executor
+	writeLine := func(line []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return lineio.WriteLine(w, line)
+	}
 	respond := func(resp workerResponse) error {
 		line, err := json.Marshal(resp)
 		if err != nil {
 			line, _ = json.Marshal(workerResponse{ID: resp.ID, Index: resp.Index,
 				Name: resp.Name, Error: fmt.Sprintf("worker: marshal response: %v", err)})
 		}
-		wmu.Lock()
-		defer wmu.Unlock()
-		_, werr := w.Write(append(line, '\n'))
-		return werr
+		return writeLine(line)
 	}
 
 	// The run queue between reader and executor. The coordinator bounds
@@ -103,8 +152,17 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, hooks WorkerHook
 					resp.OK, resp.Result = true, raw
 				}
 			}
-			if err := respond(resp); err != nil {
-				execDone <- err
+			var werr error
+			if hooks.GarbleEvery > 0 && (n+1)%hooks.GarbleEvery == 0 {
+				// Scripted wire corruption: a well-framed but unparsable line
+				// in place of the response. The result is lost; the
+				// coordinator must treat this worker as crashed and retry.
+				werr = writeLine([]byte("#### garbled worker output ####"))
+			} else {
+				werr = respond(resp)
+			}
+			if werr != nil {
+				execDone <- werr
 				return
 			}
 			n++
@@ -129,10 +187,19 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, hooks WorkerHook
 		}
 		switch req.Verb {
 		case "ping":
+			if hooks.PongDelay > 0 {
+				// A skewed liveness clock: the pong arrives, just late. While
+				// the delay stays inside the coordinator's heartbeat timeout
+				// the worker must be treated as alive.
+				time.Sleep(hooks.PongDelay)
+			}
 			if err := respond(workerResponse{ID: req.ID, OK: true, Pong: true}); err != nil {
 				readErr = err
 			}
 		case "run":
+			if hooks.BeforeRun != nil {
+				hooks.BeforeRun(req.Index)
+			}
 			for hooks.Hang {
 				// Simulate a wedged worker: no reads, no responses. A sleep
 				// loop rather than select{}, so the runtime's deadlock
