@@ -1,0 +1,185 @@
+// Command benchgate is the CI perf-regression gate: it parses `go test
+// -bench` output, looks up the ratio gates committed in
+// BENCH_baseline.json, and fails when a kernel-vs-reference warm-path
+// ratio has regressed by more than the tolerance.
+//
+// Gates are RATIOS between two benchmarks of the same run (the fast
+// kernel path and its retained slow reference twin), not absolute
+// ns/op values: absolute numbers differ wildly between the 1-CPU
+// baseline recorder and the hosted CI runners, but the fast/slow ratio
+// on one machine in one run is a stable measure of how much the
+// structure-sharing kernels actually buy. A gate fails when
+//
+//	current_ratio < baseline_ratio * tolerance
+//
+// with the default tolerance 0.8, i.e. a >20% regression of the
+// speedup factor. Baseline ratios are recorded as conservative floors
+// (the slowest ratio seen across recorder and CI machines), so noise
+// headroom is built into the committed number, not the tolerance.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... . | tee bench.out
+//	go run ./cmd/benchgate -bench bench.out [-baseline BENCH_baseline.json] [-tolerance 0.8]
+//
+// -bench - reads the benchmark output from stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// gate is one committed ratio gate from the top-level "gates" array of
+// BENCH_baseline.json. Fast and Slow name benchmarks as they appear in
+// -bench output minus the GOMAXPROCS suffix (e.g.
+// "BenchmarkAnalysis/tableii/32x32").
+type gate struct {
+	Name          string  `json:"name"`
+	Fast          string  `json:"fast"`
+	Slow          string  `json:"slow"`
+	BaselineRatio float64 `json:"baseline_ratio"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// benchLine matches one result line of `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped from the name; the suffix
+// group is tried before the name can swallow it because \S+? is
+// non-greedy, so names that themselves end in digits (tableii/32x32)
+// still parse correctly.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts ns/op per benchmark name. If a name appears more
+// than once (-count > 1), the fastest run is kept — the gate should
+// measure the achievable ratio, not scheduler noise.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op %q on line %q: %w", m[2], sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// loadGates reads the top-level "gates" array from the baseline file.
+func loadGates(path string) ([]gate, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var file struct {
+		Gates []gate `json:"gates"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(file.Gates) == 0 {
+		return nil, fmt.Errorf("benchgate: %s has no \"gates\" array", path)
+	}
+	for _, g := range file.Gates {
+		if g.Name == "" || g.Fast == "" || g.Slow == "" || g.BaselineRatio <= 0 {
+			return nil, fmt.Errorf("benchgate: malformed gate %+v (need name, fast, slow, baseline_ratio > 0)", g)
+		}
+	}
+	return file.Gates, nil
+}
+
+// evaluate checks every gate against the parsed benchmark results.
+// A missing benchmark is a hard failure: a gate that silently skips is
+// a gate that silently stops gating.
+func evaluate(gates []gate, bench map[string]float64, tolerance float64, w io.Writer) bool {
+	ok := true
+	for _, g := range gates {
+		fast, fok := bench[g.Fast]
+		slow, sok := bench[g.Slow]
+		if !fok || !sok {
+			missing := g.Fast
+			if fok {
+				missing = g.Slow
+			}
+			fmt.Fprintf(w, "FAIL %s: benchmark %q not found in bench output\n", g.Name, missing)
+			ok = false
+			continue
+		}
+		ratio := slow / fast
+		floor := g.BaselineRatio * tolerance
+		verdict := "PASS"
+		if ratio < floor {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %s: ratio %.2fx (%s %.0f ns / %s %.0f ns), floor %.2fx (baseline %.2fx * tolerance %.2f)\n",
+			verdict, g.Name, ratio, g.Slow, slow, g.Fast, fast, floor, g.BaselineRatio, tolerance)
+	}
+	return ok
+}
+
+func run(args []string, benchIn io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchPath := fs.String("bench", "-", "benchmark output file (- for stdin)")
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline file with the gates array")
+	tolerance := fs.Float64("tolerance", 0.8, "minimum fraction of the baseline ratio that still passes (0.8 = fail on >20% regression)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tolerance <= 0 || *tolerance > 1 {
+		fmt.Fprintf(stderr, "benchgate: -tolerance must be in (0, 1], got %v\n", *tolerance)
+		return 2
+	}
+
+	in := benchIn
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	bench, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	if len(bench) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no benchmark result lines found in input")
+		return 2
+	}
+	gates, err := loadGates(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	if !evaluate(gates, bench, *tolerance, stdout) {
+		fmt.Fprintln(stderr, "benchgate: performance regression detected")
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: all %d gates pass\n", len(gates))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -99,6 +99,28 @@
 // network.EngineFullScan) and equivalence tests plus pre-refactor JSON
 // goldens pin the fast path bit-identical; the speedup opens the wctt and
 // wcet-map scenario axes to 16x16-32x32 meshes.
+// On top of the per-pair path sit incremental all-pairs kernels
+// (internal/analysis/kernel.go): two flows sharing a route prefix repeat
+// the same per-hop folds along it, so the kernels sweep pairs in route
+// order and carry the exact fold state between them — destination-major
+// for the chained-blocking bound, whose (total, interval) state depends
+// only on already-folded hops, and source-major for the WaW bound, whose
+// per-hop slot terms compose additively while the packet-count finishing
+// term reads only the running output-share maximum and is applied on a
+// copy. The O(N^2 * hops) all-pairs loop becomes amortized O(1) per pair
+// with results bit-identical by construction (the identical
+// saturating-arithmetic sequence, no reassociation); the retained
+// per-pair reference (PairwiseSummarizeOneFlitWCTT, per-core
+// RoundTripUBD) pins equivalence across designs, dims and concentrated
+// meshes. SummarizeOneFlitWCTT, the wcet engine's round-trip UBD
+// precomputation (AllCoresRoundTripUBD row sweeps, Engine.WCETMap), the
+// wctt/wcet-map scenario modes and the serve daemon's whole-mesh batch
+// warm path (Model.WarmAllPairs) all run on the kernels, extending the
+// analytical sweep axes to 48x48 and 64x64 — where the regular bound
+// saturates uint64 and is reported as the explicit value 2^64-1
+// (examples/wcttscaling prints a `saturated` marker and keeps saturated
+// endpoints out of growth ratios). cmd/benchgate gates the committed
+// kernel-vs-reference speedup ratios in CI against BENCH_baseline.json.
 //
 // Topology is a pluggable layer underneath all of this (mesh.Topology,
 // mesh.TopoSpec): the 2D mesh is one instance of an interface that owns the

@@ -65,14 +65,20 @@ func main() {
 		lastReg.WCTT.MaxCycles, lastWaw.WCTT.MaxCycles)
 	fmt.Println("(the paper reports 4,698,111 versus 310 cycles — a four-orders-of-magnitude gap).")
 
-	// Beyond the paper: the flat-indexed analytical engine makes meshes far
-	// past the paper's 8x8 ceiling practical (the O(N^2) pair enumeration is
-	// allocation-free, so a 32x32 row is ~1M bound evaluations of pure
-	// integer arithmetic). The regular chained-blocking bound overflows
-	// 64-bit arithmetic around 24x24 (the analysis saturates instead of
-	// wrapping) while the WaW+WaP bound stays in the thousands of cycles —
-	// the scalability collapse of Table II taken to its conclusion.
-	largeSizes := []int{12, 16, 24, 32}
+	// Beyond the paper: the incremental all-pairs kernels make meshes far
+	// past the paper's 8x8 ceiling practical (the destination-major prefix
+	// sweep amortizes the route walk to O(1) per pair, so even the 4096-core
+	// 64x64 summary is a single O(N^2) pass of pure integer arithmetic).
+	// The regular chained-blocking bound overflows 64-bit arithmetic around
+	// 24x24: the analysis saturates to MaxUint64 instead of wrapping, so a
+	// saturated entry means "the true bound exceeds 2^64-1 cycles", not a
+	// concrete number. The 48x48 and 64x64 rows below therefore print an
+	// explicit `saturated` marker for the regular design, and the growth
+	// section skips any ratio whose endpoint is saturated (a ratio against
+	// a clamped value would understate the real blow-up). The WaW+WaP bound
+	// stays in the thousands of cycles throughout — the scalability collapse
+	// of Table II taken to its conclusion.
+	largeSizes := []int{12, 16, 24, 32, 48, 64}
 	large, err := sweep.Expand(context.Background(), scenario.Spec{
 		Name:    "table-ii-large",
 		Mode:    scenario.ModeWCTT,
@@ -82,20 +88,52 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lt := tablegen.New("Beyond Table II — large-mesh WCTT (cycles; regular saturates 64-bit arithmetic)",
+	lt := tablegen.New("Beyond Table II — large-mesh WCTT (cycles; `saturated` = regular bound exceeds 2^64-1)",
 		"NxM", "cores", "regular max", "WaW+WaP max", "WaW+WaP mean")
 	for i := 0; i+1 < len(large); i += 2 {
 		reg, waw := large[i].WCTT, large[i+1].WCTT
-		regMax := fmt.Sprintf("%d", reg.MaxCycles)
-		if reg.MaxCycles == math.MaxUint64 {
-			regMax = "overflow (saturated)"
-		}
 		cores := largeSizes[i/2] * largeSizes[i/2]
-		lt.AddRow(large[i].Dim, fmt.Sprintf("%d", cores), regMax,
+		lt.AddRow(large[i].Dim, fmt.Sprintf("%d", cores), formatBound(reg.MaxCycles),
 			fmt.Sprintf("%d", waw.MaxCycles), fmt.Sprintf("%.1f", waw.MeanCycles))
 	}
 	fmt.Println()
 	if err := lt.Render(os.Stdout, tablegen.FormatText); err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Println("\nGrowth of the maximum WCTT per large-mesh step (saturated endpoints skipped):")
+	for i := 2; i+1 < len(large); i += 2 {
+		line := fmt.Sprintf("  %s -> %s:", large[i-2].Dim, large[i].Dim)
+		if r, ok := growthRatio(large[i-2].WCTT.MaxCycles, large[i].WCTT.MaxCycles); ok {
+			line += fmt.Sprintf("  regular x%.1f", r)
+		} else {
+			line += "  regular skipped (saturated)"
+		}
+		if r, ok := growthRatio(large[i-1].WCTT.MaxCycles, large[i+1].WCTT.MaxCycles); ok {
+			line += fmt.Sprintf("   WaW+WaP x%.1f", r)
+		} else {
+			line += "   WaW+WaP skipped (saturated)"
+		}
+		fmt.Println(line)
+	}
+}
+
+// formatBound renders a WCTT bound, replacing a saturated uint64 with an
+// explicit marker: the analysis clamps at MaxUint64 rather than wrapping,
+// so the sentinel means "beyond 2^64-1 cycles", not a measured value.
+func formatBound(v uint64) string {
+	if v == math.MaxUint64 {
+		return "saturated"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// growthRatio returns the to/from growth factor, refusing to compute a
+// ratio when either endpoint is saturated — dividing clamped values would
+// report a meaningless (and understated) blow-up.
+func growthRatio(from, to uint64) (float64, bool) {
+	if from == 0 || from == math.MaxUint64 || to == math.MaxUint64 {
+		return 0, false
+	}
+	return float64(to) / float64(from), true
 }

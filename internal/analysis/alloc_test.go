@@ -79,6 +79,9 @@ func TestPacketWCTTZeroAllocs(t *testing.T) {
 
 // TestOneFlitSummaryZeroAllocs: the whole O(N^2) Table II cell — every
 // ordered pair of an 8x8 mesh — must run allocation-free for both designs.
+// The summary now runs on the all-pairs kernels, so this also pins the
+// pooled kernel scratch at steady-state zero (AllocsPerRun's warmup
+// iteration fills the pool).
 func TestOneFlitSummaryZeroAllocs(t *testing.T) {
 	m := MustNewModel(DefaultParams(mesh.MustDim(8, 8)))
 	for _, design := range []network.Design{network.DesignRegular, network.DesignWaWWaP} {
@@ -93,5 +96,60 @@ func TestOneFlitSummaryZeroAllocs(t *testing.T) {
 		if last.Flows != 64*63 {
 			t.Fatalf("%v: summarised %d flows, want %d", design, last.Flows, 64*63)
 		}
+	}
+}
+
+// TestKernelZeroAllocs: the all-pairs and row kernels with a warm caller
+// buffer are pure table fills — 0 allocs for the whole N^2 (or N) sweep,
+// i.e. 0 allocs/pair, on both the identity-map mesh and the
+// router-expansion concentrated mesh (whose scratch table is pooled).
+func TestKernelZeroAllocs(t *testing.T) {
+	d := mesh.MustDim(8, 8)
+	mm := MustNewModel(DefaultParams(d))
+	cp := DefaultParams(d)
+	cp.Topo = mesh.TopoSpec{Kind: mesh.TopoCMesh, Conc: 4}
+	cm := MustNewModel(cp)
+	var sink uint64
+	for _, tc := range []struct {
+		name string
+		m    *Model
+	}{{"mesh", mm}, {"cmesh4", cm}} {
+		buf := make([]uint64, d.Nodes()*d.Nodes())
+		assertAllocsPerRun(t, tc.name+"/AllPairsRegularPacketWCTT", 20, func() {
+			var err error
+			buf, err = tc.m.AllPairsRegularPacketWCTT(4, 4, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += buf[1]
+		})
+		assertAllocsPerRun(t, tc.name+"/AllPairsWaWPacketWCTT", 20, func() {
+			var err error
+			buf, err = tc.m.AllPairsWaWPacketWCTT(5, 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += buf[1]
+		})
+		row := make([]uint64, d.Nodes())
+		assertAllocsPerRun(t, tc.name+"/AllSourcesMessageWCTT", 100, func() {
+			var err error
+			row, err = tc.m.AllSourcesMessageWCTT(network.DesignRegular, mesh.Node{}, 48, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += row[1]
+		})
+		assertAllocsPerRun(t, tc.name+"/AllDestinationsMessageWCTT", 100, func() {
+			var err error
+			row, err = tc.m.AllDestinationsMessageWCTT(network.DesignWaWWaP, mesh.Node{}, 512, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += row[1]
+		})
+	}
+	if sink == 0 {
+		t.Fatal("kernel outputs were zero; the assertions covered dead code")
 	}
 }

@@ -142,6 +142,12 @@ type Model struct {
 	// idx — the O_j term of the WaW guaranteed-bandwidth bound.
 	outShare [][mesh.NumDirections]uint64
 
+	// epRouter[epIdx] is the dense router index of endpoint epIdx — the
+	// identity on the mesh, the concentration map on the concentrated mesh.
+	// The all-pairs kernels use it to expand router-pair tables to
+	// endpoint-pair tables (kernel.go).
+	epRouter []int32
+
 	// memo caches MessageWCTT results per (design, src, dst, payload): the
 	// WCET engines ask for the same round-trip bounds once per core and
 	// design but across many phases, placements and benchmark suites.
@@ -196,6 +202,10 @@ func NewModel(p Params) (*Model, error) {
 			}
 			m.outShare[idx][out] = o
 		}
+	}
+	m.epRouter = make([]int32, len(m.nodes))
+	for i, n := range m.nodes {
+		m.epRouter[i] = int32(rdim.Index(topo.RouterOf(n)))
 	}
 	return m, nil
 }
@@ -441,7 +451,22 @@ func (m *Model) CachedMessageWCTT(design network.Design, src, dst mesh.Node, pay
 	return 0, false
 }
 
-func (m *Model) messageWCTT(design network.Design, src, dst mesh.Node, payloadBits int) (uint64, error) {
+// msgShape is the per-design packetisation of a message bound: which bound
+// family applies and its two size arguments. It is the single dispatch the
+// per-pair path (messageWCTT), the all-pairs kernels and the row kernels
+// share, so a design can never packetise differently between them.
+type msgShape struct {
+	// waw selects the guaranteed-bandwidth bound (WaWPacketWCTT); otherwise
+	// the chained-blocking bound (RegularPacketWCTT) applies.
+	waw bool
+	// a, b are the bound's size arguments: (packetFlits, contenderFlits)
+	// for the regular family, (numPackets, slotFlits) for the WaW family.
+	a, b int
+}
+
+// messageShape resolves the packetisation of a message with the given
+// payload under the given design.
+func (m *Model) messageShape(design network.Design, payloadBits int) (msgShape, error) {
 	link := m.p.Link
 	switch design {
 	case network.DesignRegular:
@@ -461,27 +486,38 @@ func (m *Model) messageWCTT(design network.Design, src, dst mesh.Node, payloadBi
 			packets := (packetFlits + link.MaxPacketFlits - 1) / link.MaxPacketFlits
 			totalFlits = packets * link.MaxPacketFlits
 		}
-		return m.RegularPacketWCTT(src, dst, totalFlits, contender)
+		return msgShape{a: totalFlits, b: contender}, nil
 	case network.DesignWaPOnly:
 		// Minimum-size packets but plain round-robin arbitration: the
 		// chained-blocking recursion still applies, only with L = m; the
 		// extra packets of the sliced message are charged at the compounded
 		// first-hop interval exactly as the extra flits of a long packet.
 		totalFlits, _ := link.WaPFlitsForPayload(payloadBits)
-		return m.RegularPacketWCTT(src, dst, totalFlits, link.MinPacketFlits)
+		return msgShape{a: totalFlits, b: link.MinPacketFlits}, nil
 	case network.DesignWaWOnly:
 		packetFlits := link.FlitsForPayload(payloadBits)
 		contender := link.MaxPacketFlits
 		if contender == 0 || contender < packetFlits {
 			contender = packetFlits
 		}
-		return m.WaWPacketWCTT(src, dst, 1, contender)
+		return msgShape{waw: true, a: 1, b: contender}, nil
 	case network.DesignWaWWaP:
 		_, packets := link.WaPFlitsForPayload(payloadBits)
-		return m.WaWPacketWCTT(src, dst, packets, link.MinPacketFlits)
+		return msgShape{waw: true, a: packets, b: link.MinPacketFlits}, nil
 	default:
-		return 0, fmt.Errorf("analysis: unknown design %v", design)
+		return msgShape{}, fmt.Errorf("analysis: unknown design %v", design)
 	}
+}
+
+func (m *Model) messageWCTT(design network.Design, src, dst mesh.Node, payloadBits int) (uint64, error) {
+	sh, err := m.messageShape(design, payloadBits)
+	if err != nil {
+		return 0, err
+	}
+	if sh.waw {
+		return m.WaWPacketWCTT(src, dst, sh.a, sh.b)
+	}
+	return m.RegularPacketWCTT(src, dst, sh.a, sh.b)
 }
 
 // FlowWCTTOneFlit returns the WCTT bound of a one-flit packet (the

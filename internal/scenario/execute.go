@@ -413,9 +413,18 @@ func executeWCETMap(ctx context.Context, s Spec, d mesh.Dim, res *Result) error 
 	if err != nil {
 		return err
 	}
-	// One compiled engine serves the whole map: per-core cells are pure
-	// arithmetic over the engine's cached round-trip UBDs.
+	// One compiled engine serves the whole map through the all-cores kernel:
+	// the per-core UBDs come from two prefix-sharing row sweeps and every
+	// cell is pure arithmetic — bit-identical to the former per-core
+	// BenchmarkWCET loop, which is why 64x64 maps are now a sweep point.
 	eng, err := p.Engine()
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	vals, err := eng.WCETMap(s.Design, bench)
 	if err != nil {
 		return err
 	}
@@ -424,14 +433,7 @@ func executeWCETMap(ctx context.Context, s Spec, d mesh.Dim, res *Result) error 
 		out[y] = make([]float64, d.Width)
 	}
 	for _, n := range d.AllNodes() {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		v, err := eng.BenchmarkWCET(s.Design, n, bench)
-		if err != nil {
-			return err
-		}
-		out[n.Y][n.X] = float64(v)
+		out[n.Y][n.X] = float64(vals[d.Index(n)])
 	}
 	res.WCETMap = out
 	return nil

@@ -56,6 +56,14 @@ type engineFlightKey struct {
 	maxPacketFlits int
 }
 
+// warmKey identifies one all-pairs memo warm: model parameters plus the
+// (design, payload) the batch queries share.
+type warmKey struct {
+	p           analysis.Params
+	design      network.Design
+	payloadBits int
+}
+
 // Server answers protocol lines over any number of concurrent transports
 // (stdin pipe, TCP connections, HTTP bodies) from one shared worker pool
 // and the scenario layer's shared caches. Identical in-flight computations
@@ -77,6 +85,12 @@ type Server struct {
 	wcttFlight   cache.Group[wcttKey, uint64]
 	engineFlight cache.Group[engineFlightKey, *wcet.Engine]
 	specFlight   cache.Group[string, []byte]
+
+	// warmed marks (params, design, payload) combinations whose all-pairs
+	// memo warm already ran; warmFlight coalesces concurrent first warms of
+	// one combination onto a single kernel run.
+	warmed     sync.Map // warmKey -> struct{}
+	warmFlight cache.Group[warmKey, int]
 
 	drainCh   chan struct{}
 	drainOnce sync.Once
@@ -533,6 +547,15 @@ func (s *Server) wcttBatch(ctx context.Context, req *Request) ([]byte, bool) {
 	if err != nil {
 		return errorResponse(req.ID, err), true
 	}
+	// A batch that covers a sizable fraction of the mesh is cheaper to
+	// answer through one all-pairs kernel run that warms the shared memo
+	// than through per-pair cold computations: the tuple loop below then
+	// runs entirely on lock-free memo hits, as does every later point
+	// query of the same (params, design, payload). The tuple-count
+	// estimate is a single byte scan of the still-unparsed query vector.
+	if est := bytes.Count(req.Queries, []byte{'['}) - 1; est > 0 {
+		s.maybeWarmAllPairs(m, design, defPayload, est, dim)
+	}
 	buf := appendHeader(make([]byte, 0, 256), req.ID, true)
 	buf = append(buf, `,"cycles":[`...)
 	var n, hits, misses, coalesced uint64
@@ -575,6 +598,35 @@ func (s *Server) wcttBatch(ctx context.Context, req *Request) ([]byte, bool) {
 		return errorResponse(req.ID, wireError("batch", err)), true
 	}
 	return append(buf, ']', '}'), false
+}
+
+// maybeWarmAllPairs triggers one all-pairs kernel warm of the model's memo
+// when a batch's estimated query count reaches half the mesh's ordered-pair
+// count. Warming is execution policy, never result identity: the kernel
+// computes each bound bit-identical to the per-pair path, so a response
+// with or without the warm is byte-for-byte the same — only the
+// hit/miss accounting and the latency change.
+func (s *Server) maybeWarmAllPairs(m *analysis.Model, design network.Design, payloadBits, estQueries int, dim mesh.Dim) {
+	pairs := dim.Nodes() * (dim.Nodes() - 1)
+	if pairs == 0 || estQueries < (pairs+1)/2 {
+		return
+	}
+	key := warmKey{m.Params(), design, payloadBits}
+	if _, ok := s.warmed.Load(key); ok {
+		return
+	}
+	warmed, err, _ := s.warmFlight.Do(key, func() (int, error) {
+		return m.WarmAllPairs(design, payloadBits)
+	})
+	if err != nil {
+		return // the per-tuple path surfaces any real error per query
+	}
+	// Coalesced first callers all see the same warm; only the one that
+	// transitions the marker counts it.
+	if _, loaded := s.warmed.LoadOrStore(key, struct{}{}); !loaded {
+		s.stats.batchWarms.Add(1)
+		s.stats.batchWarmedBnds.Add(uint64(warmed))
+	}
 }
 
 // engineFor returns the compiled WCET engine of the paper's default
@@ -675,6 +727,12 @@ func (s *Server) scenarioOp(ctx context.Context, req *Request) ([]byte, bool) {
 	spec := *req.Spec
 	if err := spec.Validate(); err != nil {
 		return errorResponse(req.ID, err), true
+	}
+	switch spec.Mode {
+	case scenario.ModeWCTT, scenario.ModeWCETMap, scenario.ModeParallelWCET:
+		// These modes run on the kernel-backed analytical paths (all-pairs
+		// summaries, all-cores UBD rows); surface that in the stats verb.
+		s.stats.scenarioKernel.Add(1)
 	}
 	// The canonical wire encoding is the coalescing key, the same bytes
 	// the sweep worker protocol ships — one representation everywhere.

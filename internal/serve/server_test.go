@@ -255,6 +255,81 @@ func TestServeStats(t *testing.T) {
 	}
 }
 
+// TestServeKernelStats checks the kernel-effectiveness accounting: a batch
+// covering the whole mesh triggers exactly one all-pairs memo warm, the
+// warmed bounds turn the tuple loop into memo hits, and a kernel-backed
+// scenario line is counted.
+func TestServeKernelStats(t *testing.T) {
+	// All 132 ordered pairs of a 4x3 mesh, a (design, dim) combination no
+	// other test of this package batches — the warm insertion count is
+	// deterministic even though model memos are shared process-wide.
+	d := mesh.MustDim(4, 3)
+	var tuples []string
+	for _, src := range d.AllNodes() {
+		for _, dst := range d.AllNodes() {
+			if src == dst {
+				continue
+			}
+			tuples = append(tuples, fmt.Sprintf("[%d,%d,%d,%d]", src.X, src.Y, dst.X, dst.Y))
+		}
+	}
+	batch := fmt.Sprintf(`{"id":1,"op":"batch","design":"waw-only","width":4,"height":3,"queries":[%s]}`,
+		strings.Join(tuples, ","))
+	scen := `{"id":2,"op":"scenario","spec":{"mode":"wctt","width":3,"height":3,"design":"regular"}}`
+	resps := run(t, 1, batch, batch, scen, `{"id":3,"op":"stats"}`)
+	for _, r := range resps[:3] {
+		if !r.OK {
+			t.Fatalf("line %d failed: %s", r.ID, r.Error)
+		}
+	}
+	st := resps[3].Stats
+	if st == nil {
+		t.Fatalf("stats verb returned no stats: %+v", resps[3])
+	}
+	k := st.Kernel
+	if k.BatchWarms != 1 {
+		t.Fatalf("batch warms = %d, want 1 (two identical whole-mesh batches, one warm)", k.BatchWarms)
+	}
+	if want := uint64(len(tuples)); k.BatchWarmedBounds != want {
+		t.Fatalf("batch warmed %d bounds, want %d", k.BatchWarmedBounds, want)
+	}
+	if k.ScenarioKernelRuns != 1 {
+		t.Fatalf("scenario kernel runs = %d, want 1", k.ScenarioKernelRuns)
+	}
+	// The process-wide analysis counters are monotonic and shared with
+	// other tests; this server's warm alone guarantees they are non-zero.
+	if k.AllPairsRuns == 0 || k.MemoWarmed < k.BatchWarmedBounds {
+		t.Fatalf("analysis counters inconsistent with the warm: %+v", k)
+	}
+	// The warm ran before the first tuple loop, so every query of both
+	// batches was a lock-free memo hit.
+	if st.WCTTMemoMisses != 0 || st.WCTTMemoHits != uint64(2*len(tuples)) {
+		t.Fatalf("hits %d misses %d, want %d hits 0 misses after warm",
+			st.WCTTMemoHits, st.WCTTMemoMisses, 2*len(tuples))
+	}
+}
+
+// TestServeKernelStatsWireShape pins the additive kernel block's wire field
+// names (PROTOCOL.md): new fields only, so pre-kernel consumers and the
+// committed serve-smoke goldens keep decoding stats payloads unchanged.
+func TestServeKernelStatsWireShape(t *testing.T) {
+	s := New(1, 0)
+	defer s.Close()
+	var out bytes.Buffer
+	if err := s.ServeLines(context.Background(), strings.NewReader(`{"id":1,"op":"stats"}`+"\n"), &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	raw := out.String()
+	for _, field := range []string{
+		`"kernel":{`, `"all_pairs_runs":`, `"row_sweeps":`, `"memo_warmed":`,
+		`"batch_warms":`, `"batch_warmed_bounds":`, `"scenario_kernel_runs":`,
+	} {
+		if !strings.Contains(raw, field) {
+			t.Errorf("stats payload missing wire field %s:\n%s", field, raw)
+		}
+	}
+}
+
 // TestServeListenerDrain exercises the graceful path: a TCP client with an
 // open connection and an in-flight request gets its response before
 // Shutdown returns, and the reader unblocks without the client closing.

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/scenario"
 )
 
@@ -20,6 +21,13 @@ type counters struct {
 	wcttMiss  atomic.Uint64 // bounds computed (or awaited) on a cold memo
 	coalesced atomic.Uint64 // queries that piggybacked on another's computation
 	rejected  atomic.Uint64 // lines turned away coded (overloaded/draining)
+
+	// Kernel effectiveness, per verb: batch lines that triggered an
+	// all-pairs memo warm, bounds those warms inserted, and scenario lines
+	// whose mode ran on the kernel-backed analytical paths.
+	batchWarms      atomic.Uint64
+	batchWarmedBnds atomic.Uint64
+	scenarioKernel  atomic.Uint64
 
 	// latency is a power-of-two histogram of per-line handling time:
 	// bucket b counts lines that took [2^(b-1), 2^b) nanoseconds. 48
@@ -95,8 +103,33 @@ type Stats struct {
 	// Caches snapshots the scenario-layer shared caches (networks, models,
 	// compiled engines) — the same caches the sweep path uses.
 	Caches scenario.SharedCacheStats `json:"caches"`
+	// Kernel reports the incremental all-pairs kernel effectiveness.
+	Kernel KernelStats `json:"kernel"`
 	// Latency summarises per-line handling time.
 	Latency LatencyStats `json:"latency"`
+}
+
+// KernelStats reports how much work the incremental all-pairs WCTT kernels
+// absorbed. AllPairsRuns/RowSweeps/MemoWarmed are process-wide analysis-
+// layer counters (they include sweep and CLI work sharing the process);
+// BatchWarms/BatchWarmedBounds/ScenarioKernelRuns are this server's
+// per-verb counters. All fields are additive to the stats payload, so
+// pre-kernel readers keep decoding it unchanged.
+type KernelStats struct {
+	// AllPairsRuns counts all-pairs kernel invocations (whole-table or
+	// streamed summaries); RowSweeps counts single-row kernel sweeps (the
+	// wcet engine's per-core UBD precomputations); MemoWarmed counts bounds
+	// inserted into model memos from kernel tables.
+	AllPairsRuns uint64 `json:"all_pairs_runs"`
+	RowSweeps    uint64 `json:"row_sweeps"`
+	MemoWarmed   uint64 `json:"memo_warmed"`
+	// BatchWarms counts batch lines that covered enough of their mesh to
+	// trigger an all-pairs warm; BatchWarmedBounds the bounds those warms
+	// inserted; ScenarioKernelRuns the scenario lines whose mode (wctt,
+	// wcet-map, parallel-wcet) ran on the kernel-backed analytical paths.
+	BatchWarms         uint64 `json:"batch_warms"`
+	BatchWarmedBounds  uint64 `json:"batch_warmed_bounds"`
+	ScenarioKernelRuns uint64 `json:"scenario_kernel_runs"`
 }
 
 // snapshot builds the stats payload.
@@ -111,6 +144,10 @@ func (c *counters) snapshot() Stats {
 		Rejected:       c.rejected.Load(),
 		Caches:         scenario.CacheStats(),
 	}
+	s.Kernel.AllPairsRuns, s.Kernel.RowSweeps, s.Kernel.MemoWarmed = analysis.KernelCounters()
+	s.Kernel.BatchWarms = c.batchWarms.Load()
+	s.Kernel.BatchWarmedBounds = c.batchWarmedBnds.Load()
+	s.Kernel.ScenarioKernelRuns = c.scenarioKernel.Load()
 	var total uint64
 	for b := range c.latency {
 		n := c.latency[b].Load()

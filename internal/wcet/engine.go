@@ -104,29 +104,24 @@ func (e *Engine) Model() *analysis.Model { return e.model }
 // memoryRoundTrips returns the per-core memory round-trip UBD slices of the
 // design, computing them on first use. The computation is deterministic, so
 // concurrent first callers race only on who stores the identical result.
+//
+// Each slice is filled by one AllCoresRoundTripUBD kernel call: two
+// prefix-sharing row sweeps (request row towards the controller, reply row
+// away from it) instead of a per-core route walk — O(N) for the whole
+// precomputation, bit-identical to the per-pair RoundTripUBD loop it
+// replaced (pinned by TestRowKernelsMatchPairwise and the wcet reference
+// equivalence suite).
 func (e *Engine) memoryRoundTrips(design network.Design) (*memoryUBDs, error) {
 	if design < 0 || int(design) >= len(e.memUBD) {
 		return nil, fmt.Errorf("analysis: unknown design %v", design)
 	}
 	u := &e.memUBD[design]
 	u.once.Do(func() {
-		nodes := e.p.Dim.AllNodes()
-		u.load = make([]uint64, len(nodes))
-		u.evict = make([]uint64, len(nodes))
-		for idx, core := range nodes {
-			load, err := e.model.RoundTripUBD(design, core, e.p.Memory, e.p.RequestBits, e.p.ReplyBits)
-			if err != nil {
-				u.err = err
-				return
-			}
-			evict, err := e.model.RoundTripUBD(design, core, e.p.Memory, e.p.EvictionBits, e.p.AckBits)
-			if err != nil {
-				u.err = err
-				return
-			}
-			u.load[idx] = load
-			u.evict[idx] = evict
+		u.load, u.err = e.model.AllCoresRoundTripUBD(design, e.p.Memory, e.p.RequestBits, e.p.ReplyBits, nil)
+		if u.err != nil {
+			return
 		}
+		u.evict, u.err = e.model.AllCoresRoundTripUBD(design, e.p.Memory, e.p.EvictionBits, e.p.AckBits, nil)
 	})
 	if u.err != nil {
 		return nil, u.err
@@ -150,6 +145,28 @@ func (e *Engine) BenchmarkWCET(design network.Design, core mesh.Node, b workload
 		return 0, err
 	}
 	return e.cellWCET(u, e.p.Dim.Index(core), b), nil
+}
+
+// WCETMap returns the WCET estimate of benchmark b on EVERY core of the
+// platform under the given design, indexed by mesh.Dim.Index. The benchmark
+// is validated once and each cell is pure arithmetic over the kernel-
+// precomputed round-trip UBDs — the whole map costs two O(N) row sweeps
+// (amortised to zero once the engine is warm) plus N multiplications, and
+// every cell equals the corresponding BenchmarkWCET call exactly. The
+// scenario wcet-map mode runs on it.
+func (e *Engine) WCETMap(design network.Design, b workload.Benchmark) ([]uint64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	u, err := e.memoryRoundTrips(design)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, e.p.Dim.Nodes())
+	for i := range out {
+		out[i] = e.cellWCET(u, i, b)
+	}
+	return out, nil
 }
 
 // cellWCET is the per-cell arithmetic of the WCET tables: pure integer math
